@@ -1,0 +1,97 @@
+// Ablation (beyond the paper's figures): how the fairness *scheme* shapes
+// the solution. The paper defines two instantiations of the group-fairness
+// constraint (Sec. 2) but evaluates only proportional representation; this
+// harness compares
+//   * proportional representation (alpha = 0.1)  — the paper's default,
+//   * balanced representation (alpha = 0.1)      — equal shares per group,
+//   * exact quotas (alpha = 0)                   — hard proportional shares,
+// reporting MHR (price of fairness per scheme) and the violation count an
+// *unconstrained* solution incurs under each scheme.
+
+#include <cstdio>
+#include <vector>
+
+#include "algo/baselines.h"
+#include "algo/bigreedy.h"
+#include "bench/bench_util.h"
+
+namespace fairhms {
+namespace {
+
+using namespace bench;
+
+void Panel(const DatasetCase& c, int k) {
+  struct Scheme {
+    const char* name;
+    GroupBounds bounds;
+  };
+  std::vector<Scheme> schemes;
+  schemes.push_back(
+      {"proportional", GroupBounds::Proportional(k, c.grouping.Counts(), 0.1)});
+  schemes.push_back(
+      {"balanced", GroupBounds::Balanced(k, c.grouping.num_groups, 0.1)});
+  schemes.push_back(
+      {"exact-quota", GroupBounds::Proportional(k, c.grouping.Counts(), 0.0)});
+
+  const double unconstrained = UnconstrainedReference(c, k);
+  auto greedy = RdpGreedy(c.data, c.skyline, k);
+
+  PrintHeader("Bounds-scheme ablation: " + c.name + " (k=" +
+                  std::to_string(k) + ")",
+              "scheme", {"BG mhr", "price", "err(Greedy)", "feasible"});
+  for (const auto& s : schemes) {
+    std::vector<std::string> cells;
+    char buf[32];
+    const Status valid = s.bounds.Validate(c.grouping.Counts());
+    if (!valid.ok()) {
+      PrintRow(s.name, {"-", "-", "-", "no"});
+      continue;
+    }
+    BiGreedyOptions opts;
+    opts.pool = c.pool;
+    opts.db_rows = c.skyline;
+    auto sol = BiGreedy(c.data, c.grouping, s.bounds, opts);
+    if (!sol.ok()) {
+      PrintRow(s.name, {"-", "-", "-", "yes"});
+      continue;
+    }
+    const double mhr = ReferenceMhr(c, sol->rows);
+    std::snprintf(buf, sizeof(buf), "%.4f", mhr);
+    cells.push_back(buf);
+    std::snprintf(buf, sizeof(buf), "%.4f", unconstrained - mhr);
+    cells.push_back(buf);
+    cells.push_back(greedy.ok()
+                        ? std::to_string(CountViolations(
+                              greedy->rows, c.grouping, s.bounds))
+                        : std::string("-"));
+    cells.push_back("yes");
+    PrintRow(s.name, cells);
+  }
+}
+
+int Run(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  const size_t anticor_n = static_cast<size_t>(
+      flags.GetInt("anticor_n", flags.Has("full") ? 10000 : 2000));
+  const int k = static_cast<int>(flags.GetInt("k", 12));
+
+  std::printf("=== Ablation: fairness-scheme comparison (not a paper "
+              "figure; extends Sec. 2's two instantiations) ===\n");
+
+  Panel(MakeCase("adult:gender", seed), k);
+  Panel(MakeCase("adult:race", seed), k);
+  Panel(MakeCase("anticor", seed, anticor_n, 6, 3), k);
+  Panel(MakeCase("credit:job", seed), k);
+
+  std::printf("\nReading: balanced bounds cost more MHR than proportional on "
+              "skewed groups\n(they drag the solution toward tiny groups); "
+              "exact quotas cost the most.\nUnconstrained solutions violate "
+              "balanced bounds hardest.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace fairhms
+
+int main(int argc, char** argv) { return fairhms::Run(argc, argv); }

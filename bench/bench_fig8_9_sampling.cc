@@ -1,0 +1,116 @@
+// Regenerates Fig. 8 (MHR) and Fig. 9 (time) jointly: BiGreedy vs BiGreedy+
+// as the net size m (resp. the cap M) sweeps over
+// {1.25, 2.5, 5, 10, 20, 40} * k * d, on the ten dataset/group combos.
+// Also hosts the tau-search ablation (--ablate-tau).
+
+#include <cstdio>
+#include <vector>
+
+#include "algo/bigreedy.h"
+#include "bench/bench_util.h"
+
+namespace fairhms {
+namespace {
+
+using namespace bench;
+
+void Panel(const DatasetCase& c, int k) {
+  const GroupBounds bounds = PaperBounds(c, k);
+  const int d = c.data.dim();
+  const std::vector<double> factors = {1.25, 2.5, 5, 10, 20, 40};
+
+  PrintHeader("Fig. 8/9 net-size sweep: " + c.name +
+                  " (k=" + std::to_string(k) + ")",
+              "m", {"BG mhr", "BG+ mhr", "BG ms", "BG+ ms", "BG+ m_i"});
+  for (double f : factors) {
+    const size_t m = static_cast<size_t>(f * k * d);
+    BiGreedyOptions bg_opts;
+    bg_opts.net_size = m;
+    bg_opts.pool = c.pool;
+    bg_opts.db_rows = c.skyline;
+    auto bg = BiGreedy(c.data, c.grouping, bounds, bg_opts);
+
+    BiGreedyPlusOptions bgp_opts;
+    bgp_opts.max_net_size = m;
+    bgp_opts.base.pool = c.pool;
+    bgp_opts.base.db_rows = c.skyline;
+    BiGreedyRunInfo info;
+    auto bgp = BiGreedyPlus(c.data, c.grouping, bounds, bgp_opts, &info);
+
+    std::vector<std::string> cells;
+    char buf[32];
+    if (bg.ok()) {
+      std::snprintf(buf, sizeof(buf), "%.4f", ReferenceMhr(c, bg->rows));
+      cells.push_back(buf);
+    } else {
+      cells.push_back("-");
+    }
+    if (bgp.ok()) {
+      std::snprintf(buf, sizeof(buf), "%.4f", ReferenceMhr(c, bgp->rows));
+      cells.push_back(buf);
+    } else {
+      cells.push_back("-");
+    }
+    std::snprintf(buf, sizeof(buf), "%.1f", bg.ok() ? bg->elapsed_ms : -1.0);
+    cells.push_back(bg.ok() ? buf : "-");
+    std::snprintf(buf, sizeof(buf), "%.1f", bgp.ok() ? bgp->elapsed_ms : -1.0);
+    cells.push_back(bgp.ok() ? buf : "-");
+    cells.push_back(std::to_string(info.net_size));
+    PrintRow(std::to_string(m), cells);
+  }
+}
+
+void AblateTauSearch(const DatasetCase& c, int k) {
+  const GroupBounds bounds = PaperBounds(c, k);
+  PrintHeader("Ablation - tau search mode: " + c.name,
+              "mode", {"mhr", "ms", "MRG calls"});
+  for (TauSearch mode : {TauSearch::kBinary, TauSearch::kLinear}) {
+    BiGreedyOptions opts;
+    opts.tau_search = mode;
+    opts.pool = c.pool;
+    opts.db_rows = c.skyline;
+    BiGreedyRunInfo info;
+    auto sol = BiGreedy(c.data, c.grouping, bounds, opts, &info);
+    std::vector<std::string> cells;
+    char buf[32];
+    if (sol.ok()) {
+      std::snprintf(buf, sizeof(buf), "%.4f", ReferenceMhr(c, sol->rows));
+      cells.push_back(buf);
+      std::snprintf(buf, sizeof(buf), "%.1f", sol->elapsed_ms);
+      cells.push_back(buf);
+      cells.push_back(std::to_string(info.mrgreedy_calls));
+    } else {
+      cells = {"-", "-", "-"};
+    }
+    PrintRow(mode == TauSearch::kBinary ? "binary" : "linear", cells);
+  }
+}
+
+int Run(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  const size_t anticor_n = static_cast<size_t>(
+      flags.GetInt("anticor_n", flags.Has("full") ? 10000 : 2000));
+  const int k = static_cast<int>(flags.GetInt("k", 20));
+
+  std::printf("=== Figs. 8 + 9: effect of the net size m (BiGreedy) / cap M "
+              "(BiGreedy+) ===\n");
+
+  for (const std::string& key : MultiDimCaseKeys()) {
+    const DatasetCase c = key == "anticor"
+                              ? MakeCase(key, seed, anticor_n, 6, 3)
+                              : MakeCase(key, seed);
+    Panel(c, k);
+    if (flags.Has("ablate-tau")) AblateTauSearch(c, k);
+  }
+
+  std::printf("\nExpected shape (paper): MHR rises with m and saturates "
+              "around m = 10kd;\ntime grows near-linearly with m; BiGreedy+ "
+              "stops at m_i << M with little\nquality loss.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace fairhms
+
+int main(int argc, char** argv) { return fairhms::Run(argc, argv); }

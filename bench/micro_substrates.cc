@@ -1,0 +1,127 @@
+// Google-benchmark micro suite for the substrates: LP solver, skyline,
+// delta-net sampling, net evaluation, envelope construction, lazy vs plain
+// greedy. Not a paper artifact — used to track library performance.
+
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+
+#include "common/random.h"
+#include "core/exact_evaluator.h"
+#include "core/net_evaluator.h"
+#include "data/generators.h"
+#include "geom/envelope2d.h"
+#include "lp/simplex.h"
+#include "skyline/skyline.h"
+#include "utility/utility_net.h"
+
+namespace fairhms {
+namespace {
+
+void BM_SimplexWitnessLp(benchmark::State& state) {
+  const int d = static_cast<int>(state.range(0));
+  const int s_size = static_cast<int>(state.range(1));
+  Rng rng(1);
+  const Dataset data = GenAntiCorrelated(200, d, &rng);
+  std::vector<int> solution(static_cast<size_t>(s_size));
+  std::iota(solution.begin(), solution.end(), 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MaxRegretWitnessLp(data, {100}, solution));
+  }
+}
+BENCHMARK(BM_SimplexWitnessLp)->Args({2, 10})->Args({6, 10})->Args({6, 40})
+    ->Args({9, 20});
+
+void BM_Skyline(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const int d = static_cast<int>(state.range(1));
+  Rng rng(2);
+  const Dataset data = GenIndependent(n, d, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeSkyline(data));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_Skyline)->Args({10000, 2})->Args({10000, 4})->Args({50000, 4});
+
+void BM_SkylineAntiCorrelated(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(3);
+  const Dataset data = GenAntiCorrelated(n, 4, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeSkyline(data));
+  }
+}
+BENCHMARK(BM_SkylineAntiCorrelated)->Arg(2000)->Arg(5000);
+
+void BM_NetSampling(benchmark::State& state) {
+  const int d = static_cast<int>(state.range(0));
+  const size_t m = static_cast<size_t>(state.range(1));
+  Rng rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(UtilityNet::SampleRandom(d, m, &rng));
+  }
+}
+BENCHMARK(BM_NetSampling)->Args({6, 1200})->Args({9, 2000});
+
+void BM_NetEvaluatorBuild(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(5);
+  const Dataset data = GenAntiCorrelated(n, 6, &rng);
+  const auto sky = ComputeSkyline(data);
+  const UtilityNet net = UtilityNet::SampleRandom(6, 1200, &rng);
+  for (auto _ : state) {
+    NetEvaluator eval(&data, &net, sky);
+    benchmark::DoNotOptimize(eval.best(0));
+  }
+}
+BENCHMARK(BM_NetEvaluatorBuild)->Arg(2000)->Arg(8000);
+
+void BM_TruncatedMarginalGain(benchmark::State& state) {
+  Rng rng(6);
+  const Dataset data = GenAntiCorrelated(2000, 6, &rng);
+  const auto sky = ComputeSkyline(data);
+  const UtilityNet net = UtilityNet::SampleRandom(6, 1200, &rng);
+  NetEvaluator eval(&data, &net, sky);
+  const bool cached = state.range(0) != 0;
+  if (cached) eval.CacheCandidates(sky);
+  TruncatedMhrState st(&eval);
+  st.Add(sky[0]);
+  st.Add(sky[1]);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(st.MarginalGain(sky[i % sky.size()], 0.9));
+    ++i;
+  }
+}
+BENCHMARK(BM_TruncatedMarginalGain)->Arg(0)->Arg(1);
+
+void BM_Envelope2DBuild(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(7);
+  std::vector<IndexedPoint2> pts;
+  for (size_t i = 0; i < n; ++i) {
+    pts.push_back({rng.Uniform(), rng.Uniform(), static_cast<int>(i)});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Envelope2D::Build(pts));
+  }
+}
+BENCHMARK(BM_Envelope2DBuild)->Arg(1000)->Arg(100000);
+
+void BM_ExactMhr2D(benchmark::State& state) {
+  Rng rng(8);
+  const Dataset data = GenAntiCorrelated(10000, 2, &rng);
+  const auto sky = ComputeSkyline(data);
+  std::vector<int> sol(sky.begin(), sky.begin() + std::min<size_t>(10, sky.size()));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MhrExact2D(data, sky, sol));
+  }
+}
+BENCHMARK(BM_ExactMhr2D);
+
+}  // namespace
+}  // namespace fairhms
+
+BENCHMARK_MAIN();

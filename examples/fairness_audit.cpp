@@ -1,0 +1,73 @@
+// Fairness audit: run the classic (fairness-unaware) RMS/HMS algorithms on
+// a census-like dataset (Adult replica, gender x race groups), count their
+// fairness violations, then show the fair algorithms' results side by side
+// — a miniature of the paper's Fig. 3 + Fig. 5 analysis, usable as an audit
+// template on your own data.
+//
+//   $ ./build/examples/fairness_audit
+
+#include <cstdio>
+
+#include "algo/baselines.h"
+#include "algo/bigreedy.h"
+#include "algo/fair_greedy.h"
+#include "common/random.h"
+#include "core/evaluate.h"
+#include "data/generators.h"
+#include "fairness/group_bounds.h"
+#include "skyline/skyline.h"
+
+using namespace fairhms;
+
+int main() {
+  Rng rng(11);
+  const Dataset data = MakeAdultSim(&rng, 32561).ScaledByMax();
+  auto groups_or = GroupByCategoricalProduct(data, {"gender", "race"});
+  if (!groups_or.ok()) {
+    std::fprintf(stderr, "%s\n", groups_or.status().ToString().c_str());
+    return 1;
+  }
+  const Grouping& groups = *groups_or;
+  const auto skyline = ComputeSkyline(data);
+  const int k = 16;
+  const GroupBounds bounds =
+      GroupBounds::Proportional(k, groups.Counts(), 0.1);
+
+  std::printf("dataset: Adult replica, n=%zu, d=%d, %d gender x race groups\n",
+              data.size(), data.dim(), groups.num_groups);
+  std::printf("constraint: proportional representation, alpha=0.1, k=%d\n\n",
+              k);
+  std::printf("%-12s %-8s %-10s %-12s %s\n", "algorithm", "fair?", "mhr",
+              "violations", "time(ms)");
+
+  auto report = [&](const char* name, const StatusOr<Solution>& sol,
+                    bool is_fair_algo) {
+    if (!sol.ok()) {
+      std::printf("%-12s %-8s failed: %s\n", name, is_fair_algo ? "yes" : "no",
+                  sol.status().ToString().c_str());
+      return;
+    }
+    std::printf("%-12s %-8s %-10.4f %-12d %.1f\n", name,
+                is_fair_algo ? "yes" : "no",
+                EvaluateMhr(data, skyline, sol->rows),
+                CountViolations(sol->rows, groups, bounds),
+                sol->elapsed_ms);
+  };
+
+  std::printf("--- fairness-unaware (original implementations) ---\n");
+  report("Greedy", RdpGreedy(data, skyline, k), false);
+  report("DMM", Dmm(data, skyline, k), false);
+  report("HS", HittingSet(data, skyline, k), false);
+  report("Sphere", SphereAlgo(data, skyline, k), false);
+
+  std::printf("--- fair algorithms (this library) ---\n");
+  report("BiGreedy", BiGreedy(data, groups, bounds), true);
+  report("BiGreedy+", BiGreedyPlus(data, groups, bounds), true);
+  report("F-Greedy", FairGreedy(data, groups, bounds), true);
+
+  std::printf(
+      "\nReading: every unaware algorithm over-represents the gain-heavy\n"
+      "groups (violations > 0); the fair algorithms hit 0 violations at a\n"
+      "small cost in minimum happiness ratio.\n");
+  return 0;
+}

@@ -1,0 +1,136 @@
+#include "algo/algo_util.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/string_util.h"
+#include "geom/vec.h"
+#include "skyline/skyline.h"
+
+namespace fairhms {
+
+StatusOr<ProblemInput> PrepareProblem(const Dataset& data,
+                                      const Grouping& grouping,
+                                      const GroupBounds& bounds,
+                                      std::vector<int> pool_override,
+                                      std::vector<int> db_override) {
+  if (grouping.group_of.size() != data.size()) {
+    return Status::InvalidArgument("grouping does not match dataset size");
+  }
+  if (bounds.num_groups() != grouping.num_groups) {
+    return Status::InvalidArgument(
+        StrFormat("bounds cover %d groups but grouping has %d",
+                  bounds.num_groups(), grouping.num_groups));
+  }
+  FAIRHMS_RETURN_IF_ERROR(bounds.Validate(grouping.Counts()));
+
+  ProblemInput input;
+  input.data = &data;
+  input.grouping = &grouping;
+  input.bounds = bounds;
+  input.pool = pool_override.empty() ? ComputeFairCandidatePool(data, grouping)
+                                     : std::move(pool_override);
+  input.db_rows =
+      db_override.empty() ? ComputeSkyline(data) : std::move(db_override);
+  input.pool_by_group.assign(static_cast<size_t>(grouping.num_groups), {});
+  for (int row : input.pool) {
+    if (row < 0 || static_cast<size_t>(row) >= data.size()) {
+      return Status::OutOfRange(StrFormat("pool row %d out of range", row));
+    }
+    input.pool_by_group[static_cast<size_t>(
+                            grouping.group_of[static_cast<size_t>(row)])]
+        .push_back(row);
+  }
+  return input;
+}
+
+void DedupRows(std::vector<int>* rows) {
+  std::unordered_set<int> seen;
+  std::vector<int> out;
+  out.reserve(rows->size());
+  for (int r : *rows) {
+    if (seen.insert(r).second) out.push_back(r);
+  }
+  rows->swap(out);
+}
+
+Status PadSolution(const ProblemInput& input, std::vector<int>* solution) {
+  DedupRows(solution);
+  const Grouping& grouping = *input.grouping;
+  const GroupBounds& bounds = input.bounds;
+  const Dataset& data = *input.data;
+  const int c_num = grouping.num_groups;
+
+  std::vector<int> counts = SolutionGroupCounts(*solution, grouping);
+  // If some group exceeds its upper bound the producing algorithm is buggy;
+  // report rather than silently drop points.
+  for (int c = 0; c < c_num; ++c) {
+    if (counts[static_cast<size_t>(c)] > bounds.upper[static_cast<size_t>(c)]) {
+      return Status::Internal(
+          StrFormat("solution exceeds upper bound for group %d", c));
+    }
+  }
+
+  // Target counts: start from max(count, lower), then distribute the rest.
+  const std::vector<std::vector<int>> members = grouping.Members();
+  std::vector<int> target(static_cast<size_t>(c_num));
+  long long total = 0;
+  for (int c = 0; c < c_num; ++c) {
+    target[static_cast<size_t>(c)] = std::max(
+        counts[static_cast<size_t>(c)], bounds.lower[static_cast<size_t>(c)]);
+    total += target[static_cast<size_t>(c)];
+  }
+  if (total > bounds.k) {
+    return Status::Internal("solution cannot be padded within k");
+  }
+  long long remaining = bounds.k - total;
+  for (int c = 0; c < c_num && remaining > 0; ++c) {
+    const int cap =
+        std::min(bounds.upper[static_cast<size_t>(c)],
+                 static_cast<int>(members[static_cast<size_t>(c)].size()));
+    const int take = std::min<long long>(remaining,
+                                         cap - target[static_cast<size_t>(c)]);
+    if (take > 0) {
+      target[static_cast<size_t>(c)] += take;
+      remaining -= take;
+    }
+  }
+  if (remaining > 0) {
+    return Status::Infeasible("not enough tuples to reach k under bounds");
+  }
+
+  // Fill each group to its target: pool members first (they are group
+  // skyline points), then arbitrary members, both by descending attribute
+  // sum for a deterministic, quality-leaning choice.
+  std::unordered_set<int> chosen(solution->begin(), solution->end());
+  const size_t d = static_cast<size_t>(data.dim());
+  auto sum_desc = [&](int a, int b) {
+    const double sa = SumCoords(data.point(static_cast<size_t>(a)), d);
+    const double sb = SumCoords(data.point(static_cast<size_t>(b)), d);
+    if (sa != sb) return sa > sb;
+    return a < b;
+  };
+  for (int c = 0; c < c_num; ++c) {
+    int need = target[static_cast<size_t>(c)] - counts[static_cast<size_t>(c)];
+    if (need <= 0) continue;
+    std::vector<int> candidates = input.pool_by_group[static_cast<size_t>(c)];
+    std::sort(candidates.begin(), candidates.end(), sum_desc);
+    std::vector<int> fallback = members[static_cast<size_t>(c)];
+    std::sort(fallback.begin(), fallback.end(), sum_desc);
+    candidates.insert(candidates.end(), fallback.begin(), fallback.end());
+    for (int r : candidates) {
+      if (need == 0) break;
+      if (chosen.insert(r).second) {
+        solution->push_back(r);
+        --need;
+      }
+    }
+    if (need > 0) {
+      return Status::Internal(
+          StrFormat("group %d ran out of members while padding", c));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace fairhms

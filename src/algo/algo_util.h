@@ -1,0 +1,47 @@
+// Shared preprocessing and post-processing for FairHMS algorithms.
+
+#ifndef FAIRHMS_ALGO_ALGO_UTIL_H_
+#define FAIRHMS_ALGO_ALGO_UTIL_H_
+
+#include <vector>
+
+#include "common/statusor.h"
+#include "data/dataset.h"
+#include "data/grouping.h"
+#include "fairness/group_bounds.h"
+
+namespace fairhms {
+
+/// Preprocessed FairHMS instance shared by all algorithms.
+struct ProblemInput {
+  const Dataset* data = nullptr;
+  const Grouping* grouping = nullptr;
+  GroupBounds bounds;
+  /// Candidate rows (default: union of per-group skylines).
+  std::vector<int> pool;
+  /// Candidate rows split by group.
+  std::vector<std::vector<int>> pool_by_group;
+  /// Rows defining happiness denominators (default: global skyline).
+  std::vector<int> db_rows;
+};
+
+/// Validates the instance and fills defaults. `pool_override` /
+/// `db_override` may be empty to request the defaults.
+StatusOr<ProblemInput> PrepareProblem(const Dataset& data,
+                                      const Grouping& grouping,
+                                      const GroupBounds& bounds,
+                                      std::vector<int> pool_override = {},
+                                      std::vector<int> db_override = {});
+
+/// Extends `solution` (deduplicated) to exactly bounds.k rows satisfying the
+/// group bounds, drawing first from the pool and then from any group member.
+/// Padding never decreases mhr. Fails only when the instance itself is
+/// infeasible.
+Status PadSolution(const ProblemInput& input, std::vector<int>* solution);
+
+/// Removes duplicate rows, preserving first occurrence order.
+void DedupRows(std::vector<int>* rows);
+
+}  // namespace fairhms
+
+#endif  // FAIRHMS_ALGO_ALGO_UTIL_H_

@@ -1,0 +1,89 @@
+// Prior-art RMS/HMS baselines (paper Sec. 5.1), all fairness-unaware.
+//
+// Every baseline solves vanilla HMS on the sub-database given by `rows`
+// (candidate pool, witness set and happiness denominators alike): pass the
+// global skyline to reproduce the unconstrained runs of Fig. 3, or one
+// group's skyline when driven by the G-adapter (algo/group_adapter.h).
+//
+//  * RdpGreedy — Nanongkai et al. [35]: repeatedly insert the max-regret
+//    witness (one LP per skyline item per iteration).
+//  * Dmm      — Asudeh et al. [5]: discretized matrix of happiness values
+//    over a per-axis angle grid; binary search over thresholds, greedy set
+//    cover as the feasibility test. Keeps the full matrix in memory, which
+//    is exactly why it dies above d ~ 6-7 (ResourceExhausted), as reported
+//    in the paper.
+//  * SphereAlgo — Xie et al. [55]: dimension-extreme points first (requires
+//    k >= d), then covers the worst-served sampled directions.
+//  * HittingSet — Agarwal et al. / Kumar & Sintos [2, 29]: threshold + greedy
+//    cover with lazy constraint generation over directions (memory-light).
+
+#ifndef FAIRHMS_ALGO_BASELINES_H_
+#define FAIRHMS_ALGO_BASELINES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/statusor.h"
+#include "core/solution.h"
+#include "data/dataset.h"
+
+namespace fairhms {
+
+/// Options for RdpGreedy.
+struct RdpGreedyOptions {
+  /// Stop early when the max regret drops below this (remaining slots are
+  /// filled with the best unused rows by attribute sum).
+  double regret_tolerance = 1e-9;
+};
+
+/// RDP-Greedy. `rows` must be non-empty; k >= 1.
+StatusOr<Solution> RdpGreedy(const Dataset& data, const std::vector<int>& rows,
+                             int k, const RdpGreedyOptions& opts = {});
+
+/// Options for Dmm.
+struct DmmOptions {
+  /// Target total direction count; the per-axis grid resolution is derived
+  /// as ceil(target^(1/(d-1))). 0 derives the 10 * k * d default.
+  size_t target_net_size = 0;
+  int min_grid_per_axis = 6;
+  int max_grid_per_axis = 4096;
+  /// The happiness matrix (float) must fit here, else ResourceExhausted.
+  uint64_t memory_budget_bytes = 2'000'000'000;
+  /// At most this many matrix values become binary-search candidates
+  /// (uniformly strided subsample above).
+  size_t max_threshold_candidates = 2'000'000;
+};
+
+/// DMM.
+StatusOr<Solution> Dmm(const Dataset& data, const std::vector<int>& rows,
+                       int k, const DmmOptions& opts = {});
+
+/// Options for SphereAlgo.
+struct SphereOptions {
+  size_t net_size = 0;  ///< 0 -> 10 * k * d sampled directions.
+  uint64_t seed = 29;
+};
+
+/// Sphere. Fails with InvalidArgument when k < d (as the original does).
+StatusOr<Solution> SphereAlgo(const Dataset& data,
+                              const std::vector<int>& rows, int k,
+                              const SphereOptions& opts = {});
+
+/// Options for HittingSet.
+struct HittingSetOptions {
+  size_t validation_net_size = 0;  ///< 0 -> 20 * k * d.
+  size_t initial_directions = 64;
+  size_t violations_per_round = 32;
+  int max_rounds = 64;
+  int binary_search_steps = 24;
+  uint64_t seed = 31;
+};
+
+/// HS (lazy hitting set).
+StatusOr<Solution> HittingSet(const Dataset& data,
+                              const std::vector<int>& rows, int k,
+                              const HittingSetOptions& opts = {});
+
+}  // namespace fairhms
+
+#endif  // FAIRHMS_ALGO_BASELINES_H_

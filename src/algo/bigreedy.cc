@@ -1,0 +1,309 @@
+#include "algo/bigreedy.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <queue>
+
+#include "common/random.h"
+#include "common/stopwatch.h"
+#include "fairness/matroid.h"
+#include "geom/vec.h"
+
+namespace fairhms {
+
+namespace {
+
+/// Lazy-greedy priority queue entry: a candidate with its (possibly stale)
+/// marginal gain and the selection size at which the gain was computed.
+struct LazyEntry {
+  double gain;
+  int row;
+  int stamp;
+  bool operator<(const LazyEntry& other) const {
+    if (gain != other.gain) return gain < other.gain;
+    return row > other.row;  // Deterministic tie-break: smaller row first.
+  }
+};
+
+/// One MRGreedy invocation (paper Algorithm 3, lines 10-22).
+///
+/// Returns true when the capped target was certified; `out_rows` then holds
+/// the solution: the single-round set in strict mode, the multi-round union
+/// otherwise. In strict mode a failing first round aborts immediately
+/// (multi-round unions would be infeasible anyway).
+bool MrGreedy(const ProblemInput& input, NetEvaluator* eval, double tau,
+              int gamma, double eps, bool strict, bool lazy,
+              std::vector<int>* out_rows, int* rounds_used) {
+  const Grouping& grouping = *input.grouping;
+  const FairnessMatroid matroid(input.bounds);
+  const double m = static_cast<double>(eval->net_size());
+  const double target = (1.0 - eps / (2.0 * m)) * tau;
+
+  TruncatedMhrState union_state(eval);
+  std::vector<int> union_rows;
+  std::vector<bool> used(input.data->size(), false);
+
+  const int max_rounds = strict ? 1 : gamma;
+  for (int round = 1; round <= max_rounds; ++round) {
+    TruncatedMhrState round_state(eval);
+    FairSelection sel(&matroid, &grouping);
+
+    if (lazy) {
+      std::priority_queue<LazyEntry> pq;
+      for (int row : input.pool) {
+        if (used[static_cast<size_t>(row)]) continue;
+        pq.push({round_state.MarginalGain(row, tau), row, 0});
+      }
+
+      while (!pq.empty() && !sel.IsMaximal()) {
+        LazyEntry top = pq.top();
+        pq.pop();
+        if (!sel.CanAdd(top.row)) continue;  // Permanently infeasible now.
+        if (top.stamp == sel.size()) {
+          sel.Add(top.row);
+          round_state.Add(top.row);
+          union_state.Add(top.row);
+        } else {
+          top.gain = round_state.MarginalGain(top.row, tau);
+          top.stamp = sel.size();
+          pq.push(top);
+        }
+      }
+    } else {
+      // Plain greedy: full candidate re-scan per insertion (ablation).
+      while (!sel.IsMaximal()) {
+        int best_row = -1;
+        double best_gain = -1.0;
+        for (int row : input.pool) {
+          if (used[static_cast<size_t>(row)] || !sel.CanAdd(row)) continue;
+          const double gain = round_state.MarginalGain(row, tau);
+          if (gain > best_gain ||
+              (gain == best_gain && best_row >= 0 && row < best_row)) {
+            best_gain = gain;
+            best_row = row;
+          }
+        }
+        if (best_row < 0) break;
+        sel.Add(best_row);
+        round_state.Add(best_row);
+        union_state.Add(best_row);
+      }
+    }
+
+    for (int row : sel.rows()) {
+      used[static_cast<size_t>(row)] = true;
+      union_rows.push_back(row);
+    }
+    *rounds_used = round;
+
+    if (union_state.TruncatedValue(tau) >= target) {
+      *out_rows = strict ? sel.rows() : union_rows;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Fallback when no capped value certifies (degenerate nets / tiny pools):
+/// a single matroid-greedy fill on the untruncated average happiness.
+std::vector<int> GreedyFill(const ProblemInput& input, NetEvaluator* eval) {
+  const FairnessMatroid matroid(input.bounds);
+  FairSelection sel(&matroid, input.grouping);
+  TruncatedMhrState state(eval);
+  std::priority_queue<LazyEntry> pq;
+  for (int row : input.pool) pq.push({state.MarginalGain(row, 1.0), row, 0});
+  while (!pq.empty() && !sel.IsMaximal()) {
+    LazyEntry top = pq.top();
+    pq.pop();
+    if (!sel.CanAdd(top.row)) continue;
+    if (top.stamp == sel.size()) {
+      sel.Add(top.row);
+      state.Add(top.row);
+    } else {
+      top.gain = state.MarginalGain(top.row, 1.0);
+      top.stamp = sel.size();
+      pq.push(top);
+    }
+  }
+  return sel.rows();
+}
+
+size_t DefaultNetSize(const BiGreedyOptions& opts, int k, int d) {
+  if (opts.net_size > 0) return opts.net_size;
+  if (opts.delta > 0.0) {
+    // Lemma 4.1 requires a (delta / d(2-delta))-net for error <= delta.
+    const double net_delta = opts.delta / (d * (2.0 - opts.delta));
+    return UtilityNet::DeltaToSampleSize(net_delta, d);
+  }
+  return static_cast<size_t>(10) * static_cast<size_t>(k) *
+         static_cast<size_t>(d);
+}
+
+}  // namespace
+
+StatusOr<Solution> BiGreedyOnNet(const ProblemInput& input, NetEvaluator* eval,
+                                 const BiGreedyOptions& opts,
+                                 BiGreedyRunInfo* info) {
+  Stopwatch timer;
+  const double m = static_cast<double>(eval->net_size());
+  const int gamma =
+      std::max(1, static_cast<int>(std::ceil(std::log2(2.0 * m / opts.eps))));
+
+  // Capped-value grid tau_j = (1 - eps/2)^j down to 1/m.
+  const double ratio = 1.0 - opts.eps / 2.0;
+  const int grid_size = std::max(
+      1, static_cast<int>(std::ceil(std::log(1.0 / m) / std::log(ratio))) + 1);
+  auto tau_at = [&](int j) { return std::pow(ratio, j); };
+
+  BiGreedyRunInfo run;
+  run.net_size = eval->net_size();
+
+  std::vector<int> best_rows;
+  double best_tau = -1.0;
+  int best_rounds = 0;
+
+  auto attempt = [&](int j, std::vector<int>* rows, int* rounds) {
+    ++run.mrgreedy_calls;
+    return MrGreedy(input, eval, tau_at(j), gamma, opts.eps,
+                    opts.strict_feasible, opts.lazy, rows, rounds);
+  };
+
+  if (opts.tau_search == TauSearch::kBinary) {
+    // Find the smallest grid index (largest tau) that certifies.
+    int lo = 0;
+    int hi = grid_size - 1;
+    while (lo <= hi) {
+      const int mid = lo + (hi - lo) / 2;
+      std::vector<int> rows;
+      int rounds = 0;
+      if (attempt(mid, &rows, &rounds)) {
+        best_rows = std::move(rows);
+        best_tau = tau_at(mid);
+        best_rounds = rounds;
+        hi = mid - 1;
+      } else {
+        lo = mid + 1;
+      }
+    }
+  } else {
+    // Paper's literal scan: try every tau descending, keep the best by net
+    // mhr among certified solutions.
+    double best_quality = -1.0;
+    for (int j = 0; j < grid_size; ++j) {
+      std::vector<int> rows;
+      int rounds = 0;
+      if (!attempt(j, &rows, &rounds)) continue;
+      const double quality = eval->Mhr(rows);
+      if (quality > best_quality) {
+        best_quality = quality;
+        best_rows = std::move(rows);
+        best_tau = tau_at(j);
+        best_rounds = rounds;
+      }
+    }
+  }
+
+  if (best_tau < 0.0) {
+    best_rows = GreedyFill(input, eval);
+    best_tau = 0.0;
+    best_rounds = 1;
+  }
+
+  if (opts.strict_feasible) {
+    FAIRHMS_RETURN_IF_ERROR(PadSolution(input, &best_rows));
+  }
+
+  run.tau = best_tau;
+  run.rounds_used = best_rounds;
+  if (info != nullptr) *info = run;
+
+  Solution out;
+  out.rows = std::move(best_rows);
+  std::sort(out.rows.begin(), out.rows.end());
+  out.mhr = eval->Mhr(out.rows);
+  out.elapsed_ms = timer.ElapsedMillis();
+  out.algorithm = opts.strict_feasible ? "BiGreedy" : "BiGreedy(union)";
+  return out;
+}
+
+StatusOr<Solution> BiGreedy(const Dataset& data, const Grouping& grouping,
+                            const GroupBounds& bounds,
+                            const BiGreedyOptions& opts,
+                            BiGreedyRunInfo* info) {
+  Stopwatch timer;
+  FAIRHMS_ASSIGN_OR_RETURN(
+      ProblemInput input,
+      PrepareProblem(data, grouping, bounds, opts.pool, opts.db_rows));
+  const size_t m = DefaultNetSize(opts, bounds.k, data.dim());
+  Rng rng(opts.seed);
+  const UtilityNet net = UtilityNet::SampleRandom(data.dim(), m, &rng);
+  NetEvaluator eval(&data, &net, input.db_rows);
+  eval.CacheCandidates(input.pool);
+  FAIRHMS_ASSIGN_OR_RETURN(Solution out,
+                           BiGreedyOnNet(input, &eval, opts, info));
+  out.elapsed_ms = timer.ElapsedMillis();  // Include net construction.
+  return out;
+}
+
+StatusOr<Solution> BiGreedyPlus(const Dataset& data, const Grouping& grouping,
+                                const GroupBounds& bounds,
+                                const BiGreedyPlusOptions& opts,
+                                BiGreedyRunInfo* info) {
+  Stopwatch timer;
+  FAIRHMS_ASSIGN_OR_RETURN(
+      ProblemInput input,
+      PrepareProblem(data, grouping, bounds, opts.base.pool,
+                     opts.base.db_rows));
+  const int d = data.dim();
+  const size_t cap =
+      opts.max_net_size > 0
+          ? opts.max_net_size
+          : static_cast<size_t>(10) * static_cast<size_t>(bounds.k) *
+                static_cast<size_t>(d);
+  size_t m = std::max<size_t>(
+      static_cast<size_t>(d) + 1,
+      static_cast<size_t>(std::ceil(opts.m0_fraction * static_cast<double>(cap))));
+  m = std::min(m, cap);
+
+  Rng rng(opts.base.seed);
+
+  // Shared evaluation net for the final argmax across rounds.
+  Rng eval_rng = rng.Fork();
+  const UtilityNet eval_net = UtilityNet::SampleRandom(
+      d, std::max<size_t>(2 * cap, 2000), &eval_rng);
+  const NetEvaluator final_eval(&data, &eval_net, input.db_rows);
+
+  Solution best;
+  double best_quality = -1.0;
+  BiGreedyRunInfo best_info;
+  double prev_tau = 2.0;  // Larger than any capped value.
+
+  for (int round = 0;; ++round) {
+    Rng net_rng = rng.Fork();
+    const UtilityNet net = UtilityNet::SampleRandom(d, m, &net_rng);
+    NetEvaluator eval(&data, &net, input.db_rows);
+    eval.CacheCandidates(input.pool);
+    BiGreedyRunInfo run;
+    FAIRHMS_ASSIGN_OR_RETURN(Solution sol,
+                             BiGreedyOnNet(input, &eval, opts.base, &run));
+    const double quality = final_eval.Mhr(sol.rows);
+    if (quality > best_quality) {
+      best_quality = quality;
+      best = std::move(sol);
+      best_info = run;
+    }
+    const bool converged = round > 0 && (prev_tau - run.tau) < opts.lambda;
+    prev_tau = run.tau;
+    if (converged || m >= cap) break;
+    m = std::min(2 * m, cap);
+  }
+
+  if (info != nullptr) *info = best_info;
+  best.mhr = best_quality;
+  best.elapsed_ms = timer.ElapsedMillis();
+  best.algorithm = "BiGreedy+";
+  return best;
+}
+
+}  // namespace fairhms

@@ -1,0 +1,104 @@
+// BiGreedy / BiGreedy+: bicriteria approximation for FairHMS in any
+// dimension (paper Sec. 4).
+//
+// FairHMS restricted to a delta-net N of m directions is multi-objective
+// submodular maximization under the fairness matroid. For a capped value
+// tau, the truncated objective mhr_tau(S|N) = (1/m) sum_u min(hr(u,S), tau)
+// is monotone submodular; MRGreedy runs up to gamma = ceil(log2(2m/eps))
+// matroid-greedy rounds and succeeds when mhr_tau >= (1 - eps/2m) tau. The
+// outer loop searches the capped value over the geometric grid
+// (1 - eps/2)^j. BiGreedy+ repeats BiGreedy with doubling net sizes until
+// the capped value stabilizes (adaptive sampling, Sec. 4.3).
+
+#ifndef FAIRHMS_ALGO_BIGREEDY_H_
+#define FAIRHMS_ALGO_BIGREEDY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "algo/algo_util.h"
+#include "common/statusor.h"
+#include "core/net_evaluator.h"
+#include "core/solution.h"
+#include "data/dataset.h"
+#include "data/grouping.h"
+#include "fairness/group_bounds.h"
+
+namespace fairhms {
+
+/// How the outer loop visits the capped-value grid.
+enum class TauSearch {
+  /// Binary search on the grid index (success is monotone in tau in
+  /// practice); ~log2(#grid) MRGreedy calls. Default.
+  kBinary,
+  /// The paper's literal descending scan; identical grid, ~50x more calls.
+  kLinear,
+};
+
+/// Options shared by BiGreedy and BiGreedy+.
+struct BiGreedyOptions {
+  /// Net size m. 0 derives the paper's experimental default 10 * k * d.
+  size_t net_size = 0;
+  /// When > 0 (and net_size == 0), m is derived from this delta via
+  /// UtilityNet::DeltaToSampleSize on the (delta / d(2-delta))-net rule.
+  double delta = 0.0;
+  /// Capped-value search granularity (paper default 0.02).
+  double eps = 0.02;
+  TauSearch tau_search = TauSearch::kBinary;
+  /// Feasible mode (default): only single-round solutions (exactly k rows,
+  /// fair) are eligible — the variant used in all of the paper's
+  /// experiments. When false, MRGreedy may return the multi-round union of
+  /// size <= gamma * k with gamma-scaled bounds (the bicriteria object of
+  /// Lemma 4.5).
+  bool strict_feasible = true;
+  /// Lazy (priority-queue) marginal-gain evaluation. The plain variant
+  /// re-scans every candidate per insertion; identical output, kept as an
+  /// ablation knob.
+  bool lazy = true;
+  uint64_t seed = 13;
+  /// Candidate pool / denominator overrides (default: fair pool / skyline).
+  std::vector<int> pool;
+  std::vector<int> db_rows;
+};
+
+/// Options specific to BiGreedy+.
+struct BiGreedyPlusOptions {
+  BiGreedyOptions base;
+  /// Maximum net size M. 0 derives 10 * k * d.
+  size_t max_net_size = 0;
+  /// Initial size m0 = max(d + 1, m0_fraction * M) (paper uses 0.05 M).
+  double m0_fraction = 0.05;
+  /// Stop doubling when tau_{i-1} - tau_i < lambda (paper default 0.04).
+  double lambda = 0.04;
+};
+
+/// Diagnostics of a single BiGreedy run (exposed for BiGreedy+ and tests).
+struct BiGreedyRunInfo {
+  double tau = 0.0;       ///< Capped value of the returned solution.
+  size_t net_size = 0;    ///< m actually used.
+  int rounds_used = 0;    ///< Greedy rounds of the returned solution.
+  int mrgreedy_calls = 0; ///< Outer-loop decision calls.
+};
+
+/// Runs BiGreedy end to end (builds the net internally).
+StatusOr<Solution> BiGreedy(const Dataset& data, const Grouping& grouping,
+                            const GroupBounds& bounds,
+                            const BiGreedyOptions& opts = {},
+                            BiGreedyRunInfo* info = nullptr);
+
+/// Runs BiGreedy on a caller-supplied evaluator/net (shared machinery for
+/// BiGreedy+, ablations and tests).
+StatusOr<Solution> BiGreedyOnNet(const ProblemInput& input,
+                                 NetEvaluator* eval,
+                                 const BiGreedyOptions& opts,
+                                 BiGreedyRunInfo* info = nullptr);
+
+/// Runs BiGreedy+ (adaptive net doubling).
+StatusOr<Solution> BiGreedyPlus(const Dataset& data, const Grouping& grouping,
+                                const GroupBounds& bounds,
+                                const BiGreedyPlusOptions& opts = {},
+                                BiGreedyRunInfo* info = nullptr);
+
+}  // namespace fairhms
+
+#endif  // FAIRHMS_ALGO_BIGREEDY_H_

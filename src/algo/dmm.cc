@@ -1,0 +1,192 @@
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "algo/baselines.h"
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "core/exact_evaluator.h"
+#include "geom/vec.h"
+
+namespace fairhms {
+
+namespace {
+
+/// Spherical-coordinate lattice on S^{d-1}_+: gamma steps per angle, all
+/// angles in [0, pi/2]. Returns row-major unit vectors.
+std::vector<double> AngleGrid(int d, int gamma) {
+  const int num_angles = d - 1;
+  std::vector<double> dirs;
+  std::vector<int> idx(static_cast<size_t>(num_angles), 0);
+  std::vector<double> u(static_cast<size_t>(d));
+  const double step =
+      gamma > 1 ? (3.14159265358979323846 / 2.0) / (gamma - 1) : 0.0;
+  for (;;) {
+    // Spherical to Cartesian with all angles nonnegative.
+    double sin_prod = 1.0;
+    for (int a = 0; a < num_angles; ++a) {
+      const double theta = idx[static_cast<size_t>(a)] * step;
+      u[static_cast<size_t>(a)] = sin_prod * std::cos(theta);
+      sin_prod *= std::sin(theta);
+    }
+    u[static_cast<size_t>(d - 1)] = sin_prod;
+    dirs.insert(dirs.end(), u.begin(), u.end());
+    // Odometer.
+    int a = 0;
+    while (a < num_angles && ++idx[static_cast<size_t>(a)] == gamma) {
+      idx[static_cast<size_t>(a)] = 0;
+      ++a;
+    }
+    if (a == num_angles) break;
+  }
+  return dirs;
+}
+
+}  // namespace
+
+StatusOr<Solution> Dmm(const Dataset& data, const std::vector<int>& rows,
+                       int k, const DmmOptions& opts) {
+  if (rows.empty()) return Status::InvalidArgument("empty candidate set");
+  if (k < 1) return Status::InvalidArgument("k must be >= 1");
+  const int d = data.dim();
+  Stopwatch timer;
+
+  const size_t target = opts.target_net_size > 0
+                            ? opts.target_net_size
+                            : static_cast<size_t>(10) * k * d;
+  int gamma = static_cast<int>(std::ceil(
+      std::pow(static_cast<double>(target), 1.0 / std::max(1, d - 1))));
+  gamma = std::clamp(gamma, opts.min_grid_per_axis, opts.max_grid_per_axis);
+
+  // The matrix is the method's defining cost: refuse when it cannot fit.
+  double m_dirs = 1.0;
+  for (int a = 0; a < d - 1; ++a) m_dirs *= gamma;
+  const double matrix_bytes = m_dirs * static_cast<double>(rows.size()) *
+                              sizeof(float);
+  if (matrix_bytes > static_cast<double>(opts.memory_budget_bytes)) {
+    return Status::ResourceExhausted(
+        StrFormat("DMM matrix needs %.2f GB (gamma=%d, d=%d) — exceeds the "
+                  "%.2f GB budget",
+                  matrix_bytes / 1e9, gamma, d,
+                  static_cast<double>(opts.memory_budget_bytes) / 1e9));
+  }
+
+  const std::vector<double> dirs = AngleGrid(d, gamma);
+  const size_t m = dirs.size() / static_cast<size_t>(d);
+  const size_t n = rows.size();
+
+  // Happiness matrix, point-major: H[i*m + j] = hr(u_j, {p_i}).
+  std::vector<float> happiness(n * m);
+  {
+    std::vector<double> best(m, 0.0);
+    for (size_t i = 0; i < n; ++i) {
+      const double* p = data.point(static_cast<size_t>(rows[i]));
+      for (size_t j = 0; j < m; ++j) {
+        const double s = Dot(&dirs[j * static_cast<size_t>(d)], p,
+                             static_cast<size_t>(d));
+        happiness[i * m + j] = static_cast<float>(s);
+        if (s > best[j]) best[j] = s;
+      }
+    }
+    for (size_t j = 0; j < m; ++j) {
+      const float inv = best[j] > 1e-12 ? static_cast<float>(1.0 / best[j])
+                                        : 0.0f;
+      for (size_t i = 0; i < n; ++i) {
+        happiness[i * m + j] =
+            inv > 0 ? std::min(1.0f, happiness[i * m + j] * inv) : 1.0f;
+      }
+    }
+  }
+
+  // Threshold candidates: the distinct matrix values (strided subsample when
+  // the matrix is huge).
+  std::vector<float> cand;
+  const size_t total = n * m;
+  const size_t stride = std::max<size_t>(1, total / opts.max_threshold_candidates);
+  cand.reserve(total / stride + 1);
+  for (size_t t = 0; t < total; t += stride) cand.push_back(happiness[t]);
+  cand.push_back(1.0f);
+  std::sort(cand.begin(), cand.end());
+  cand.erase(std::unique(cand.begin(), cand.end()), cand.end());
+
+  // Greedy set cover at threshold tau; returns rows or empty when > k sets
+  // are needed.
+  std::vector<int> uncovered;
+  auto cover_at = [&](float tau) -> std::vector<int> {
+    uncovered.resize(m);
+    std::iota(uncovered.begin(), uncovered.end(), 0);
+    std::vector<int> picked;
+    while (!uncovered.empty() && static_cast<int>(picked.size()) < k) {
+      size_t best_i = 0;
+      size_t best_cnt = 0;
+      for (size_t i = 0; i < n; ++i) {
+        const float* hrow = &happiness[i * m];
+        size_t cnt = 0;
+        for (int j : uncovered) {
+          if (hrow[static_cast<size_t>(j)] >= tau) ++cnt;
+        }
+        if (cnt > best_cnt) {
+          best_cnt = cnt;
+          best_i = i;
+        }
+      }
+      if (best_cnt == 0) return {};  // Some direction unreachable at tau.
+      picked.push_back(rows[best_i]);
+      const float* hrow = &happiness[best_i * m];
+      size_t w = 0;
+      for (int j : uncovered) {
+        if (hrow[static_cast<size_t>(j)] < tau) uncovered[w++] = j;
+      }
+      uncovered.resize(w);
+    }
+    return uncovered.empty() ? picked : std::vector<int>{};
+  };
+
+  // Binary search the largest feasible threshold.
+  std::vector<int> best_rows;
+  int64_t lo = 0;
+  int64_t hi = static_cast<int64_t>(cand.size()) - 1;
+  while (lo <= hi) {
+    const int64_t mid = lo + (hi - lo) / 2;
+    std::vector<int> picked = cover_at(cand[static_cast<size_t>(mid)]);
+    if (!picked.empty()) {
+      best_rows = std::move(picked);
+      lo = mid + 1;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  if (best_rows.empty()) {
+    best_rows = cover_at(0.0f);
+    if (best_rows.empty()) best_rows.push_back(rows.front());
+  }
+
+  // Pad to k with the best unused rows by attribute sum.
+  if (static_cast<int>(best_rows.size()) < k) {
+    std::vector<int> order = rows;
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+      const double sa =
+          SumCoords(data.point(static_cast<size_t>(a)), static_cast<size_t>(d));
+      const double sb =
+          SumCoords(data.point(static_cast<size_t>(b)), static_cast<size_t>(d));
+      if (sa != sb) return sa > sb;
+      return a < b;
+    });
+    for (int r : order) {
+      if (static_cast<int>(best_rows.size()) >= k) break;
+      if (std::find(best_rows.begin(), best_rows.end(), r) == best_rows.end()) {
+        best_rows.push_back(r);
+      }
+    }
+  }
+
+  Solution out;
+  out.rows = std::move(best_rows);
+  std::sort(out.rows.begin(), out.rows.end());
+  out.mhr = rows.size() <= 4000 ? MhrExactLp(data, rows, out.rows) : 0.0;
+  out.elapsed_ms = timer.ElapsedMillis();
+  out.algorithm = "DMM";
+  return out;
+}
+
+}  // namespace fairhms

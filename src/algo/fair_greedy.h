@@ -1,0 +1,37 @@
+// F-Greedy: the matroid-greedy adaptation of RDP-Greedy (paper Sec. 5.1).
+//
+// Each iteration scores every candidate with its witness LP (max regret if
+// that candidate were the best point) and inserts the highest-regret
+// candidate whose addition keeps the selection independent in the fairness
+// matroid; insertion continues until the selection is a maximal independent
+// set (exactly k rows, fair). One LP per skyline item per iteration — the
+// cost profile the paper reports (slowest fair baseline).
+
+#ifndef FAIRHMS_ALGO_FAIR_GREEDY_H_
+#define FAIRHMS_ALGO_FAIR_GREEDY_H_
+
+#include <vector>
+
+#include "common/statusor.h"
+#include "core/solution.h"
+#include "data/dataset.h"
+#include "data/grouping.h"
+#include "fairness/group_bounds.h"
+
+namespace fairhms {
+
+/// Options for FairGreedy.
+struct FairGreedyOptions {
+  std::vector<int> pool;     ///< Default: union of per-group skylines.
+  std::vector<int> db_rows;  ///< Default: global skyline.
+  double regret_tolerance = 1e-9;
+};
+
+/// Runs F-Greedy; the result is always fair and of size k.
+StatusOr<Solution> FairGreedy(const Dataset& data, const Grouping& grouping,
+                              const GroupBounds& bounds,
+                              const FairGreedyOptions& opts = {});
+
+}  // namespace fairhms
+
+#endif  // FAIRHMS_ALGO_FAIR_GREEDY_H_

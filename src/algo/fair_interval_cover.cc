@@ -1,0 +1,163 @@
+#include "algo/fair_interval_cover.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "algo/algo_util.h"
+#include "common/string_util.h"
+
+namespace fairhms {
+
+void GroupIntervalIndex::Build(std::vector<CoverInterval> intervals) {
+  std::sort(intervals.begin(), intervals.end(),
+            [](const CoverInterval& a, const CoverInterval& b) {
+              if (a.lo != b.lo) return a.lo < b.lo;
+              return a.hi > b.hi;
+            });
+  lo_.clear();
+  best_hi_.clear();
+  best_row_.clear();
+  lo_.reserve(intervals.size());
+  double run_hi = -1.0;
+  int run_row = -1;
+  for (const auto& iv : intervals) {
+    if (iv.hi > run_hi) {
+      run_hi = iv.hi;
+      run_row = iv.row;
+    }
+    lo_.push_back(iv.lo);
+    best_hi_.push_back(run_hi);
+    best_row_.push_back(run_row);
+  }
+}
+
+bool GroupIntervalIndex::Query(double reach, double tol, double* hi,
+                               int* row) const {
+  const auto it = std::upper_bound(lo_.begin(), lo_.end(), reach + tol);
+  if (it == lo_.begin()) return false;
+  const size_t idx = static_cast<size_t>(it - lo_.begin()) - 1;
+  *hi = best_hi_[idx];
+  *row = best_row_[idx];
+  return true;
+}
+
+FairIntervalCoverDp::FairIntervalCoverDp(GroupBounds bounds,
+                                         uint64_t num_states,
+                                         std::vector<uint64_t> strides,
+                                         std::vector<int> dims)
+    : bounds_(std::move(bounds)),
+      num_states_(num_states),
+      strides_(std::move(strides)),
+      dims_(std::move(dims)),
+      value_(num_states),
+      parent_group_(num_states),
+      parent_row_(num_states) {}
+
+StatusOr<FairIntervalCoverDp> FairIntervalCoverDp::Create(
+    const GroupBounds& bounds, uint64_t max_states) {
+  const int c_num = bounds.num_groups();
+  std::vector<int> dims(static_cast<size_t>(c_num));
+  uint64_t num_states = 1;
+  for (int c = 0; c < c_num; ++c) {
+    dims[static_cast<size_t>(c)] =
+        std::min(bounds.upper[static_cast<size_t>(c)], bounds.k) + 1;
+    if (num_states > max_states /
+                         static_cast<uint64_t>(dims[static_cast<size_t>(c)]) +
+                         1) {
+      return Status::ResourceExhausted(
+          StrFormat("fair interval cover DP needs more than %llu states "
+                    "(C=%d); the DP is exponential in the number of groups",
+                    static_cast<unsigned long long>(max_states), c_num));
+    }
+    num_states *= static_cast<uint64_t>(dims[static_cast<size_t>(c)]);
+  }
+  if (num_states > max_states) {
+    return Status::ResourceExhausted("DP state space too large");
+  }
+  std::vector<uint64_t> strides(static_cast<size_t>(c_num));
+  uint64_t stride = 1;
+  for (int c = 0; c < c_num; ++c) {
+    strides[static_cast<size_t>(c)] = stride;
+    stride *= static_cast<uint64_t>(dims[static_cast<size_t>(c)]);
+  }
+  return FairIntervalCoverDp(bounds, num_states, std::move(strides),
+                             std::move(dims));
+}
+
+bool FairIntervalCoverDp::Feasible(const std::vector<int>& digits) const {
+  long long needed = 0;
+  for (size_t c = 0; c < digits.size(); ++c) {
+    needed += std::max(digits[c], bounds_.lower[c]);
+  }
+  return needed <= bounds_.k;
+}
+
+void FairIntervalCoverDp::Reconstruct(uint64_t s,
+                                      std::vector<int>* solution) const {
+  solution->clear();
+  while (s != 0) {
+    const int c = parent_group_[s];
+    const int row = parent_row_[s];
+    if (row >= 0) solution->push_back(row);
+    s -= strides_[static_cast<size_t>(c)];
+  }
+  DedupRows(solution);
+}
+
+bool FairIntervalCoverDp::Decide(const std::vector<GroupIntervalIndex>& groups,
+                                 double tol, std::vector<int>* solution) {
+  const int c_num = static_cast<int>(dims_.size());
+  assert(static_cast<int>(groups.size()) == c_num);
+  std::fill(value_.begin(), value_.end(), kUnreachable);
+  value_[0] = 0.0;
+  std::vector<int> digits(static_cast<size_t>(c_num), 0);
+
+  // Ascending linear index order processes every predecessor (index minus
+  // one stride) first.
+  for (uint64_t s = 1; s < num_states_; ++s) {
+    uint64_t rest = s;
+    for (int c = c_num - 1; c >= 0; --c) {
+      digits[static_cast<size_t>(c)] =
+          static_cast<int>(rest / strides_[static_cast<size_t>(c)]);
+      rest %= strides_[static_cast<size_t>(c)];
+    }
+    // Infeasible states cannot lead to feasible ones (counts only grow);
+    // prune them exactly as the paper's Algorithm 2 does.
+    if (!Feasible(digits)) continue;
+    double best = kUnreachable;
+    int best_group = -1;
+    int best_row = -1;
+    for (int c = 0; c < c_num; ++c) {
+      if (digits[static_cast<size_t>(c)] == 0) continue;
+      const uint64_t pred = s - strides_[static_cast<size_t>(c)];
+      const double pv = value_[pred];
+      if (pv <= kUnreachable) continue;
+      // Carry (wasted pick): keeps reach, lets the DP spend a slot.
+      if (pv > best) {
+        best = pv;
+        best_group = c;
+        best_row = -1;
+      }
+      double hi;
+      int row;
+      if (groups[static_cast<size_t>(c)].Query(pv, tol, &hi, &row) &&
+          hi > best) {
+        best = hi;
+        best_group = c;
+        best_row = row;
+      }
+    }
+    if (best_group < 0) continue;
+    value_[s] = best;
+    parent_group_[s] = static_cast<int8_t>(best_group);
+    parent_row_[s] = best_row;
+
+    if (best >= 1.0 - tol) {
+      Reconstruct(s, solution);
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace fairhms

@@ -1,0 +1,90 @@
+// Fair interval cover: the decision engine inside IntCov (paper Sec. 3,
+// Algorithm 2).
+//
+// Instance: each candidate point contributes one interval of [0, 1] (where
+// its score line clears the tau-envelope), tagged with its group. Question:
+// is there a selection of intervals covering [0, 1] whose per-group counts
+// admit a fair size-k completion (count_c <= h_c and
+// sum_c max(count_c, l_c) <= k)?
+//
+// Solved by a dynamic program over per-group pick counts: the state value is
+// the furthest coverage reach achievable with exactly those counts, computed
+// greedily (Eq. 1) — for every count vector the greedy extension is optimal,
+// so scanning all feasible count vectors decides the instance exactly.
+
+#ifndef FAIRHMS_ALGO_FAIR_INTERVAL_COVER_H_
+#define FAIRHMS_ALGO_FAIR_INTERVAL_COVER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/statusor.h"
+#include "fairness/group_bounds.h"
+
+namespace fairhms {
+
+/// One candidate interval: point `row` is useful on [lo, hi].
+struct CoverInterval {
+  double lo;
+  double hi;
+  int row;
+};
+
+/// One group's intervals, preprocessed for O(log n) "best extension from
+/// reach r" queries: sorted by lo with prefix-max over hi.
+class GroupIntervalIndex {
+ public:
+  /// Builds the index (consumes the intervals).
+  void Build(std::vector<CoverInterval> intervals);
+
+  /// Best extension among intervals starting at or before `reach + tol`.
+  /// Returns false when no interval is eligible.
+  bool Query(double reach, double tol, double* hi, int* row) const;
+
+  size_t size() const { return lo_.size(); }
+
+ private:
+  std::vector<double> lo_;       // Sorted ascending.
+  std::vector<double> best_hi_;  // Prefix max of hi over the sorted order.
+  std::vector<int> best_row_;    // Row attaining best_hi.
+};
+
+/// The decision DP. Reusable across thresholds (IntCov calls Decide once per
+/// binary-search step, re-using the allocated state tables).
+class FairIntervalCoverDp {
+ public:
+  /// Creates the DP for the given bounds; fails with ResourceExhausted when
+  /// the state space prod_c (min(h_c, k) + 1) exceeds `max_states`.
+  static StatusOr<FairIntervalCoverDp> Create(const GroupBounds& bounds,
+                                              uint64_t max_states);
+
+  /// Runs the decision DP against per-group interval indexes (size must be
+  /// bounds.num_groups()). On success fills `solution` with the chosen rows
+  /// (deduplicated; possibly fewer than k — pad separately) and returns
+  /// true.
+  bool Decide(const std::vector<GroupIntervalIndex>& groups, double tol,
+              std::vector<int>* solution);
+
+  uint64_t num_states() const { return num_states_; }
+
+ private:
+  FairIntervalCoverDp(GroupBounds bounds, uint64_t num_states,
+                      std::vector<uint64_t> strides, std::vector<int> dims);
+
+  bool Feasible(const std::vector<int>& digits) const;
+  void Reconstruct(uint64_t s, std::vector<int>* solution) const;
+
+  static constexpr double kUnreachable = -1.0;
+
+  GroupBounds bounds_;
+  uint64_t num_states_;
+  std::vector<uint64_t> strides_;
+  std::vector<int> dims_;
+  std::vector<double> value_;
+  std::vector<int8_t> parent_group_;
+  std::vector<int> parent_row_;
+};
+
+}  // namespace fairhms
+
+#endif  // FAIRHMS_ALGO_FAIR_INTERVAL_COVER_H_

@@ -1,0 +1,64 @@
+#include "algo/group_adapter.h"
+
+#include <algorithm>
+
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "core/evaluate.h"
+#include "skyline/skyline.h"
+
+namespace fairhms {
+
+StatusOr<Solution> GroupAdapt(const BaseSolver& solver,
+                              const std::string& name, const Dataset& data,
+                              const Grouping& grouping,
+                              const GroupBounds& bounds,
+                              const GroupAdapterOptions& opts) {
+  if (grouping.group_of.size() != data.size()) {
+    return Status::InvalidArgument("grouping does not match dataset size");
+  }
+  if (bounds.num_groups() != grouping.num_groups) {
+    return Status::InvalidArgument("bounds/grouping group count mismatch");
+  }
+  Stopwatch timer;
+  const std::vector<int> group_counts = grouping.Counts();
+  FAIRHMS_RETURN_IF_ERROR(bounds.Validate(group_counts));
+
+  // Quotas proportional to group sizes, capped by what each group holds.
+  std::vector<double> weights(group_counts.begin(), group_counts.end());
+  FAIRHMS_ASSIGN_OR_RETURN(std::vector<int> quotas,
+                           AllocateQuotas(bounds, weights, group_counts));
+
+  const std::vector<std::vector<int>> group_skylines =
+      ComputeGroupSkylines(data, grouping);
+  const std::vector<std::vector<int>> members = grouping.Members();
+
+  Solution out;
+  for (int c = 0; c < grouping.num_groups; ++c) {
+    const int kc = quotas[static_cast<size_t>(c)];
+    if (kc == 0) continue;
+    // Candidates: the group skyline, widened to all members when the
+    // skyline alone cannot fill the quota.
+    const std::vector<int>& pool =
+        static_cast<int>(group_skylines[static_cast<size_t>(c)].size()) >= kc
+            ? group_skylines[static_cast<size_t>(c)]
+            : members[static_cast<size_t>(c)];
+    auto sub = solver(data, pool, kc);
+    if (!sub.ok()) {
+      return Status(sub.status().code(),
+                    StrFormat("G-%s failed on group %d: %s", name.c_str(), c,
+                              sub.status().message().c_str()));
+    }
+    out.rows.insert(out.rows.end(), sub->rows.begin(), sub->rows.end());
+  }
+
+  std::sort(out.rows.begin(), out.rows.end());
+  const std::vector<int> db_rows =
+      opts.db_rows.empty() ? ComputeSkyline(data) : opts.db_rows;
+  out.mhr = EvaluateMhr(data, db_rows, out.rows);
+  out.elapsed_ms = timer.ElapsedMillis();
+  out.algorithm = "G-" + name;
+  return out;
+}
+
+}  // namespace fairhms

@@ -1,0 +1,49 @@
+// G-adapter: turns any fairness-unaware HMS baseline into a fair algorithm
+// by running one instance per group and unioning the results (the paper's
+// "G-" prefix: G-Greedy, G-DMM, G-Sphere, G-HS).
+//
+// Per-group budgets k_c are allocated within [l_c, h_c] proportionally to
+// group sizes (sum k_c = k), each instance runs on its group's skyline with
+// group-local happiness denominators, and the union is returned. The
+// adaptation inherits the paper's caveat: per-group selections are mutually
+// redundant, so the union's global MHR trails the native fair algorithms.
+
+#ifndef FAIRHMS_ALGO_GROUP_ADAPTER_H_
+#define FAIRHMS_ALGO_GROUP_ADAPTER_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "core/solution.h"
+#include "data/dataset.h"
+#include "data/grouping.h"
+#include "fairness/group_bounds.h"
+
+namespace fairhms {
+
+/// A fairness-unaware HMS solver: (data, candidate rows, k) -> Solution.
+using BaseSolver = std::function<StatusOr<Solution>(
+    const Dataset&, const std::vector<int>&, int)>;
+
+/// Options for GroupAdapt.
+struct GroupAdapterOptions {
+  /// Denominator rows for the final MHR evaluation (default: global
+  /// skyline). Does not influence the per-group runs.
+  std::vector<int> db_rows;
+};
+
+/// Runs `solver` once per group with quota k_c and unions the solutions.
+/// Fails if quota allocation fails or any per-group run fails (e.g. Sphere
+/// with h_c < d, DMM out of memory) — matching the missing bars in the
+/// paper's plots.
+StatusOr<Solution> GroupAdapt(const BaseSolver& solver,
+                              const std::string& name, const Dataset& data,
+                              const Grouping& grouping,
+                              const GroupBounds& bounds,
+                              const GroupAdapterOptions& opts = {});
+
+}  // namespace fairhms
+
+#endif  // FAIRHMS_ALGO_GROUP_ADAPTER_H_

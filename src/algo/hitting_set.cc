@@ -1,0 +1,176 @@
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "algo/baselines.h"
+#include "common/random.h"
+#include "common/stopwatch.h"
+#include "core/exact_evaluator.h"
+#include "geom/vec.h"
+#include "utility/utility_net.h"
+
+namespace fairhms {
+
+namespace {
+
+/// Happiness of `row` under direction j of `net`, denominators from `best`.
+inline double Happiness(const Dataset& data, const UtilityNet& net,
+                        const std::vector<double>& best, size_t j, int row) {
+  if (best[j] <= 1e-12) return 1.0;
+  const double s = Dot(net.vec(j), data.point(static_cast<size_t>(row)),
+                       static_cast<size_t>(data.dim()));
+  return std::min(1.0, s / best[j]);
+}
+
+}  // namespace
+
+StatusOr<Solution> HittingSet(const Dataset& data,
+                              const std::vector<int>& rows, int k,
+                              const HittingSetOptions& opts) {
+  if (rows.empty()) return Status::InvalidArgument("empty candidate set");
+  if (k < 1) return Status::InvalidArgument("k must be >= 1");
+  const int d = data.dim();
+  Stopwatch timer;
+
+  const size_t m_val = opts.validation_net_size > 0
+                           ? opts.validation_net_size
+                           : static_cast<size_t>(20) * k * d;
+  Rng rng(opts.seed);
+  const UtilityNet net = UtilityNet::SampleRandom(d, m_val, &rng);
+
+  // Denominators over the sub-database.
+  std::vector<double> best(m_val, 0.0);
+  for (int r : rows) {
+    const double* p = data.point(static_cast<size_t>(r));
+    for (size_t j = 0; j < m_val; ++j) {
+      best[j] = std::max(best[j], Dot(net.vec(j), p, static_cast<size_t>(d)));
+    }
+  }
+
+  // Greedy cover of the working direction set at threshold tau; empty result
+  // = more than k points needed.
+  auto cover = [&](const std::vector<int>& dirs,
+                   double tau) -> std::vector<int> {
+    std::vector<int> uncovered = dirs;
+    std::vector<int> picked;
+    while (!uncovered.empty() && static_cast<int>(picked.size()) < k) {
+      int best_row = -1;
+      size_t best_cnt = 0;
+      for (int r : rows) {
+        if (std::find(picked.begin(), picked.end(), r) != picked.end()) {
+          continue;
+        }
+        size_t cnt = 0;
+        for (int j : uncovered) {
+          if (Happiness(data, net, best, static_cast<size_t>(j), r) >= tau) {
+            ++cnt;
+          }
+        }
+        if (cnt > best_cnt) {
+          best_cnt = cnt;
+          best_row = r;
+        }
+      }
+      if (best_row < 0) return {};
+      picked.push_back(best_row);
+      size_t w = 0;
+      for (int j : uncovered) {
+        if (Happiness(data, net, best, static_cast<size_t>(j), best_row) <
+            tau) {
+          uncovered[w++] = j;
+        }
+      }
+      uncovered.resize(w);
+    }
+    return uncovered.empty() ? picked : std::vector<int>{};
+  };
+
+  // Lazy constraint generation: certify tau against the full validation net,
+  // growing the working set with violated directions.
+  auto feasible = [&](double tau, std::vector<int>* out) -> bool {
+    std::vector<int> working;
+    working.reserve(opts.initial_directions);
+    for (size_t j = 0; j < std::min(opts.initial_directions, m_val); ++j) {
+      working.push_back(static_cast<int>(j));
+    }
+    std::vector<bool> in_working(m_val, false);
+    for (int j : working) in_working[static_cast<size_t>(j)] = true;
+
+    for (int round = 0; round < opts.max_rounds; ++round) {
+      std::vector<int> picked = cover(working, tau);
+      if (picked.empty()) return false;
+      // Validate on the full net.
+      size_t added = 0;
+      for (size_t j = 0; j < m_val && added < opts.violations_per_round; ++j) {
+        if (in_working[j]) continue;
+        double best_h = 0.0;
+        for (int r : picked) {
+          best_h = std::max(best_h, Happiness(data, net, best, j, r));
+          if (best_h >= tau) break;
+        }
+        if (best_h < tau) {
+          working.push_back(static_cast<int>(j));
+          in_working[j] = true;
+          ++added;
+        }
+      }
+      if (added == 0) {
+        *out = std::move(picked);
+        return true;
+      }
+    }
+    return false;
+  };
+
+  // Binary search on tau.
+  std::vector<int> best_rows;
+  double lo = 0.0;
+  double hi = 1.0;
+  std::vector<int> sol;
+  if (feasible(1.0, &sol)) {
+    best_rows = sol;
+  } else {
+    for (int it = 0; it < opts.binary_search_steps; ++it) {
+      const double mid = 0.5 * (lo + hi);
+      if (feasible(mid, &sol)) {
+        best_rows = sol;
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    if (best_rows.empty()) {
+      best_rows.push_back(rows.front());
+    }
+  }
+
+  // Pad to k with the best unused rows by attribute sum.
+  if (static_cast<int>(best_rows.size()) < k) {
+    std::vector<int> order = rows;
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+      const double sa =
+          SumCoords(data.point(static_cast<size_t>(a)), static_cast<size_t>(d));
+      const double sb =
+          SumCoords(data.point(static_cast<size_t>(b)), static_cast<size_t>(d));
+      if (sa != sb) return sa > sb;
+      return a < b;
+    });
+    for (int r : order) {
+      if (static_cast<int>(best_rows.size()) >= k) break;
+      if (std::find(best_rows.begin(), best_rows.end(), r) ==
+          best_rows.end()) {
+        best_rows.push_back(r);
+      }
+    }
+  }
+
+  Solution out;
+  out.rows = std::move(best_rows);
+  std::sort(out.rows.begin(), out.rows.end());
+  out.mhr = rows.size() <= 4000 ? MhrExactLp(data, rows, out.rows) : 0.0;
+  out.elapsed_ms = timer.ElapsedMillis();
+  out.algorithm = "HS";
+  return out;
+}
+
+}  // namespace fairhms

@@ -1,0 +1,52 @@
+// IntCov: exact FairHMS on two-dimensional databases (paper Sec. 3).
+//
+// The decision version ("is there a fair size-k set with mhr >= tau?") is
+// reduced to fair interval cover: a point is useful at tau exactly on the
+// lambda-interval where its score line clears the tau-envelope; a fair set
+// with mhr >= tau exists iff a fair selection of intervals covers [0, 1].
+// The decision problem is solved by a dynamic program over per-group
+// selection counts; the optimal tau is found by binary search over the
+// O(n^2) candidate MHR values (single-point happiness at the axis utilities
+// plus every pairwise line crossing — Asudeh et al. Thm 2 guarantees the
+// optimum is among them).
+
+#ifndef FAIRHMS_ALGO_INTCOV_H_
+#define FAIRHMS_ALGO_INTCOV_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/statusor.h"
+#include "core/solution.h"
+#include "data/dataset.h"
+#include "data/grouping.h"
+#include "fairness/group_bounds.h"
+
+namespace fairhms {
+
+/// Tuning knobs for IntCov.
+struct IntCovOptions {
+  /// Candidate pool override (default: union of per-group skylines).
+  std::vector<int> pool;
+  /// Denominator rows override (default: global skyline).
+  std::vector<int> db_rows;
+  /// Abort when the DP state space prod_c (h_c + 1) exceeds this (the DP is
+  /// exponential in the number of groups, as in the paper).
+  uint64_t max_states = 50'000'000;
+  /// When the pool would generate more pairwise crossing candidates than
+  /// this, fall back to continuous bisection on tau (precision ~1e-12
+  /// instead of exact rational candidates; memory stays bounded).
+  uint64_t max_pair_candidates = 20'000'000;
+  /// Coverage / eligibility tolerance.
+  double tolerance = 1e-9;
+};
+
+/// Runs IntCov. Requires data.dim() == 2. Returns the optimal fair set (its
+/// mhr field holds the exact 2D mhr).
+StatusOr<Solution> IntCov(const Dataset& data, const Grouping& grouping,
+                          const GroupBounds& bounds,
+                          const IntCovOptions& opts = {});
+
+}  // namespace fairhms
+
+#endif  // FAIRHMS_ALGO_INTCOV_H_

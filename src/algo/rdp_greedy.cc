@@ -1,0 +1,70 @@
+#include <algorithm>
+
+#include "algo/algo_util.h"
+#include "algo/baselines.h"
+#include "common/stopwatch.h"
+#include "core/exact_evaluator.h"
+#include "geom/vec.h"
+
+namespace fairhms {
+
+namespace {
+
+/// Unused rows sorted by descending attribute sum (deterministic filler).
+std::vector<int> FillerOrder(const Dataset& data, const std::vector<int>& rows) {
+  std::vector<int> order = rows;
+  const size_t d = static_cast<size_t>(data.dim());
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    const double sa = SumCoords(data.point(static_cast<size_t>(a)), d);
+    const double sb = SumCoords(data.point(static_cast<size_t>(b)), d);
+    if (sa != sb) return sa > sb;
+    return a < b;
+  });
+  return order;
+}
+
+}  // namespace
+
+StatusOr<Solution> RdpGreedy(const Dataset& data, const std::vector<int>& rows,
+                             int k, const RdpGreedyOptions& opts) {
+  if (rows.empty()) return Status::InvalidArgument("empty candidate set");
+  if (k < 1) return Status::InvalidArgument("k must be >= 1");
+  Stopwatch timer;
+
+  // Seed with the best point in the first dimension (the original's start).
+  int seed_row = rows.front();
+  for (int r : rows) {
+    if (data.at(static_cast<size_t>(r), 0) >
+        data.at(static_cast<size_t>(seed_row), 0)) {
+      seed_row = r;
+    }
+  }
+  std::vector<int> solution = {seed_row};
+
+  const int target = std::min<int>(k, static_cast<int>(rows.size()));
+  while (static_cast<int>(solution.size()) < target) {
+    const RegretWitness witness = MaxRegretWitnessLp(data, rows, solution);
+    if (witness.row < 0 || witness.regret <= opts.regret_tolerance) break;
+    solution.push_back(witness.row);
+  }
+
+  // Zero regret (or exhausted witnesses): fill remaining slots.
+  if (static_cast<int>(solution.size()) < target) {
+    for (int r : FillerOrder(data, rows)) {
+      if (static_cast<int>(solution.size()) >= target) break;
+      if (std::find(solution.begin(), solution.end(), r) == solution.end()) {
+        solution.push_back(r);
+      }
+    }
+  }
+
+  Solution out;
+  out.rows = std::move(solution);
+  std::sort(out.rows.begin(), out.rows.end());
+  out.mhr = MhrExactLp(data, rows, out.rows);
+  out.elapsed_ms = timer.ElapsedMillis();
+  out.algorithm = "Greedy";
+  return out;
+}
+
+}  // namespace fairhms

@@ -1,0 +1,104 @@
+#include <algorithm>
+#include <cmath>
+
+#include "algo/baselines.h"
+#include "common/random.h"
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "core/exact_evaluator.h"
+#include "core/net_evaluator.h"
+#include "geom/vec.h"
+#include "utility/utility_net.h"
+
+namespace fairhms {
+
+StatusOr<Solution> SphereAlgo(const Dataset& data,
+                              const std::vector<int>& rows, int k,
+                              const SphereOptions& opts) {
+  if (rows.empty()) return Status::InvalidArgument("empty candidate set");
+  const int d = data.dim();
+  if (k < d) {
+    // The original Sphere seeds with the d per-dimension extremes and cannot
+    // produce smaller solutions; the paper omits its bars in this regime.
+    return Status::InvalidArgument(
+        StrFormat("Sphere requires k >= d (k=%d, d=%d)", k, d));
+  }
+  Stopwatch timer;
+
+  // Phase 1: the "boundary" points — best in each dimension.
+  std::vector<int> solution;
+  for (int j = 0; j < d; ++j) {
+    int best = rows.front();
+    for (int r : rows) {
+      if (data.at(static_cast<size_t>(r), j) >
+          data.at(static_cast<size_t>(best), j)) {
+        best = r;
+      }
+    }
+    if (std::find(solution.begin(), solution.end(), best) == solution.end()) {
+      solution.push_back(best);
+    }
+  }
+
+  // Phase 2: repeatedly serve the worst-covered sampled direction with its
+  // best available point.
+  const size_t m = opts.net_size > 0
+                       ? opts.net_size
+                       : static_cast<size_t>(10) * k * d;
+  Rng rng(opts.seed);
+  const UtilityNet net = UtilityNet::SampleRandom(d, m, &rng);
+  const NetEvaluator eval(&data, &net, rows);
+
+  std::vector<double> cur(m, 0.0);
+  for (int r : solution) {
+    for (size_t j = 0; j < m; ++j) {
+      cur[j] = std::max(cur[j], eval.PointHappiness(j, r));
+    }
+  }
+  std::vector<bool> exhausted(m, false);
+  const int target = std::min<int>(k, static_cast<int>(rows.size()));
+  while (static_cast<int>(solution.size()) < target) {
+    // Worst-served direction that can still improve.
+    int worst = -1;
+    double worst_hr = 2.0;
+    for (size_t j = 0; j < m; ++j) {
+      if (!exhausted[j] && cur[j] < worst_hr) {
+        worst_hr = cur[j];
+        worst = static_cast<int>(j);
+      }
+    }
+    if (worst < 0) break;
+    // Best point for that direction not already selected.
+    int best = -1;
+    double best_h = -1.0;
+    for (int r : rows) {
+      if (std::find(solution.begin(), solution.end(), r) != solution.end()) {
+        continue;
+      }
+      const double h = eval.PointHappiness(static_cast<size_t>(worst), r);
+      if (h > best_h) {
+        best_h = h;
+        best = r;
+      }
+    }
+    if (best < 0 || best_h <= worst_hr + 1e-12) {
+      exhausted[static_cast<size_t>(worst)] = true;
+      continue;
+    }
+    solution.push_back(best);
+    for (size_t j = 0; j < m; ++j) {
+      cur[j] = std::max(cur[j], eval.PointHappiness(j, best));
+    }
+  }
+
+  Solution out;
+  out.rows = std::move(solution);
+  std::sort(out.rows.begin(), out.rows.end());
+  out.mhr = rows.size() <= 4000 ? MhrExactLp(data, rows, out.rows)
+                                : eval.Mhr(out.rows);
+  out.elapsed_ms = timer.ElapsedMillis();
+  out.algorithm = "Sphere";
+  return out;
+}
+
+}  // namespace fairhms

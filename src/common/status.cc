@@ -1,0 +1,41 @@
+#include "common/status.h"
+
+namespace fairhms {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kFailedPrecondition:
+      return "FailedPrecondition";
+    case StatusCode::kOutOfRange:
+      return "OutOfRange";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
+    case StatusCode::kInternal:
+      return "Internal";
+    case StatusCode::kUnimplemented:
+      return "Unimplemented";
+    case StatusCode::kIOError:
+      return "IOError";
+    case StatusCode::kInfeasible:
+      return "Infeasible";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeToString(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace fairhms

@@ -1,0 +1,99 @@
+// Status: lightweight error model used across the FairHMS library.
+//
+// The library never throws exceptions across its public boundary; fallible
+// operations return Status (or StatusOr<T>, see statusor.h) in the style of
+// RocksDB / Abseil.
+
+#ifndef FAIRHMS_COMMON_STATUS_H_
+#define FAIRHMS_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace fairhms {
+
+/// Canonical error codes. Keep the list short; codes describe *who* is at
+/// fault (caller vs environment), not every possible failure.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,   ///< Caller passed malformed input.
+  kNotFound = 2,          ///< Entity (file, group, column) does not exist.
+  kFailedPrecondition = 3,///< Operation not valid in the current state.
+  kOutOfRange = 4,        ///< Index / parameter outside the valid range.
+  kResourceExhausted = 5, ///< Would exceed an explicit memory/size budget.
+  kInternal = 6,          ///< Invariant violation inside the library (a bug).
+  kUnimplemented = 7,     ///< Feature intentionally not supported.
+  kIOError = 8,           ///< Filesystem / parsing failure.
+  kInfeasible = 9,        ///< The optimization instance has no feasible point.
+};
+
+/// Returns the canonical spelling of a code (e.g. "InvalidArgument").
+const char* StatusCodeToString(StatusCode code);
+
+/// Value-semantic error holder. A default-constructed Status is OK.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Infeasible(std::string msg) {
+    return Status(StatusCode::kInfeasible, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+}  // namespace fairhms
+
+/// Early-return helper: propagate a non-OK Status to the caller.
+#define FAIRHMS_RETURN_IF_ERROR(expr)                \
+  do {                                               \
+    ::fairhms::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                       \
+  } while (0)
+
+#endif  // FAIRHMS_COMMON_STATUS_H_

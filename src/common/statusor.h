@@ -1,0 +1,76 @@
+// StatusOr<T>: either a value or an error Status.
+
+#ifndef FAIRHMS_COMMON_STATUSOR_H_
+#define FAIRHMS_COMMON_STATUSOR_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace fairhms {
+
+/// Either holds a T (when status().ok()) or a non-OK Status.
+///
+/// Accessing value() on an error StatusOr is a programming error and aborts
+/// in debug builds; callers must check ok() first (or use value_or()).
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from a value (implicit on purpose, mirrors absl::StatusOr).
+  StatusOr(T value) : status_(Status::OK()), value_(std::move(value)) {}
+
+  /// Constructs from an error. Passing an OK status here is a bug and is
+  /// converted into an Internal error to keep the invariant.
+  StatusOr(Status status) : status_(std::move(status)) {
+    if (status_.ok()) {
+      status_ = Status::Internal("StatusOr constructed from OK status");
+    }
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// Returns the held value or `fallback` when in the error state.
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace fairhms
+
+/// Assigns the value of a StatusOr expression to `lhs` or early-returns the
+/// error. Usage: FAIRHMS_ASSIGN_OR_RETURN(auto x, MakeX());
+#define FAIRHMS_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                  \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = std::move(tmp).value();
+
+#define FAIRHMS_ASSIGN_OR_RETURN_CONCAT(a, b) a##b
+#define FAIRHMS_ASSIGN_OR_RETURN_NAME(a, b) FAIRHMS_ASSIGN_OR_RETURN_CONCAT(a, b)
+#define FAIRHMS_ASSIGN_OR_RETURN(lhs, expr)                                    \
+  FAIRHMS_ASSIGN_OR_RETURN_IMPL(                                               \
+      FAIRHMS_ASSIGN_OR_RETURN_NAME(_statusor_, __LINE__), lhs, expr)
+
+#endif  // FAIRHMS_COMMON_STATUSOR_H_

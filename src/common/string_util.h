@@ -1,0 +1,32 @@
+// Small string helpers shared by the CSV reader and the bench harnesses.
+
+#ifndef FAIRHMS_COMMON_STRING_UTIL_H_
+#define FAIRHMS_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fairhms {
+
+/// Splits `s` on `delim`. Keeps empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Removes ASCII whitespace from both ends.
+std::string_view Trim(std::string_view s);
+
+/// Parses a double; returns false on malformed input or trailing garbage.
+bool ParseDouble(std::string_view s, double* out);
+
+/// Parses a signed 64-bit integer; returns false on malformed input.
+bool ParseInt64(std::string_view s, int64_t* out);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Joins elements with `sep` using operator<< semantics for strings.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+}  // namespace fairhms
+
+#endif  // FAIRHMS_COMMON_STRING_UTIL_H_

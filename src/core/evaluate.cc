@@ -1,0 +1,41 @@
+#include "core/evaluate.h"
+
+#include "common/random.h"
+#include "core/exact_evaluator.h"
+#include "core/net_evaluator.h"
+#include "utility/utility_net.h"
+
+namespace fairhms {
+
+double EvaluateMhr(const Dataset& data, const std::vector<int>& db_rows,
+                   const std::vector<int>& solution, const EvalOptions& opts) {
+  if (solution.empty() || db_rows.empty()) return 0.0;
+  MhrMethod method = opts.method;
+  if (method == MhrMethod::kAuto) {
+    if (data.dim() == 2) {
+      method = MhrMethod::kExact2D;
+    } else if (db_rows.size() <= opts.lp_witness_limit) {
+      method = MhrMethod::kExactLp;
+    } else {
+      method = MhrMethod::kNet;
+    }
+  }
+  switch (method) {
+    case MhrMethod::kExact2D:
+      return MhrExact2D(data, db_rows, solution);
+    case MhrMethod::kExactLp:
+      return MhrExactLp(data, db_rows, solution);
+    case MhrMethod::kNet: {
+      Rng rng(opts.seed);
+      const UtilityNet net =
+          UtilityNet::SampleRandom(data.dim(), opts.net_size, &rng);
+      const NetEvaluator eval(&data, &net, db_rows);
+      return eval.Mhr(solution);
+    }
+    case MhrMethod::kAuto:
+      break;  // Unreachable.
+  }
+  return 0.0;
+}
+
+}  // namespace fairhms

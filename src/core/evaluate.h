@@ -1,0 +1,39 @@
+// Unified solution evaluation used by benches, examples and tests.
+
+#ifndef FAIRHMS_CORE_EVALUATE_H_
+#define FAIRHMS_CORE_EVALUATE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace fairhms {
+
+/// How to measure mhr(S).
+enum class MhrMethod {
+  kAuto,     ///< Exact2D for d = 2; ExactLp for small skylines; Net otherwise.
+  kExact2D,  ///< Geometric envelope evaluator (d = 2 only).
+  kExactLp,  ///< Witness LPs (exact, any d).
+  kNet,      ///< High-resolution random evaluation net (upper bound on mhr).
+};
+
+/// Options for EvaluateMhr.
+struct EvalOptions {
+  MhrMethod method = MhrMethod::kAuto;
+  /// Direction count for MhrMethod::kNet.
+  size_t net_size = 20000;
+  /// kAuto falls back from ExactLp to Net above this witness count.
+  size_t lp_witness_limit = 4000;
+  uint64_t seed = 0xE7A1u;
+};
+
+/// Evaluates mhr(S) against the database represented by `db_rows` (pass the
+/// global skyline). Choice of engine per `opts`.
+double EvaluateMhr(const Dataset& data, const std::vector<int>& db_rows,
+                   const std::vector<int>& solution,
+                   const EvalOptions& opts = {});
+
+}  // namespace fairhms
+
+#endif  // FAIRHMS_CORE_EVALUATE_H_

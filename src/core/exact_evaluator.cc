@@ -1,0 +1,142 @@
+#include "core/exact_evaluator.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "geom/dominance.h"
+#include "geom/vec.h"
+#include "lp/simplex.h"
+
+namespace fairhms {
+
+Envelope2D BuildEnvelope2D(const Dataset& data, const std::vector<int>& rows) {
+  assert(data.dim() == 2);
+  std::vector<IndexedPoint2> pts;
+  pts.reserve(rows.size());
+  for (int r : rows) {
+    pts.push_back({data.at(static_cast<size_t>(r), 0),
+                   data.at(static_cast<size_t>(r), 1), r});
+  }
+  return Envelope2D::Build(pts);
+}
+
+double MhrExact2D(const Dataset& data, const std::vector<int>& db_rows,
+                  const std::vector<int>& solution) {
+  assert(data.dim() == 2);
+  if (solution.empty() || db_rows.empty()) return 0.0;
+  const Envelope2D env_d = BuildEnvelope2D(data, db_rows);
+  const Envelope2D env_s = BuildEnvelope2D(data, solution);
+  return MinHappinessRatio2D(env_d, env_s);
+}
+
+RegretWitness MaxRegretWitnessLp(const Dataset& data,
+                                 const std::vector<int>& db_rows,
+                                 const std::vector<int>& solution) {
+  const int d = data.dim();
+  RegretWitness best;
+  if (db_rows.empty()) return best;
+  if (solution.empty()) {
+    best.row = db_rows.front();
+    best.regret = 1.0;
+    best.utility.assign(static_cast<size_t>(d), 0.0);
+    return best;
+  }
+
+  for (int w : db_rows) {
+    const double* pw = data.point(static_cast<size_t>(w));
+    // Cheap skips: members of S and points weakly dominated by S have
+    // regret 0 and can never be the (positive) maximum.
+    bool skip = false;
+    for (int s : solution) {
+      if (s == w ||
+          WeaklyDominates(data.point(static_cast<size_t>(s)), pw,
+                          static_cast<size_t>(d))) {
+        skip = true;
+        break;
+      }
+    }
+    if (skip) continue;
+    if (SumCoords(pw, static_cast<size_t>(d)) <= 0.0) continue;
+
+    // Variables: u[0..d-1], x. Maximize x.
+    LpProblem lp(d + 1);
+    std::vector<double> obj(static_cast<size_t>(d + 1), 0.0);
+    obj[static_cast<size_t>(d)] = 1.0;
+    lp.SetObjective(obj);
+
+    std::vector<double> row(static_cast<size_t>(d + 1), 0.0);
+    for (int j = 0; j < d; ++j) row[static_cast<size_t>(j)] = pw[j];
+    row[static_cast<size_t>(d)] = 0.0;
+    lp.AddConstraint(row, RelOp::kEq, 1.0);  // <u, w> = 1.
+
+    for (int s : solution) {
+      const double* ps = data.point(static_cast<size_t>(s));
+      for (int j = 0; j < d; ++j) row[static_cast<size_t>(j)] = ps[j];
+      row[static_cast<size_t>(d)] = 1.0;
+      lp.AddConstraint(row, RelOp::kLe, 1.0);  // <u, s> + x <= 1.
+    }
+
+    const LpResult res = lp.Solve();
+    if (res.status != LpStatus::kOptimal) continue;
+    if (res.objective > best.regret) {
+      best.regret = res.objective;
+      best.row = w;
+      best.utility.assign(res.x.begin(), res.x.begin() + d);
+    }
+  }
+  best.regret = std::clamp(best.regret, 0.0, 1.0);
+  return best;
+}
+
+double MhrExactLp(const Dataset& data, const std::vector<int>& db_rows,
+                  const std::vector<int>& solution) {
+  if (solution.empty()) return 0.0;
+  return 1.0 - MaxRegretWitnessLp(data, db_rows, solution).regret;
+}
+
+std::vector<double> AllWitnessRegretsLp(const Dataset& data,
+                                        const std::vector<int>& witnesses,
+                                        const std::vector<int>& solution) {
+  const int d = data.dim();
+  std::vector<double> regrets(witnesses.size(), 0.0);
+  if (solution.empty()) {
+    std::fill(regrets.begin(), regrets.end(), 1.0);
+    return regrets;
+  }
+  std::vector<double> obj(static_cast<size_t>(d + 1), 0.0);
+  obj[static_cast<size_t>(d)] = 1.0;
+  std::vector<double> row(static_cast<size_t>(d + 1), 0.0);
+  for (size_t wi = 0; wi < witnesses.size(); ++wi) {
+    const int w = witnesses[wi];
+    const double* pw = data.point(static_cast<size_t>(w));
+    bool skip = false;
+    for (int s : solution) {
+      if (s == w ||
+          WeaklyDominates(data.point(static_cast<size_t>(s)), pw,
+                          static_cast<size_t>(d))) {
+        skip = true;
+        break;
+      }
+    }
+    if (skip || SumCoords(pw, static_cast<size_t>(d)) <= 0.0) continue;
+
+    LpProblem lp(d + 1);
+    lp.SetObjective(obj);
+    for (int j = 0; j < d; ++j) row[static_cast<size_t>(j)] = pw[j];
+    row[static_cast<size_t>(d)] = 0.0;
+    lp.AddConstraint(row, RelOp::kEq, 1.0);
+    for (int s : solution) {
+      const double* ps = data.point(static_cast<size_t>(s));
+      for (int j = 0; j < d; ++j) row[static_cast<size_t>(j)] = ps[j];
+      row[static_cast<size_t>(d)] = 1.0;
+      lp.AddConstraint(row, RelOp::kLe, 1.0);
+    }
+    const LpResult res = lp.Solve();
+    if (res.status == LpStatus::kOptimal) {
+      regrets[wi] = std::clamp(res.objective, 0.0, 1.0);
+    }
+  }
+  return regrets;
+}
+
+}  // namespace fairhms

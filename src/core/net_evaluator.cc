@@ -1,0 +1,134 @@
+#include "core/net_evaluator.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "geom/vec.h"
+
+namespace fairhms {
+
+namespace {
+constexpr double kDegenerate = 1e-12;
+}  // namespace
+
+NetEvaluator::NetEvaluator(const Dataset* data, const UtilityNet* net,
+                           std::vector<int> db_rows)
+    : data_(data), net_(net), db_rows_(std::move(db_rows)) {
+  assert(data_->dim() == net_->dim());
+  const size_t m = net_->size();
+  const size_t d = static_cast<size_t>(data_->dim());
+  best_.assign(m, 0.0);
+  for (int row : db_rows_) {
+    const double* p = data_->point(static_cast<size_t>(row));
+    for (size_t j = 0; j < m; ++j) {
+      const double s = Dot(net_->vec(j), p, d);
+      if (s > best_[j]) best_[j] = s;
+    }
+  }
+}
+
+double NetEvaluator::PointHappiness(size_t j, int row) const {
+  if (best_[j] <= kDegenerate) return 1.0;
+  const double s =
+      Dot(net_->vec(j), data_->point(static_cast<size_t>(row)),
+          static_cast<size_t>(data_->dim()));
+  return std::min(1.0, s / best_[j]);
+}
+
+void NetEvaluator::PointHappinessRow(int row, double* out) const {
+  const size_t m = net_->size();
+  const double* cached = cached_row(row);
+  if (cached != nullptr) {
+    std::copy(cached, cached + m, out);
+    return;
+  }
+  for (size_t j = 0; j < m; ++j) out[j] = PointHappiness(j, row);
+}
+
+double NetEvaluator::Hr(size_t j, const std::vector<int>& rows) const {
+  double best = 0.0;
+  for (int row : rows) best = std::max(best, PointHappiness(j, row));
+  return best;
+}
+
+double NetEvaluator::Mhr(const std::vector<int>& rows) const {
+  if (rows.empty()) return 0.0;
+  const size_t m = net_->size();
+  double mhr = 1.0;
+  for (size_t j = 0; j < m; ++j) {
+    mhr = std::min(mhr, Hr(j, rows));
+    if (mhr <= 0.0) break;
+  }
+  return mhr;
+}
+
+void NetEvaluator::CacheCandidates(const std::vector<int>& rows,
+                                   size_t max_entries) {
+  const size_t m = net_->size();
+  if (rows.size() * m > max_entries) return;
+  cache_offset_.assign(data_->size(), -1);
+  cache_.resize(rows.size() * m);
+  size_t off = 0;
+  for (int row : rows) {
+    cache_offset_[static_cast<size_t>(row)] = static_cast<int64_t>(off);
+    for (size_t j = 0; j < m; ++j) {
+      cache_[off + j] = PointHappiness(j, row);
+    }
+    off += m;
+  }
+}
+
+TruncatedMhrState::TruncatedMhrState(const NetEvaluator* eval)
+    : eval_(eval),
+      cur_(eval->net_size(), 0.0),
+      scratch_(eval->net_size(), 0.0) {}
+
+void TruncatedMhrState::Reset() { std::fill(cur_.begin(), cur_.end(), 0.0); }
+
+double TruncatedMhrState::MarginalGain(int row, double tau) const {
+  const size_t m = cur_.size();
+  const double* hrow = eval_->cached_row(row);
+  double gain = 0.0;
+  if (hrow != nullptr) {
+    for (size_t j = 0; j < m; ++j) {
+      const double before = std::min(cur_[j], tau);
+      const double after = std::min(std::max(cur_[j], hrow[j]), tau);
+      gain += after - before;
+    }
+  } else {
+    for (size_t j = 0; j < m; ++j) {
+      const double before = std::min(cur_[j], tau);
+      if (before >= tau) continue;  // Already capped; no possible gain.
+      const double h = eval_->PointHappiness(j, row);
+      const double after = std::min(std::max(cur_[j], h), tau);
+      gain += after - before;
+    }
+  }
+  return gain / static_cast<double>(m);
+}
+
+void TruncatedMhrState::Add(int row) {
+  const size_t m = cur_.size();
+  const double* hrow = eval_->cached_row(row);
+  if (hrow != nullptr) {
+    for (size_t j = 0; j < m; ++j) cur_[j] = std::max(cur_[j], hrow[j]);
+  } else {
+    for (size_t j = 0; j < m; ++j) {
+      cur_[j] = std::max(cur_[j], eval_->PointHappiness(j, row));
+    }
+  }
+}
+
+double TruncatedMhrState::TruncatedValue(double tau) const {
+  double sum = 0.0;
+  for (double c : cur_) sum += std::min(c, tau);
+  return sum / static_cast<double>(cur_.size());
+}
+
+double TruncatedMhrState::NetMhr() const {
+  double mhr = 1.0;
+  for (double c : cur_) mhr = std::min(mhr, c);
+  return mhr;
+}
+
+}  // namespace fairhms

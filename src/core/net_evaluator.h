@@ -1,0 +1,97 @@
+// Net-based happiness evaluation: happiness ratios measured against a finite
+// utility net N instead of the continuous sphere (Lemma 4.1 bounds the gap).
+
+#ifndef FAIRHMS_CORE_NET_EVALUATOR_H_
+#define FAIRHMS_CORE_NET_EVALUATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "utility/utility_net.h"
+
+namespace fairhms {
+
+/// Precomputes, per net direction, the best database score (the happiness
+/// denominators), and answers hr / mhr queries against the net.
+///
+/// `db_rows` defines the denominator population — pass the global skyline
+/// (scores of dominated points never attain the max, so this is exact).
+class NetEvaluator {
+ public:
+  NetEvaluator(const Dataset* data, const UtilityNet* net,
+               std::vector<int> db_rows);
+
+  const Dataset& data() const { return *data_; }
+  const UtilityNet& net() const { return *net_; }
+  size_t net_size() const { return net_->size(); }
+
+  /// Best database score for direction j (denominator).
+  double best(size_t j) const { return best_[j]; }
+
+  /// Happiness of a single point under direction j:
+  /// <u_j, p> / best(j), clamped to [0, 1]; 1 on degenerate directions.
+  double PointHappiness(size_t j, int row) const;
+
+  /// Fills out[0..m) with the happiness of `row` under every direction.
+  void PointHappinessRow(int row, double* out) const;
+
+  /// hr(u_j, S): best happiness among S under direction j (0 if S empty).
+  double Hr(size_t j, const std::vector<int>& rows) const;
+
+  /// mhr(S | N): minimum over the net of Hr.
+  double Mhr(const std::vector<int>& rows) const;
+
+  /// Optionally caches the happiness rows of the given candidate rows for
+  /// O(m) lookups inside greedy loops. Caching is skipped when it would
+  /// exceed `max_entries` matrix cells.
+  void CacheCandidates(const std::vector<int>& rows,
+                       size_t max_entries = 40'000'000);
+
+  /// Cached happiness row of `row`, or nullptr when not cached.
+  const double* cached_row(int row) const {
+    if (cache_offset_.empty()) return nullptr;
+    const int64_t off = cache_offset_[static_cast<size_t>(row)];
+    return off < 0 ? nullptr : &cache_[static_cast<size_t>(off)];
+  }
+
+ private:
+  const Dataset* data_;
+  const UtilityNet* net_;
+  std::vector<int> db_rows_;
+  std::vector<double> best_;
+  std::vector<int64_t> cache_offset_;  // Per dataset row; -1 = not cached.
+  std::vector<double> cache_;          // Concatenated happiness rows.
+};
+
+/// Incremental state for greedy maximization of the truncated MHR
+///   mhr_tau(S | N) = (1/m) * sum_j min(hr(u_j, S), tau)
+/// (monotone submodular for any cap tau; paper Lemma 4.3).
+class TruncatedMhrState {
+ public:
+  explicit TruncatedMhrState(const NetEvaluator* eval);
+
+  /// Clears back to the empty set.
+  void Reset();
+
+  /// mhr_tau gain of adding `row` to the current set.
+  double MarginalGain(int row, double tau) const;
+
+  /// Commits `row` into the current set.
+  void Add(int row);
+
+  /// Current truncated value mhr_tau(S | N).
+  double TruncatedValue(double tau) const;
+
+  /// Current (untruncated) net mhr: min_j hr(u_j, S).
+  double NetMhr() const;
+
+ private:
+  const NetEvaluator* eval_;
+  std::vector<double> cur_;  // Best happiness per direction over current S.
+  mutable std::vector<double> scratch_;
+};
+
+}  // namespace fairhms
+
+#endif  // FAIRHMS_CORE_NET_EVALUATOR_H_

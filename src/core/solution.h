@@ -1,0 +1,25 @@
+// Solution: the output of every FairHMS / HMS algorithm.
+
+#ifndef FAIRHMS_CORE_SOLUTION_H_
+#define FAIRHMS_CORE_SOLUTION_H_
+
+#include <string>
+#include <vector>
+
+namespace fairhms {
+
+/// A selected subset plus bookkeeping. `rows` index the original dataset.
+struct Solution {
+  std::vector<int> rows;
+  /// Minimum happiness ratio as evaluated by the producing algorithm (its
+  /// internal estimate; benches re-evaluate with a reference evaluator).
+  double mhr = 0.0;
+  /// Wall-clock of the solve in milliseconds (filled by the algorithms).
+  double elapsed_ms = 0.0;
+  /// Producing algorithm, e.g. "IntCov", "BiGreedy+".
+  std::string algorithm;
+};
+
+}  // namespace fairhms
+
+#endif  // FAIRHMS_CORE_SOLUTION_H_

@@ -1,0 +1,129 @@
+#include "data/csv.h"
+
+#include <fstream>
+#include <map>
+
+#include "common/string_util.h"
+
+namespace fairhms {
+
+StatusOr<Dataset> ReadCsv(const std::string& path,
+                          const CsvReadOptions& opts) {
+  if (opts.numeric_columns.empty()) {
+    return Status::InvalidArgument("numeric_columns must not be empty");
+  }
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open '" + path + "'");
+
+  std::string line;
+  if (!std::getline(in, line)) return Status::IOError("empty file: " + path);
+  const std::vector<std::string> header = Split(line, opts.delimiter);
+
+  auto find_col = [&](const std::string& name) -> int {
+    for (size_t i = 0; i < header.size(); ++i) {
+      if (std::string(Trim(header[i])) == name) return static_cast<int>(i);
+    }
+    return -1;
+  };
+
+  std::vector<int> num_idx;
+  for (const auto& name : opts.numeric_columns) {
+    const int idx = find_col(name);
+    if (idx < 0) return Status::NotFound("numeric column '" + name + "' not in header");
+    num_idx.push_back(idx);
+  }
+  std::vector<int> cat_idx;
+  for (const auto& name : opts.categorical_columns) {
+    const int idx = find_col(name);
+    if (idx < 0) return Status::NotFound("categorical column '" + name + "' not in header");
+    cat_idx.push_back(idx);
+  }
+
+  Dataset data(opts.numeric_columns);
+  std::vector<std::map<std::string, int>> label_maps(cat_idx.size());
+  for (const auto& name : opts.categorical_columns) {
+    data.AddCategoricalColumn(name, {});
+  }
+
+  // Labels are registered lazily; collect codes and labels, then rebuild.
+  std::vector<std::vector<std::string>> labels(cat_idx.size());
+  std::vector<double> coords(num_idx.size());
+  std::vector<int> codes(cat_idx.size());
+  size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (Trim(line).empty()) continue;
+    const std::vector<std::string> cells = Split(line, opts.delimiter);
+    bool ok = true;
+    for (size_t j = 0; j < num_idx.size(); ++j) {
+      const size_t c = static_cast<size_t>(num_idx[j]);
+      if (c >= cells.size() || !ParseDouble(cells[c], &coords[j])) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) {
+      if (opts.skip_bad_rows) continue;
+      return Status::IOError(
+          StrFormat("unparsable numeric cell on line %zu of %s", line_no,
+                    path.c_str()));
+    }
+    for (size_t j = 0; j < cat_idx.size(); ++j) {
+      const size_t c = static_cast<size_t>(cat_idx[j]);
+      const std::string cell =
+          c < cells.size() ? std::string(Trim(cells[c])) : std::string("?");
+      auto [it, inserted] =
+          label_maps[j].emplace(cell, static_cast<int>(label_maps[j].size()));
+      if (inserted) labels[j].push_back(cell);
+      codes[j] = it->second;
+    }
+    data.AddRow(coords, codes);
+  }
+
+  // Install collected labels. AddRow stored the codes already; rebuild the
+  // categorical columns with proper label tables.
+  Dataset out(opts.numeric_columns);
+  for (size_t j = 0; j < cat_idx.size(); ++j) {
+    out.AddCategoricalColumn(opts.categorical_columns[j], labels[j]);
+  }
+  out.Reserve(data.size());
+  std::vector<int> row_codes(cat_idx.size());
+  for (size_t i = 0; i < data.size(); ++i) {
+    std::vector<double> c(data.point(i), data.point(i) + data.dim());
+    for (size_t j = 0; j < cat_idx.size(); ++j) {
+      row_codes[j] = data.categorical(static_cast<int>(j)).codes[i];
+    }
+    out.AddRow(c, row_codes);
+  }
+  return out;
+}
+
+Status WriteCsv(const Dataset& data, const std::string& path, char delimiter) {
+  std::ofstream outf(path);
+  if (!outf) return Status::IOError("cannot open '" + path + "' for writing");
+  // Header.
+  for (int j = 0; j < data.dim(); ++j) {
+    if (j > 0) outf << delimiter;
+    outf << data.attr_names()[static_cast<size_t>(j)];
+  }
+  for (int c = 0; c < data.num_categorical(); ++c) {
+    outf << delimiter << data.categorical(c).name;
+  }
+  outf << '\n';
+  // Rows.
+  for (size_t i = 0; i < data.size(); ++i) {
+    for (int j = 0; j < data.dim(); ++j) {
+      if (j > 0) outf << delimiter;
+      outf << data.at(i, j);
+    }
+    for (int c = 0; c < data.num_categorical(); ++c) {
+      const auto& col = data.categorical(c);
+      outf << delimiter << col.labels[static_cast<size_t>(col.codes[i])];
+    }
+    outf << '\n';
+  }
+  if (!outf) return Status::IOError("write failed for '" + path + "'");
+  return Status::OK();
+}
+
+}  // namespace fairhms

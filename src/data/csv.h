@@ -1,0 +1,41 @@
+// CSV import/export for datasets.
+//
+// The generators in data/generators.h are the offline default; this reader
+// exists so the library can run on the *real* Lawschs / Adult / Compas /
+// Credit files when a user supplies them (see examples/ for the schemas).
+
+#ifndef FAIRHMS_DATA_CSV_H_
+#define FAIRHMS_DATA_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "data/dataset.h"
+
+namespace fairhms {
+
+/// Options for ReadCsv.
+struct CsvReadOptions {
+  char delimiter = ',';
+  /// Header names of the columns to load as numeric attributes, in the order
+  /// they should appear in the dataset. Must be non-empty.
+  std::vector<std::string> numeric_columns;
+  /// Header names of the columns to load as categorical columns. Distinct
+  /// cell strings become labels in first-seen order.
+  std::vector<std::string> categorical_columns;
+  /// Rows with unparsable numeric cells are skipped when true (otherwise the
+  /// read fails).
+  bool skip_bad_rows = false;
+};
+
+/// Reads a headered CSV file into a Dataset.
+StatusOr<Dataset> ReadCsv(const std::string& path, const CsvReadOptions& opts);
+
+/// Writes the dataset (numeric and categorical columns) as a headered CSV.
+Status WriteCsv(const Dataset& data, const std::string& path,
+                char delimiter = ',');
+
+}  // namespace fairhms
+
+#endif  // FAIRHMS_DATA_CSV_H_

@@ -1,0 +1,146 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "common/string_util.h"
+
+namespace fairhms {
+
+Dataset::Dataset(int dim) : dim_(dim) {
+  assert(dim >= 1);
+  attr_names_.reserve(static_cast<size_t>(dim));
+  for (int j = 0; j < dim; ++j) {
+    attr_names_.push_back(StrFormat("attr%d", j));
+  }
+}
+
+Dataset::Dataset(std::vector<std::string> attr_names)
+    : dim_(static_cast<int>(attr_names.size())),
+      attr_names_(std::move(attr_names)) {
+  assert(dim_ >= 1);
+}
+
+void Dataset::Reserve(size_t n) {
+  values_.reserve(n * static_cast<size_t>(dim_));
+  for (auto& c : cats_) c.codes.reserve(n);
+}
+
+void Dataset::AddPoint(const std::vector<double>& coords) {
+  assert(static_cast<int>(coords.size()) == dim_);
+  values_.insert(values_.end(), coords.begin(), coords.end());
+  for (auto& c : cats_) c.codes.push_back(0);
+  ++n_;
+}
+
+void Dataset::AddRow(const std::vector<double>& coords,
+                     const std::vector<int>& codes) {
+  assert(static_cast<int>(coords.size()) == dim_);
+  assert(codes.size() == cats_.size());
+  values_.insert(values_.end(), coords.begin(), coords.end());
+  for (size_t c = 0; c < cats_.size(); ++c) cats_[c].codes.push_back(codes[c]);
+  ++n_;
+}
+
+int Dataset::AddCategoricalColumn(std::string name,
+                                  std::vector<std::string> labels) {
+  CategoricalColumn col;
+  col.name = std::move(name);
+  col.labels = std::move(labels);
+  col.codes.assign(n_, 0);
+  cats_.push_back(std::move(col));
+  return static_cast<int>(cats_.size()) - 1;
+}
+
+StatusOr<int> Dataset::FindCategorical(const std::string& name) const {
+  for (size_t c = 0; c < cats_.size(); ++c) {
+    if (cats_[c].name == name) return static_cast<int>(c);
+  }
+  return Status::NotFound("no categorical column named '" + name + "'");
+}
+
+Status Dataset::Validate() const {
+  for (size_t i = 0; i < n_; ++i) {
+    for (int j = 0; j < dim_; ++j) {
+      const double v = at(i, j);
+      if (!std::isfinite(v)) {
+        return Status::InvalidArgument(
+            StrFormat("non-finite value at row %zu attr %d", i, j));
+      }
+      if (v < 0.0) {
+        return Status::InvalidArgument(
+            StrFormat("negative value %g at row %zu attr %d (FairHMS assumes "
+                      "nonnegative attributes; normalize first)",
+                      v, i, j));
+      }
+    }
+  }
+  for (const auto& c : cats_) {
+    if (c.codes.size() != n_) {
+      return Status::Internal("categorical column '" + c.name +
+                              "' has wrong length");
+    }
+    for (int code : c.codes) {
+      if (code < 0 || static_cast<size_t>(code) >= c.labels.size()) {
+        return Status::InvalidArgument("categorical code out of range in '" +
+                                       c.name + "'");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Dataset Dataset::NormalizedMinMax() const {
+  Dataset out = *this;
+  for (int j = 0; j < dim_; ++j) {
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < n_; ++i) {
+      lo = std::min(lo, at(i, j));
+      hi = std::max(hi, at(i, j));
+    }
+    const double span = hi - lo;
+    for (size_t i = 0; i < n_; ++i) {
+      double& v = out.values_[i * static_cast<size_t>(dim_) + static_cast<size_t>(j)];
+      v = span > 0 ? (v - lo) / span : 1.0;
+    }
+  }
+  return out;
+}
+
+Dataset Dataset::ScaledByMax() const {
+  Dataset out = *this;
+  for (int j = 0; j < dim_; ++j) {
+    double hi = 0.0;
+    for (size_t i = 0; i < n_; ++i) hi = std::max(hi, at(i, j));
+    for (size_t i = 0; i < n_; ++i) {
+      double& v = out.values_[i * static_cast<size_t>(dim_) + static_cast<size_t>(j)];
+      v = hi > 0 ? v / hi : 0.0;
+    }
+  }
+  return out;
+}
+
+Dataset Dataset::Subset(const std::vector<int>& rows) const {
+  Dataset out(attr_names_);
+  for (const auto& c : cats_) {
+    out.AddCategoricalColumn(c.name, c.labels);
+  }
+  out.Reserve(rows.size());
+  std::vector<double> coords(static_cast<size_t>(dim_));
+  std::vector<int> codes(cats_.size());
+  for (int r : rows) {
+    assert(r >= 0 && static_cast<size_t>(r) < n_);
+    const double* p = point(static_cast<size_t>(r));
+    std::copy(p, p + dim_, coords.begin());
+    for (size_t c = 0; c < cats_.size(); ++c) {
+      codes[c] = cats_[c].codes[static_cast<size_t>(r)];
+    }
+    out.AddRow(coords, codes);
+  }
+  return out;
+}
+
+}  // namespace fairhms

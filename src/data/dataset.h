@@ -1,0 +1,95 @@
+// Dataset: flat row-major storage of n points with d nonnegative numeric
+// attributes plus any number of categorical (demographic) columns.
+//
+// Numeric attributes drive scoring; categorical columns define the fairness
+// groups (see data/grouping.h). Algorithms reference points by row index so
+// that solutions remain meaningful against the original table.
+
+#ifndef FAIRHMS_DATA_DATASET_H_
+#define FAIRHMS_DATA_DATASET_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/statusor.h"
+
+namespace fairhms {
+
+/// A categorical column: per-row integer codes plus human-readable labels.
+struct CategoricalColumn {
+  std::string name;
+  std::vector<int> codes;           ///< Size n; values in [0, labels.size()).
+  std::vector<std::string> labels;  ///< Code -> display name.
+};
+
+/// In-memory table of points. Copyable; cheap moves.
+class Dataset {
+ public:
+  /// Creates an empty dataset with `dim` numeric attributes (dim >= 1).
+  explicit Dataset(int dim);
+
+  /// Creates with explicit attribute names (dim = names.size()).
+  explicit Dataset(std::vector<std::string> attr_names);
+
+  /// Pre-allocates storage for n rows.
+  void Reserve(size_t n);
+
+  /// Appends a row; `coords` must hold exactly dim() values. Categorical
+  /// codes for existing columns must be appended separately via
+  /// AppendCategorical (or use AddRow).
+  void AddPoint(const std::vector<double>& coords);
+
+  /// Appends a row together with codes for every categorical column
+  /// (codes.size() must equal num_categorical()).
+  void AddRow(const std::vector<double>& coords, const std::vector<int>& codes);
+
+  /// Declares a categorical column. Must be called before rows carry codes
+  /// for it; existing rows receive code 0.
+  /// Returns the column's index.
+  int AddCategoricalColumn(std::string name, std::vector<std::string> labels);
+
+  size_t size() const { return n_; }
+  int dim() const { return dim_; }
+
+  /// Pointer to row i's numeric attributes (dim() doubles).
+  const double* point(size_t i) const { return &values_[i * static_cast<size_t>(dim_)]; }
+  double at(size_t i, int j) const { return values_[i * static_cast<size_t>(dim_) + static_cast<size_t>(j)]; }
+
+  const std::vector<std::string>& attr_names() const { return attr_names_; }
+
+  int num_categorical() const { return static_cast<int>(cats_.size()); }
+  const CategoricalColumn& categorical(int c) const { return cats_[static_cast<size_t>(c)]; }
+  /// Finds a categorical column by name.
+  StatusOr<int> FindCategorical(const std::string& name) const;
+
+  /// Validates that every numeric value is finite and nonnegative and all
+  /// categorical codes are within range.
+  Status Validate() const;
+
+  /// Returns a copy with every numeric attribute min-max scaled to [0, 1]
+  /// (the paper's normalization; larger preferred). Constant columns map
+  /// to 1.0 so that they never dominate the happiness ratio artificially.
+  Dataset NormalizedMinMax() const;
+
+  /// Returns a copy with every numeric attribute divided by its maximum
+  /// (scale-invariant alternative normalization). Nonpositive-max columns
+  /// map to 0.
+  Dataset ScaledByMax() const;
+
+  /// Returns the subset given by `rows` (row order preserved, categorical
+  /// columns carried over). Out-of-range rows are a programming error.
+  Dataset Subset(const std::vector<int>& rows) const;
+
+ private:
+  int dim_;
+  size_t n_ = 0;
+  std::vector<double> values_;
+  std::vector<std::string> attr_names_;
+  std::vector<CategoricalColumn> cats_;
+};
+
+}  // namespace fairhms
+
+#endif  // FAIRHMS_DATA_DATASET_H_

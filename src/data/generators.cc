@@ -1,0 +1,226 @@
+#include "data/generators.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace fairhms {
+
+namespace {
+
+double Clamp(double v, double lo, double hi) {
+  return std::min(hi, std::max(lo, v));
+}
+
+/// Truncated normal by resampling (falls back to clamping after a few
+/// tries; adequate for data synthesis).
+double TruncNormal(Rng* rng, double mean, double sd, double lo, double hi) {
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    const double v = rng->Normal(mean, sd);
+    if (v >= lo && v <= hi) return v;
+  }
+  return Clamp(rng->Normal(mean, sd), lo, hi);
+}
+
+}  // namespace
+
+Dataset GenAntiCorrelated(size_t n, int d, Rng* rng, double jitter) {
+  assert(d >= 2);
+  Dataset data(d);
+  data.Reserve(n);
+  std::vector<double> x(static_cast<size_t>(d));
+  while (data.size() < n) {
+    // Sample around the simplex-like plane sum(x) = d/2, then re-center so
+    // the sum is exact, add jitter, and reject anything outside [0,1]^d.
+    double sum = 0.0;
+    for (int j = 0; j < d; ++j) {
+      x[static_cast<size_t>(j)] = rng->Normal(0.5, 0.25);
+      sum += x[static_cast<size_t>(j)];
+    }
+    const double shift = 0.5 - sum / d;
+    bool ok = true;
+    for (int j = 0; j < d; ++j) {
+      double v = x[static_cast<size_t>(j)] + shift;
+      if (jitter > 0) v += rng->Normal(0.0, jitter);
+      if (v < 0.0 || v > 1.0) {
+        ok = false;
+        break;
+      }
+      x[static_cast<size_t>(j)] = v;
+    }
+    if (ok) data.AddPoint(x);
+  }
+  return data;
+}
+
+Dataset GenIndependent(size_t n, int d, Rng* rng) {
+  Dataset data(d);
+  data.Reserve(n);
+  std::vector<double> x(static_cast<size_t>(d));
+  for (size_t i = 0; i < n; ++i) {
+    for (int j = 0; j < d; ++j) x[static_cast<size_t>(j)] = rng->Uniform();
+    data.AddPoint(x);
+  }
+  return data;
+}
+
+Dataset GenCorrelated(size_t n, int d, Rng* rng, double noise) {
+  Dataset data(d);
+  data.Reserve(n);
+  std::vector<double> x(static_cast<size_t>(d));
+  for (size_t i = 0; i < n; ++i) {
+    const double base = rng->Uniform();
+    for (int j = 0; j < d; ++j) {
+      x[static_cast<size_t>(j)] = Clamp(base + rng->Normal(0.0, noise), 0.0, 1.0);
+    }
+    data.AddPoint(x);
+  }
+  return data;
+}
+
+Dataset MakeLawschsSim(Rng* rng, size_t n) {
+  Dataset data(std::vector<std::string>{"lsat", "gpa"});
+  data.AddCategoricalColumn("gender", {"Female", "Male"});
+  data.AddCategoricalColumn(
+      "race", {"White", "Black", "Hispanic", "Asian", "Other"});
+  data.Reserve(n);
+
+  const std::vector<double> race_probs = {0.76, 0.07, 0.08, 0.07, 0.02};
+  // Group-conditional LSAT means (points on the 120-180 scale); the gaps
+  // reproduce the skewed representation at the top of the score range that
+  // makes unconstrained HMS solutions unfair.
+  const double race_lsat_mean[] = {153.0, 142.5, 146.5, 152.0, 149.0};
+  const double race_gpa_shift[] = {0.00, -0.25, -0.15, 0.02, -0.08};
+
+  std::vector<double> x(2);
+  std::vector<int> codes(2);
+  for (size_t i = 0; i < n; ++i) {
+    const int race = static_cast<int>(rng->Categorical(race_probs));
+    const int male = rng->Bernoulli(0.56) ? 1 : 0;
+    const double lsat =
+        TruncNormal(rng, race_lsat_mean[race] + (male ? 1.5 : 0.0), 8.0,
+                    120.0, 180.0);
+    const double z = (lsat - 150.0) / 8.0;
+    const double gpa =
+        TruncNormal(rng,
+                    3.05 + 0.22 * z + race_gpa_shift[race] +
+                        (male ? -0.06 : 0.04),
+                    0.32, 0.0, 4.0);
+    x[0] = lsat;
+    x[1] = gpa;
+    codes[0] = male;
+    codes[1] = race;
+    data.AddRow(x, codes);
+  }
+  return data;
+}
+
+Dataset MakeAdultSim(Rng* rng, size_t n) {
+  Dataset data(std::vector<std::string>{"education_years", "capital_gain",
+                                        "capital_loss", "hours_per_week",
+                                        "overall_weight"});
+  data.AddCategoricalColumn("gender", {"Female", "Male"});
+  data.AddCategoricalColumn(
+      "race", {"White", "Black", "Asian-Pac", "Amer-Indian", "Other"});
+  data.Reserve(n);
+
+  const std::vector<double> race_probs = {0.854, 0.096, 0.031, 0.010, 0.009};
+  std::vector<double> x(5);
+  std::vector<int> codes(2);
+  for (size_t i = 0; i < n; ++i) {
+    const int male = rng->Bernoulli(0.669) ? 1 : 0;
+    const int race = static_cast<int>(rng->Categorical(race_probs));
+    const double race_edu_shift = (race == 2) ? 1.0 : (race == 0 ? 0.2 : -0.6);
+    x[0] = TruncNormal(rng, 10.0 + (male ? 0.2 : 0.0) + race_edu_shift, 2.6,
+                       1.0, 16.0);
+    // Capital gain/loss: mostly zero, heavy-tailed otherwise; males draw
+    // nonzero gains about twice as often — the main unfairness driver.
+    const double gain_p = male ? 0.10 : 0.05;
+    x[1] = rng->Bernoulli(gain_p)
+               ? Clamp(std::exp(rng->Normal(8.3, 1.1)), 100.0, 99999.0)
+               : 0.0;
+    x[2] = rng->Bernoulli(0.047)
+               ? Clamp(std::exp(rng->Normal(7.45, 0.45)), 100.0, 4356.0)
+               : 0.0;
+    x[3] = rng->Bernoulli(0.42)
+               ? 40.0
+               : TruncNormal(rng, male ? 43.0 : 37.0, 11.5, 1.0, 99.0);
+    x[4] = std::exp(rng->Normal(12.06, 0.48));  // fnlwgt-like weight.
+    codes[0] = male;
+    codes[1] = race;
+    data.AddRow(x, codes);
+  }
+  return data;
+}
+
+Dataset MakeCompasSim(Rng* rng, size_t n) {
+  Dataset data(std::vector<std::string>{
+      "age", "juv_fel_count", "juv_misd_count", "juv_other_count",
+      "priors_count", "days_b_screening", "days_from_compas", "decile_score",
+      "v_decile_score"});
+  data.AddCategoricalColumn("gender", {"Female", "Male"});
+  data.AddCategoricalColumn("isRecid", {"No", "Yes"});
+  data.Reserve(n);
+
+  std::vector<double> x(9);
+  std::vector<int> codes(2);
+  for (size_t i = 0; i < n; ++i) {
+    const int male = rng->Bernoulli(0.81) ? 1 : 0;
+    x[0] = Clamp(18.0 + rng->Exponential(1.0 / 11.0), 18.0, 83.0);  // age
+    x[1] = rng->Poisson(0.06);                                      // juv fel
+    x[2] = rng->Poisson(0.09);                                      // juv misd
+    x[3] = rng->Poisson(0.10);                                      // juv other
+    const double priors = std::floor(rng->Exponential(1.0 / 3.2));
+    x[4] = Clamp(priors, 0.0, 38.0);
+    x[5] = Clamp(std::fabs(rng->Normal(0.0, 60.0)), 0.0, 1057.0);
+    x[6] = Clamp(rng->Exponential(1.0 / 95.0), 0.0, 9485.0);
+    // Risk scores: grow with priors, shrink with age; male offset.
+    const double risk =
+        2.8 + 0.55 * x[4] - 0.055 * (x[0] - 18.0) + (male ? 0.4 : 0.0);
+    x[7] = Clamp(std::round(TruncNormal(rng, risk, 2.2, 1.0, 10.0)), 1.0, 10.0);
+    x[8] = Clamp(std::round(TruncNormal(rng, risk - 0.3, 2.4, 1.0, 10.0)), 1.0,
+                 10.0);
+    const double recid_p = Clamp(0.16 + 0.052 * x[7], 0.0, 0.92);
+    codes[0] = male;
+    codes[1] = rng->Bernoulli(recid_p) ? 1 : 0;
+    data.AddRow(x, codes);
+  }
+  return data;
+}
+
+Dataset MakeCreditSim(Rng* rng, size_t n) {
+  Dataset data(std::vector<std::string>{
+      "duration", "credit_amount", "installment_rate", "present_residence",
+      "age", "existing_credits", "num_dependents"});
+  data.AddCategoricalColumn("housing", {"own", "rent", "free"});
+  data.AddCategoricalColumn(
+      "job", {"unskilled_nonres", "unskilled", "skilled", "management"});
+  data.AddCategoricalColumn(
+      "working_years", {"unemployed", "lt1", "1to4", "4to7", "ge7"});
+  data.Reserve(n);
+
+  const std::vector<double> housing_probs = {0.71, 0.18, 0.11};
+  const std::vector<double> job_probs = {0.02, 0.20, 0.63, 0.15};
+  const std::vector<double> wy_probs = {0.06, 0.17, 0.34, 0.17, 0.26};
+
+  std::vector<double> x(7);
+  std::vector<int> codes(3);
+  for (size_t i = 0; i < n; ++i) {
+    const int job = static_cast<int>(rng->Categorical(job_probs));
+    x[0] = Clamp(std::round(rng->Exponential(1.0 / 20.0)) + 4.0, 4.0, 72.0);
+    x[1] = Clamp(std::exp(rng->Normal(7.9 + 0.25 * job, 0.75)), 250.0,
+                 18424.0);
+    x[2] = 1.0 + static_cast<double>(rng->UniformInt(4));
+    x[3] = 1.0 + static_cast<double>(rng->UniformInt(4));
+    x[4] = Clamp(19.0 + rng->Exponential(1.0 / 14.0), 19.0, 75.0);
+    x[5] = 1.0 + static_cast<double>(rng->Poisson(0.41));
+    x[6] = rng->Bernoulli(0.155) ? 2.0 : 1.0;
+    codes[0] = static_cast<int>(rng->Categorical(housing_probs));
+    codes[1] = job;
+    codes[2] = static_cast<int>(rng->Categorical(wy_probs));
+    data.AddRow(x, codes);
+  }
+  return data;
+}
+
+}  // namespace fairhms

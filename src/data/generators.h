@@ -1,0 +1,58 @@
+// Synthetic dataset generators.
+//
+// * GenAntiCorrelated / GenIndependent / GenCorrelated reproduce the classic
+//   skyline-benchmark distributions of Boerzsoenyi et al. (ICDE'01), which
+//   the paper uses for its synthetic experiments.
+// * Make{Lawschs,Adult,Compas,Credit}Sim are *statistical replicas* of the
+//   four real datasets in the paper's Table 2 (see DESIGN.md, substitutions):
+//   same dimensionality, cardinality, group structure and skew, and the same
+//   qualitative skyline scale. When the real CSVs are available, load them
+//   with data/csv.h instead.
+//
+// All generators return raw-scale data; call Dataset::NormalizedMinMax()
+// before feeding algorithms (as the paper normalizes each attribute to
+// [0, 1]).
+
+#ifndef FAIRHMS_DATA_GENERATORS_H_
+#define FAIRHMS_DATA_GENERATORS_H_
+
+#include <cstddef>
+
+#include "common/random.h"
+#include "data/dataset.h"
+
+namespace fairhms {
+
+/// Anti-correlated points: good in one attribute implies bad in others.
+/// Points concentrate near the hyperplane sum(x) = d/2 (plus `jitter`
+/// noise), so almost every point is on the skyline — the hard case for
+/// representative selection (Table 2 reports 0.9n..n skyline sizes).
+Dataset GenAntiCorrelated(size_t n, int d, Rng* rng, double jitter = 0.05);
+
+/// Independent uniform points in [0, 1]^d.
+Dataset GenIndependent(size_t n, int d, Rng* rng);
+
+/// Correlated points: a common base value plus small independent noise;
+/// skylines are tiny.
+Dataset GenCorrelated(size_t n, int d, Rng* rng, double noise = 0.15);
+
+/// LSAC law-school replica. d = 2 (LSAT, GPA; positively correlated),
+/// categorical columns "gender" (C = 2) and "race" (C = 5).
+Dataset MakeLawschsSim(Rng* rng, size_t n = 65494);
+
+/// UCI Adult replica. d = 5 (education_years, capital_gain, capital_loss,
+/// hours_per_week, overall_weight), categorical "gender" (C = 2) and
+/// "race" (C = 5); gender x race yields the paper's C = 10 "G+R" partition.
+Dataset MakeAdultSim(Rng* rng, size_t n = 32561);
+
+/// ProPublica Compas replica. d = 9 score-like attributes, categorical
+/// "gender" (C = 2) and "isRecid" (C = 2); the product is the C = 4 "G+iR".
+Dataset MakeCompasSim(Rng* rng, size_t n = 4743);
+
+/// German-credit replica. d = 7, categorical "housing" (C = 3), "job"
+/// (C = 4) and "working_years" (C = 5).
+Dataset MakeCreditSim(Rng* rng, size_t n = 1000);
+
+}  // namespace fairhms
+
+#endif  // FAIRHMS_DATA_GENERATORS_H_

@@ -1,0 +1,46 @@
+// Grouping: a partition of a dataset's rows into C disjoint fairness groups.
+
+#ifndef FAIRHMS_DATA_GROUPING_H_
+#define FAIRHMS_DATA_GROUPING_H_
+
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "data/dataset.h"
+
+namespace fairhms {
+
+/// A partition of rows 0..n-1 into groups 0..num_groups-1.
+struct Grouping {
+  std::vector<int> group_of;       ///< Size n; group id per row.
+  int num_groups = 0;
+  std::vector<std::string> names;  ///< Size num_groups.
+
+  /// Number of rows in each group.
+  std::vector<int> Counts() const;
+
+  /// Row indices per group.
+  std::vector<std::vector<int>> Members() const;
+};
+
+/// Everything in one group (vanilla HMS as the C = 1 special case).
+Grouping SingleGroup(size_t n);
+
+/// Groups by one categorical column.
+StatusOr<Grouping> GroupByCategorical(const Dataset& data,
+                                      const std::string& column);
+
+/// Groups by the cross product of several categorical columns (e.g. the
+/// paper's "G+R" = gender x race partitions). Only combinations that occur
+/// are materialized.
+StatusOr<Grouping> GroupByCategoricalProduct(
+    const Dataset& data, const std::vector<std::string>& columns);
+
+/// The paper's synthetic-data scheme: sort rows by the sum of their numeric
+/// attributes and split into C equal-sized groups.
+Grouping GroupBySumRank(const Dataset& data, int num_groups);
+
+}  // namespace fairhms
+
+#endif  // FAIRHMS_DATA_GROUPING_H_

@@ -1,0 +1,28 @@
+// Umbrella header: everything a downstream user of the FairHMS library
+// needs. Individual module headers remain includable on their own.
+
+#ifndef FAIRHMS_FAIRHMS_H_
+#define FAIRHMS_FAIRHMS_H_
+
+#include "algo/baselines.h"
+#include "algo/bigreedy.h"
+#include "algo/fair_greedy.h"
+#include "algo/group_adapter.h"
+#include "algo/intcov.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "common/statusor.h"
+#include "core/evaluate.h"
+#include "core/exact_evaluator.h"
+#include "core/net_evaluator.h"
+#include "core/solution.h"
+#include "data/csv.h"
+#include "data/dataset.h"
+#include "data/generators.h"
+#include "data/grouping.h"
+#include "fairness/group_bounds.h"
+#include "fairness/matroid.h"
+#include "skyline/skyline.h"
+#include "utility/utility_net.h"
+
+#endif  // FAIRHMS_FAIRHMS_H_

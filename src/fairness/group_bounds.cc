@@ -1,0 +1,206 @@
+#include "fairness/group_bounds.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+#include "common/string_util.h"
+
+namespace fairhms {
+
+StatusOr<GroupBounds> GroupBounds::Explicit(int k, std::vector<int> lower,
+                                            std::vector<int> upper) {
+  if (lower.size() != upper.size()) {
+    return Status::InvalidArgument("lower/upper size mismatch");
+  }
+  GroupBounds b;
+  b.k = k;
+  b.lower = std::move(lower);
+  b.upper = std::move(upper);
+  if (k <= 0) return Status::InvalidArgument("k must be positive");
+  long long sum_l = 0;
+  long long sum_h = 0;
+  for (size_t c = 0; c < b.lower.size(); ++c) {
+    if (b.lower[c] < 0 || b.upper[c] < b.lower[c]) {
+      return Status::InvalidArgument(
+          StrFormat("bad bounds for group %zu: [%d, %d]", c, b.lower[c],
+                    b.upper[c]));
+    }
+    sum_l += b.lower[c];
+    sum_h += b.upper[c];
+  }
+  if (sum_l > k) {
+    return Status::InvalidArgument(
+        StrFormat("sum of lower bounds %lld exceeds k=%d", sum_l, k));
+  }
+  if (sum_h < k) {
+    return Status::InvalidArgument(
+        StrFormat("sum of upper bounds %lld below k=%d", sum_h, k));
+  }
+  return b;
+}
+
+GroupBounds GroupBounds::Proportional(int k,
+                                      const std::vector<int>& group_counts,
+                                      double alpha) {
+  const int c_num = static_cast<int>(group_counts.size());
+  const double total = std::max<double>(
+      1.0, std::accumulate(group_counts.begin(), group_counts.end(), 0.0));
+  GroupBounds b;
+  b.k = k;
+  for (int c = 0; c < c_num; ++c) {
+    const double share = k * group_counts[static_cast<size_t>(c)] / total;
+    int lo = static_cast<int>(std::floor((1.0 - alpha) * share));
+    int hi = static_cast<int>(std::ceil((1.0 + alpha) * share));
+    lo = std::max(lo, 1);                  // "or at least 1"
+    hi = std::min(hi, std::max(1, k - c_num + 1));  // "or at most k-C+1"
+    // The k-C+1 cap can undercut a dominant group's proportional lower
+    // bound (e.g. k=10, C=5, share 0.85); cap lo at hi so the constraint
+    // stays self-consistent per group.
+    lo = std::min(lo, hi);
+    b.lower.push_back(lo);
+    b.upper.push_back(hi);
+  }
+  // Global repair: with many groups the "at least 1" floors plus the k-C+1
+  // cap can still make sum(l) > k (or, symmetrically, sum(h) < k). Shave
+  // the largest lower bounds / raise the largest group's upper bounds until
+  // the constraint is satisfiable; this preserves proportionality as
+  // closely as the integer caps allow.
+  long long sum_l = std::accumulate(b.lower.begin(), b.lower.end(), 0LL);
+  while (sum_l > k) {
+    int target = 0;
+    for (int c = 1; c < c_num; ++c) {
+      if (b.lower[static_cast<size_t>(c)] >
+          b.lower[static_cast<size_t>(target)]) {
+        target = c;
+      }
+    }
+    --b.lower[static_cast<size_t>(target)];
+    --sum_l;
+  }
+  long long sum_h = std::accumulate(b.upper.begin(), b.upper.end(), 0LL);
+  while (sum_h < k) {
+    int target = -1;
+    for (int c = 0; c < c_num; ++c) {
+      // Only raise where the group actually has more tuples to give.
+      if (b.upper[static_cast<size_t>(c)] <
+              group_counts[static_cast<size_t>(c)] &&
+          (target < 0 || group_counts[static_cast<size_t>(c)] >
+                             group_counts[static_cast<size_t>(target)])) {
+        target = c;
+      }
+    }
+    if (target < 0) break;  // Fewer tuples than k overall; Validate catches.
+    ++b.upper[static_cast<size_t>(target)];
+    ++sum_h;
+  }
+  return b;
+}
+
+GroupBounds GroupBounds::Balanced(int k, int num_groups, double alpha) {
+  GroupBounds b;
+  b.k = k;
+  const double share = static_cast<double>(k) / num_groups;
+  int lo = static_cast<int>(std::floor((1.0 - alpha) * share));
+  int hi = static_cast<int>(std::ceil((1.0 + alpha) * share));
+  lo = std::max(0, lo);
+  hi = std::max(hi, lo);
+  b.lower.assign(static_cast<size_t>(num_groups), lo);
+  b.upper.assign(static_cast<size_t>(num_groups), hi);
+  return b;
+}
+
+Status GroupBounds::Validate(const std::vector<int>& group_counts) const {
+  if (group_counts.size() != lower.size()) {
+    return Status::InvalidArgument("group count size mismatch");
+  }
+  FAIRHMS_ASSIGN_OR_RETURN(GroupBounds checked, Explicit(k, lower, upper));
+  (void)checked;
+  long long reachable = 0;
+  for (size_t c = 0; c < lower.size(); ++c) {
+    if (lower[c] > group_counts[c]) {
+      return Status::Infeasible(
+          StrFormat("group %zu has %d tuples but lower bound %d", c,
+                    group_counts[c], lower[c]));
+    }
+    reachable += std::min(upper[c], group_counts[c]);
+  }
+  if (reachable < k) {
+    return Status::Infeasible(
+        StrFormat("at most %lld tuples selectable but k=%d", reachable, k));
+  }
+  return Status::OK();
+}
+
+std::vector<int> SolutionGroupCounts(const std::vector<int>& solution,
+                                     const Grouping& grouping) {
+  std::vector<int> counts(static_cast<size_t>(grouping.num_groups), 0);
+  for (int idx : solution) {
+    assert(idx >= 0 && static_cast<size_t>(idx) < grouping.group_of.size());
+    ++counts[static_cast<size_t>(grouping.group_of[static_cast<size_t>(idx)])];
+  }
+  return counts;
+}
+
+int CountViolations(const std::vector<int>& solution, const Grouping& grouping,
+                    const GroupBounds& bounds) {
+  const std::vector<int> counts = SolutionGroupCounts(solution, grouping);
+  int err = 0;
+  for (size_t c = 0; c < counts.size(); ++c) {
+    const int over = counts[c] - bounds.upper[c];
+    const int under = bounds.lower[c] - counts[c];
+    err += std::max({over, under, 0});
+  }
+  return err;
+}
+
+StatusOr<std::vector<int>> AllocateQuotas(const GroupBounds& bounds,
+                                          const std::vector<double>& weights,
+                                          const std::vector<int>& caps) {
+  const size_t c_num = bounds.lower.size();
+  if (weights.size() != c_num || caps.size() != c_num) {
+    return Status::InvalidArgument("weights/caps size mismatch");
+  }
+  std::vector<int> quota(bounds.lower);
+  std::vector<int> limit(c_num);
+  long long assigned = 0;
+  for (size_t c = 0; c < c_num; ++c) {
+    limit[c] = std::min(bounds.upper[c], caps[c]);
+    if (quota[c] > limit[c]) {
+      return Status::Infeasible(
+          StrFormat("group %zu: lower bound %d exceeds available %d", c,
+                    quota[c], limit[c]));
+    }
+    assigned += quota[c];
+  }
+  long long remaining = bounds.k - assigned;
+  if (remaining < 0) return Status::Infeasible("lower bounds exceed k");
+
+  // Highest-averages (D'Hondt) distribution of the remaining slots: each
+  // slot goes to the group with headroom maximizing weight / (extra + 1),
+  // which apportions extras proportionally to the weights. Deterministic
+  // tie-break by group id.
+  std::vector<int> extra(c_num, 0);
+  while (remaining > 0) {
+    int best = -1;
+    double best_key = -1.0;
+    for (size_t c = 0; c < c_num; ++c) {
+      if (quota[c] >= limit[c]) continue;
+      const double key = std::max(weights[c], 1e-12) / (extra[c] + 1);
+      if (key > best_key) {
+        best_key = key;
+        best = static_cast<int>(c);
+      }
+    }
+    if (best < 0) {
+      return Status::Infeasible("upper bounds/caps too tight for k");
+    }
+    ++quota[static_cast<size_t>(best)];
+    ++extra[static_cast<size_t>(best)];
+    --remaining;
+  }
+  return quota;
+}
+
+}  // namespace fairhms

@@ -1,0 +1,61 @@
+// Group fairness constraint: per-group lower/upper bounds on how many tuples
+// a size-k solution may take from each group.
+
+#ifndef FAIRHMS_FAIRNESS_GROUP_BOUNDS_H_
+#define FAIRHMS_FAIRNESS_GROUP_BOUNDS_H_
+
+#include <vector>
+
+#include "common/statusor.h"
+#include "data/grouping.h"
+
+namespace fairhms {
+
+/// The constraint "l_c <= |S ∩ D_c| <= h_c for all c, |S| = k".
+struct GroupBounds {
+  int k = 0;
+  std::vector<int> lower;
+  std::vector<int> upper;
+
+  int num_groups() const { return static_cast<int>(lower.size()); }
+
+  /// Builds explicit bounds after validation (sizes match, 0 <= l <= h,
+  /// sum(l) <= k <= sum(h)).
+  static StatusOr<GroupBounds> Explicit(int k, std::vector<int> lower,
+                                        std::vector<int> upper);
+
+  /// Proportional representation (paper Sec. 5.1): for each group,
+  ///   l_c = max(1, floor((1-alpha) * k * |D_c| / |D|)),
+  ///   h_c = min(k - C + 1, ceil((1+alpha) * k * |D_c| / |D|)).
+  static GroupBounds Proportional(int k, const std::vector<int>& group_counts,
+                                  double alpha);
+
+  /// Balanced representation:
+  ///   l_c = floor((1-alpha) * k / C),  h_c = ceil((1+alpha) * k / C).
+  static GroupBounds Balanced(int k, int num_groups, double alpha);
+
+  /// Checks internal consistency and feasibility against the group sizes
+  /// (`group_counts[c]` = number of available tuples in group c).
+  Status Validate(const std::vector<int>& group_counts) const;
+};
+
+/// Number of fairness violations of a solution (paper Eq. 3):
+///   err(S) = sum_c max(|S∩D_c| - h_c, l_c - |S∩D_c|, 0).
+int CountViolations(const std::vector<int>& solution, const Grouping& grouping,
+                    const GroupBounds& bounds);
+
+/// Per-group member counts of a solution.
+std::vector<int> SolutionGroupCounts(const std::vector<int>& solution,
+                                     const Grouping& grouping);
+
+/// Splits the budget k into per-group quotas k_c with l_c <= k_c <=
+/// min(h_c, cap_c), sum = k. Quotas start at the lower bounds and the rest
+/// is distributed proportionally to `weights` (largest remainder). Fails
+/// when no such quota vector exists. Used by the G-* adapted baselines.
+StatusOr<std::vector<int>> AllocateQuotas(const GroupBounds& bounds,
+                                          const std::vector<double>& weights,
+                                          const std::vector<int>& caps);
+
+}  // namespace fairhms
+
+#endif  // FAIRHMS_FAIRNESS_GROUP_BOUNDS_H_

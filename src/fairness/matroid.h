@@ -1,0 +1,96 @@
+// The fairness matroid (paper Sec. 2): independence system
+//   I = { S : sum_c max(|S ∩ D_c|, l_c) <= k  and  |S ∩ D_c| <= h_c }.
+//
+// Every fair size-k set is independent, every independent set extends to a
+// fair size-k set, and maximal independent sets have exactly k elements —
+// which is what lets matroid-greedy algorithms enforce fairness on the fly.
+
+#ifndef FAIRHMS_FAIRNESS_MATROID_H_
+#define FAIRHMS_FAIRNESS_MATROID_H_
+
+#include <vector>
+
+#include "fairness/group_bounds.h"
+
+namespace fairhms {
+
+/// Rank-k matroid oracle over group-count vectors.
+class FairnessMatroid {
+ public:
+  explicit FairnessMatroid(GroupBounds bounds) : bounds_(std::move(bounds)) {}
+
+  const GroupBounds& bounds() const { return bounds_; }
+  int rank() const { return bounds_.k; }
+
+  /// Independence test on a count vector.
+  bool IsIndependent(const std::vector<int>& counts) const {
+    long long needed = 0;
+    for (size_t c = 0; c < counts.size(); ++c) {
+      if (counts[c] > bounds_.upper[c]) return false;
+      needed += std::max(counts[c], bounds_.lower[c]);
+    }
+    return needed <= bounds_.k;
+  }
+
+  /// Whether a set with the given counts can absorb one more element of
+  /// `group` and stay independent.
+  bool CanAdd(const std::vector<int>& counts, int group) const {
+    if (counts[static_cast<size_t>(group)] >=
+        bounds_.upper[static_cast<size_t>(group)]) {
+      return false;
+    }
+    long long needed = 0;
+    for (size_t c = 0; c < counts.size(); ++c) {
+      const int cnt = counts[c] + (static_cast<int>(c) == group ? 1 : 0);
+      needed += std::max(cnt, bounds_.lower[c]);
+    }
+    return needed <= bounds_.k;
+  }
+
+ private:
+  GroupBounds bounds_;
+};
+
+/// Mutable selection state used by greedy loops: tracks the chosen rows and
+/// per-group counts against a FairnessMatroid.
+class FairSelection {
+ public:
+  FairSelection(const FairnessMatroid* matroid, const Grouping* grouping)
+      : matroid_(matroid),
+        grouping_(grouping),
+        counts_(static_cast<size_t>(grouping->num_groups), 0) {}
+
+  bool CanAdd(int row) const {
+    return matroid_->CanAdd(counts_,
+                            grouping_->group_of[static_cast<size_t>(row)]);
+  }
+
+  void Add(int row) {
+    ++counts_[static_cast<size_t>(
+        grouping_->group_of[static_cast<size_t>(row)])];
+    rows_.push_back(row);
+  }
+
+  /// True when no element of any group could still be added (the selection
+  /// is a maximal independent set, i.e. a fair size-k set).
+  bool IsMaximal() const {
+    for (int c = 0; c < grouping_->num_groups; ++c) {
+      if (matroid_->CanAdd(counts_, c)) return false;
+    }
+    return true;
+  }
+
+  int size() const { return static_cast<int>(rows_.size()); }
+  const std::vector<int>& rows() const { return rows_; }
+  const std::vector<int>& counts() const { return counts_; }
+
+ private:
+  const FairnessMatroid* matroid_;
+  const Grouping* grouping_;
+  std::vector<int> counts_;
+  std::vector<int> rows_;
+};
+
+}  // namespace fairhms
+
+#endif  // FAIRHMS_FAIRNESS_MATROID_H_

@@ -1,0 +1,33 @@
+// 2D convex hull (Andrew's monotone chain) and the upper-right chain that
+// contains every maximizer of a nonnegative linear utility function.
+
+#ifndef FAIRHMS_GEOM_CONVEX_HULL2D_H_
+#define FAIRHMS_GEOM_CONVEX_HULL2D_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace fairhms {
+
+/// A 2D point with the index it came from in the caller's array.
+struct IndexedPoint2 {
+  double x;
+  double y;
+  int index;
+};
+
+/// Full convex hull in counter-clockwise order, starting from the
+/// lexicographically smallest point. Collinear points on hull edges are
+/// dropped. Duplicates are handled. Returns input unchanged for size <= 2
+/// (after dedup).
+std::vector<IndexedPoint2> ConvexHull(std::vector<IndexedPoint2> pts);
+
+/// The "upper-right" hull chain ordered by decreasing x / increasing y:
+/// exactly the points that maximize lambda*x + (1-lambda)*y for some
+/// lambda in [0,1]. These are the vertices whose score lines appear on the
+/// upper envelope in lambda-space.
+std::vector<IndexedPoint2> UpperRightHull(std::vector<IndexedPoint2> pts);
+
+}  // namespace fairhms
+
+#endif  // FAIRHMS_GEOM_CONVEX_HULL2D_H_

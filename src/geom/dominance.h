@@ -1,0 +1,31 @@
+// Pareto dominance for max-preferred numeric attributes.
+
+#ifndef FAIRHMS_GEOM_DOMINANCE_H_
+#define FAIRHMS_GEOM_DOMINANCE_H_
+
+#include <cstddef>
+
+namespace fairhms {
+
+/// True iff `a` dominates `b`: a[i] >= b[i] for all i and a[j] > b[j] for
+/// some j (larger values preferred on every attribute).
+inline bool Dominates(const double* a, const double* b, size_t d) {
+  bool strictly_better_somewhere = false;
+  for (size_t i = 0; i < d; ++i) {
+    if (a[i] < b[i]) return false;
+    if (a[i] > b[i]) strictly_better_somewhere = true;
+  }
+  return strictly_better_somewhere;
+}
+
+/// True iff `a` weakly dominates `b` (>= on every coordinate).
+inline bool WeaklyDominates(const double* a, const double* b, size_t d) {
+  for (size_t i = 0; i < d; ++i) {
+    if (a[i] < b[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace fairhms
+
+#endif  // FAIRHMS_GEOM_DOMINANCE_H_

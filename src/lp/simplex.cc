@@ -1,0 +1,283 @@
+#include "lp/simplex.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace fairhms {
+
+namespace {
+
+constexpr double kEps = 1e-9;
+
+/// Dense simplex tableau with an explicit basis. Columns are
+/// [structural | slack/surplus | artificial | rhs].
+class Tableau {
+ public:
+  Tableau(int rows, int cols) : rows_(rows), cols_(cols),
+                                a_(static_cast<size_t>(rows) * cols, 0.0),
+                                basis_(rows, -1) {}
+
+  double& At(int r, int c) { return a_[static_cast<size_t>(r) * cols_ + c]; }
+  double At(int r, int c) const {
+    return a_[static_cast<size_t>(r) * cols_ + c];
+  }
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  int basis(int r) const { return basis_[static_cast<size_t>(r)]; }
+  void set_basis(int r, int col) { basis_[static_cast<size_t>(r)] = col; }
+
+  /// Gauss-Jordan pivot on (pr, pc).
+  void Pivot(int pr, int pc) {
+    const double piv = At(pr, pc);
+    assert(std::fabs(piv) > kEps);
+    const double inv = 1.0 / piv;
+    for (int c = 0; c < cols_; ++c) At(pr, c) *= inv;
+    At(pr, pc) = 1.0;  // Exact.
+    for (int r = 0; r < rows_; ++r) {
+      if (r == pr) continue;
+      const double factor = At(r, pc);
+      if (std::fabs(factor) <= kEps) {
+        At(r, pc) = 0.0;
+        continue;
+      }
+      for (int c = 0; c < cols_; ++c) At(r, c) -= factor * At(pr, c);
+      At(r, pc) = 0.0;  // Exact.
+    }
+    basis_[static_cast<size_t>(pr)] = pc;
+  }
+
+ private:
+  int rows_;
+  int cols_;
+  std::vector<double> a_;
+  std::vector<int> basis_;
+};
+
+/// One simplex phase: maximize obj over the tableau's feasible basis.
+/// `allowed_cols` marks columns eligible to enter. Returns the phase status.
+LpStatus RunPhase(Tableau* t, std::vector<double>* obj, double* obj_value,
+                  const std::vector<bool>& allowed_cols, int max_iterations) {
+  const int m = t->rows();
+  const int ncols = static_cast<int>(obj->size());  // Excludes rhs column.
+  const int rhs_col = t->cols() - 1;
+
+  int stall_count = 0;
+  double last_obj = -std::numeric_limits<double>::infinity();
+
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    // Reduced costs: rc[j] = obj[j] - sum_r obj[basis_r] * a[r][j]. We keep
+    // `obj` reduced in place instead (price out at pivot time), i.e. `obj`
+    // always holds the current reduced-cost row and *obj_value the current
+    // objective of the basic solution.
+    const bool use_bland = stall_count > 2 * (m + ncols);
+
+    int enter = -1;
+    double best = kEps;
+    for (int j = 0; j < ncols; ++j) {
+      if (!allowed_cols[static_cast<size_t>(j)]) continue;
+      const double rc = (*obj)[static_cast<size_t>(j)];
+      if (rc > kEps) {
+        if (use_bland) { enter = j; break; }
+        if (rc > best) { best = rc; enter = j; }
+      }
+    }
+    if (enter < 0) return LpStatus::kOptimal;
+
+    // Ratio test.
+    int leave = -1;
+    double best_ratio = std::numeric_limits<double>::infinity();
+    for (int r = 0; r < m; ++r) {
+      const double coef = t->At(r, enter);
+      if (coef > kEps) {
+        const double ratio = t->At(r, rhs_col) / coef;
+        if (ratio < best_ratio - kEps ||
+            (ratio < best_ratio + kEps && leave >= 0 &&
+             t->basis(r) < t->basis(leave))) {
+          best_ratio = ratio;
+          leave = r;
+        }
+      }
+    }
+    if (leave < 0) return LpStatus::kUnbounded;
+
+    t->Pivot(leave, enter);
+
+    // Price out the objective row against the new pivot row.
+    const double factor = (*obj)[static_cast<size_t>(enter)];
+    for (int c = 0; c < ncols; ++c) {
+      (*obj)[static_cast<size_t>(c)] -= factor * t->At(leave, c);
+    }
+    *obj_value += factor * t->At(leave, rhs_col);
+    (*obj)[static_cast<size_t>(enter)] = 0.0;
+
+    if (*obj_value <= last_obj + kEps) {
+      ++stall_count;
+    } else {
+      stall_count = 0;
+      last_obj = *obj_value;
+    }
+  }
+  return LpStatus::kIterationLimit;
+}
+
+}  // namespace
+
+const char* LpStatusToString(LpStatus s) {
+  switch (s) {
+    case LpStatus::kOptimal: return "Optimal";
+    case LpStatus::kInfeasible: return "Infeasible";
+    case LpStatus::kUnbounded: return "Unbounded";
+    case LpStatus::kIterationLimit: return "IterationLimit";
+  }
+  return "Unknown";
+}
+
+LpProblem::LpProblem(int num_vars) : num_vars_(num_vars) {
+  assert(num_vars > 0);
+  objective_.assign(static_cast<size_t>(num_vars), 0.0);
+}
+
+void LpProblem::SetObjective(std::vector<double> c) {
+  assert(static_cast<int>(c.size()) == num_vars_);
+  objective_ = std::move(c);
+}
+
+void LpProblem::AddConstraint(std::vector<double> coeffs, RelOp op,
+                              double rhs) {
+  assert(static_cast<int>(coeffs.size()) == num_vars_);
+  rows_.push_back({std::move(coeffs), op, rhs});
+}
+
+LpResult LpProblem::Solve(int max_iterations) const {
+  const int m = static_cast<int>(rows_.size());
+  const int n = num_vars_;
+
+  // Normalize rows to nonnegative rhs.
+  std::vector<Row> rows = rows_;
+  for (Row& r : rows) {
+    if (r.rhs < 0) {
+      for (double& c : r.coeffs) c = -c;
+      r.rhs = -r.rhs;
+      if (r.op == RelOp::kLe) r.op = RelOp::kGe;
+      else if (r.op == RelOp::kGe) r.op = RelOp::kLe;
+    }
+  }
+
+  // Count auxiliary columns.
+  int num_slack = 0;
+  int num_artificial = 0;
+  for (const Row& r : rows) {
+    if (r.op != RelOp::kEq) ++num_slack;
+    if (r.op != RelOp::kLe) ++num_artificial;
+  }
+
+  const int total = n + num_slack + num_artificial;
+  Tableau t(m, total + 1);  // +1 rhs column.
+  const int rhs_col = total;
+
+  int slack_at = n;
+  int art_at = n + num_slack;
+  std::vector<int> artificial_cols;
+  for (int r = 0; r < m; ++r) {
+    const Row& row = rows[static_cast<size_t>(r)];
+    for (int j = 0; j < n; ++j) t.At(r, j) = row.coeffs[static_cast<size_t>(j)];
+    t.At(r, rhs_col) = row.rhs;
+    switch (row.op) {
+      case RelOp::kLe:
+        t.At(r, slack_at) = 1.0;
+        t.set_basis(r, slack_at);
+        ++slack_at;
+        break;
+      case RelOp::kGe:
+        t.At(r, slack_at) = -1.0;  // Surplus.
+        ++slack_at;
+        t.At(r, art_at) = 1.0;
+        t.set_basis(r, art_at);
+        artificial_cols.push_back(art_at);
+        ++art_at;
+        break;
+      case RelOp::kEq:
+        t.At(r, art_at) = 1.0;
+        t.set_basis(r, art_at);
+        artificial_cols.push_back(art_at);
+        ++art_at;
+        break;
+    }
+  }
+
+  LpResult result;
+
+  // ---- Phase 1: drive artificials to zero (maximize -sum artificials). ----
+  if (num_artificial > 0) {
+    std::vector<double> obj(static_cast<size_t>(total), 0.0);
+    for (int c : artificial_cols) obj[static_cast<size_t>(c)] = -1.0;
+    // Price out initial basis (artificials are basic with coefficient -1).
+    double obj_value = 0.0;
+    for (int r = 0; r < m; ++r) {
+      const int b = t.basis(r);
+      if (obj[static_cast<size_t>(b)] != 0.0) {
+        const double f = obj[static_cast<size_t>(b)];
+        for (int c = 0; c < total; ++c) obj[static_cast<size_t>(c)] -= f * t.At(r, c);
+        obj_value += f * t.At(r, rhs_col);
+        obj[static_cast<size_t>(b)] = 0.0;
+      }
+    }
+    std::vector<bool> allowed(static_cast<size_t>(total), true);
+    const LpStatus st = RunPhase(&t, &obj, &obj_value, allowed, max_iterations);
+    if (st == LpStatus::kIterationLimit) {
+      result.status = st;
+      return result;
+    }
+    if (obj_value < -1e-7) {
+      result.status = LpStatus::kInfeasible;
+      return result;
+    }
+    // Pivot any artificial still in the basis out (degenerate rows).
+    for (int r = 0; r < m; ++r) {
+      const int b = t.basis(r);
+      const bool is_art =
+          b >= n + num_slack && b < n + num_slack + num_artificial;
+      if (!is_art) continue;
+      int pivot_col = -1;
+      for (int c = 0; c < n + num_slack; ++c) {
+        if (std::fabs(t.At(r, c)) > kEps) { pivot_col = c; break; }
+      }
+      if (pivot_col >= 0) t.Pivot(r, pivot_col);
+      // Else the row is all-zero (redundant constraint); leave it.
+    }
+  }
+
+  // ---- Phase 2: original objective, artificial columns frozen. ----
+  std::vector<double> obj(static_cast<size_t>(total), 0.0);
+  for (int j = 0; j < n; ++j) obj[static_cast<size_t>(j)] = objective_[static_cast<size_t>(j)];
+  double obj_value = 0.0;
+  for (int r = 0; r < m; ++r) {
+    const int b = t.basis(r);
+    if (b < total && obj[static_cast<size_t>(b)] != 0.0) {
+      const double f = obj[static_cast<size_t>(b)];
+      for (int c = 0; c < total; ++c) obj[static_cast<size_t>(c)] -= f * t.At(r, c);
+      obj_value += f * t.At(r, rhs_col);
+      obj[static_cast<size_t>(b)] = 0.0;
+    }
+  }
+  std::vector<bool> allowed(static_cast<size_t>(total), true);
+  for (int c : artificial_cols) allowed[static_cast<size_t>(c)] = false;
+  const LpStatus st = RunPhase(&t, &obj, &obj_value, allowed, max_iterations);
+  result.status = st;
+  if (st != LpStatus::kOptimal) return result;
+
+  result.x.assign(static_cast<size_t>(n), 0.0);
+  for (int r = 0; r < m; ++r) {
+    const int b = t.basis(r);
+    if (b >= 0 && b < n) {
+      result.x[static_cast<size_t>(b)] = t.At(r, rhs_col);
+    }
+  }
+  result.objective = obj_value;
+  return result;
+}
+
+}  // namespace fairhms

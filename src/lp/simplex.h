@@ -1,0 +1,73 @@
+// Dense two-phase primal simplex.
+//
+// Solves   maximize c.x   subject to   A x {<=,>=,==} b,   x >= 0.
+//
+// The FairHMS workloads solve very many *small* LPs (d + 1 variables,
+// |S| + 1 constraints) — max-regret witness LPs for exact MHR evaluation and
+// for the RDP-Greedy / F-Greedy baselines — so the implementation favors a
+// simple dense tableau with careful anti-cycling over sparse sophistication.
+
+#ifndef FAIRHMS_LP_SIMPLEX_H_
+#define FAIRHMS_LP_SIMPLEX_H_
+
+#include <vector>
+
+#include "common/status.h"
+
+namespace fairhms {
+
+/// Relation of a linear constraint row.
+enum class RelOp { kLe, kGe, kEq };
+
+/// Terminal state of a solve.
+enum class LpStatus {
+  kOptimal,        ///< Optimal solution found.
+  kInfeasible,     ///< No feasible point exists.
+  kUnbounded,      ///< Objective unbounded above on the feasible region.
+  kIterationLimit, ///< Pivot budget exhausted (numerical trouble).
+};
+
+const char* LpStatusToString(LpStatus s);
+
+/// Result of LpProblem::Solve.
+struct LpResult {
+  LpStatus status = LpStatus::kIterationLimit;
+  double objective = 0.0;       ///< Valid when status == kOptimal.
+  std::vector<double> x;        ///< Primal solution (size = num_vars).
+};
+
+/// A linear program under construction. All variables are nonnegative;
+/// model free variables as differences of two if ever needed.
+class LpProblem {
+ public:
+  /// Creates a problem over `num_vars` nonnegative variables.
+  explicit LpProblem(int num_vars);
+
+  /// Sets the objective coefficients (size must equal num_vars).
+  void SetObjective(std::vector<double> c);
+
+  /// Adds the row  coeffs . x  (op)  rhs. `coeffs` size must equal num_vars.
+  void AddConstraint(std::vector<double> coeffs, RelOp op, double rhs);
+
+  int num_vars() const { return num_vars_; }
+  int num_constraints() const { return static_cast<int>(rows_.size()); }
+
+  /// Runs two-phase simplex. Deterministic; Bland's rule engages
+  /// automatically after a stall to guarantee termination.
+  LpResult Solve(int max_iterations = 20000) const;
+
+ private:
+  struct Row {
+    std::vector<double> coeffs;
+    RelOp op;
+    double rhs;
+  };
+
+  int num_vars_;
+  std::vector<double> objective_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace fairhms
+
+#endif  // FAIRHMS_LP_SIMPLEX_H_

@@ -1,0 +1,155 @@
+#include "skyline/skyline.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <numeric>
+
+#include "common/random.h"
+#include "geom/dominance.h"
+#include "geom/vec.h"
+
+namespace fairhms {
+
+namespace {
+
+/// Exact 2D skyline: sort by (x desc, y desc) and sweep with a running max y.
+std::vector<int> Skyline2D(const Dataset& data, std::vector<int> rows) {
+  std::sort(rows.begin(), rows.end(), [&](int a, int b) {
+    const double ax = data.at(static_cast<size_t>(a), 0);
+    const double bx = data.at(static_cast<size_t>(b), 0);
+    if (ax != bx) return ax > bx;
+    const double ay = data.at(static_cast<size_t>(a), 1);
+    const double by = data.at(static_cast<size_t>(b), 1);
+    if (ay != by) return ay > by;
+    return a < b;
+  });
+  std::vector<int> sky;
+  double best_y = -std::numeric_limits<double>::infinity();
+  size_t i = 0;
+  while (i < rows.size()) {
+    const double x = data.at(static_cast<size_t>(rows[i]), 0);
+    // Within an equal-x block the sort puts the maximal y first; only points
+    // attaining that y can survive (exact duplicates do not dominate each
+    // other, so all ties are kept), and only if the y strictly beats every
+    // point with larger x.
+    const double block_max_y = data.at(static_cast<size_t>(rows[i]), 1);
+    size_t j = i;
+    if (block_max_y > best_y) {
+      while (j < rows.size() &&
+             data.at(static_cast<size_t>(rows[j]), 0) == x &&
+             data.at(static_cast<size_t>(rows[j]), 1) == block_max_y) {
+        sky.push_back(rows[j]);
+        ++j;
+      }
+      best_y = block_max_y;
+    }
+    while (j < rows.size() && data.at(static_cast<size_t>(rows[j]), 0) == x) {
+      ++j;
+    }
+    i = j;
+  }
+  std::sort(sky.begin(), sky.end());
+  return sky;
+}
+
+/// Sum-sorted block-nested-loop over `rows`; exact for any d.
+std::vector<int> SkylineBnl(const Dataset& data, std::vector<int> rows) {
+  const size_t d = static_cast<size_t>(data.dim());
+  std::sort(rows.begin(), rows.end(), [&](int a, int b) {
+    const double sa = SumCoords(data.point(static_cast<size_t>(a)), d);
+    const double sb = SumCoords(data.point(static_cast<size_t>(b)), d);
+    if (sa != sb) return sa > sb;
+    return a < b;
+  });
+  // A dominator always has a strictly larger coordinate sum, so points can
+  // only be dominated by earlier entries of the sorted order.
+  std::vector<int> sky;
+  for (int r : rows) {
+    const double* p = data.point(static_cast<size_t>(r));
+    bool dominated = false;
+    for (int s : sky) {
+      if (Dominates(data.point(static_cast<size_t>(s)), p, d)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) sky.push_back(r);
+  }
+  std::sort(sky.begin(), sky.end());
+  return sky;
+}
+
+/// Removes rows dominated by a small elite set (the skyline of a random
+/// sample). Returns a superset of the true skyline.
+std::vector<int> PrefilterByElite(const Dataset& data, std::vector<int> rows,
+                                  const SkylineOptions& opts) {
+  if (rows.size() <= opts.prefilter_sample * 2) return rows;
+  Rng rng(opts.seed);
+  std::vector<int> sample = rows;
+  rng.Shuffle(&sample);
+  sample.resize(opts.prefilter_sample);
+  const std::vector<int> elite = SkylineBnl(data, std::move(sample));
+  const size_t d = static_cast<size_t>(data.dim());
+  std::vector<int> survivors;
+  survivors.reserve(rows.size());
+  for (int r : rows) {
+    const double* p = data.point(static_cast<size_t>(r));
+    bool dominated = false;
+    for (int e : elite) {
+      if (Dominates(data.point(static_cast<size_t>(e)), p, d)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) survivors.push_back(r);
+  }
+  return survivors;
+}
+
+}  // namespace
+
+std::vector<int> ComputeSkyline(const Dataset& data,
+                                const std::vector<int>& rows,
+                                const SkylineOptions& opts) {
+  if (rows.empty()) return {};
+  if (data.dim() == 2) return Skyline2D(data, rows);
+  std::vector<int> filtered = PrefilterByElite(data, rows, opts);
+  if (!opts.exact) {
+    std::sort(filtered.begin(), filtered.end());
+    return filtered;
+  }
+  return SkylineBnl(data, std::move(filtered));
+}
+
+std::vector<int> ComputeSkyline(const Dataset& data,
+                                const SkylineOptions& opts) {
+  std::vector<int> rows(data.size());
+  std::iota(rows.begin(), rows.end(), 0);
+  return ComputeSkyline(data, rows, opts);
+}
+
+std::vector<std::vector<int>> ComputeGroupSkylines(const Dataset& data,
+                                                   const Grouping& grouping,
+                                                   const SkylineOptions& opts) {
+  assert(grouping.group_of.size() == data.size());
+  std::vector<std::vector<int>> result;
+  result.reserve(static_cast<size_t>(grouping.num_groups));
+  for (const auto& members : grouping.Members()) {
+    result.push_back(ComputeSkyline(data, members, opts));
+  }
+  return result;
+}
+
+std::vector<int> ComputeFairCandidatePool(const Dataset& data,
+                                          const Grouping& grouping,
+                                          const SkylineOptions& opts) {
+  std::vector<int> pool;
+  for (const auto& sky : ComputeGroupSkylines(data, grouping, opts)) {
+    pool.insert(pool.end(), sky.begin(), sky.end());
+  }
+  std::sort(pool.begin(), pool.end());
+  return pool;
+}
+
+}  // namespace fairhms

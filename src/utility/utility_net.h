@@ -1,0 +1,62 @@
+// Utility nets: finite direction sets approximating the nonnegative unit
+// sphere S^{d-1}_+ (delta-nets, Sec. 4.1 of the paper).
+//
+// A set N is a delta-net iff every u in S^{d-1}_+ has some v in N with
+// <u, v> >= cos(delta). Sampling m = O(delta^{1-d} log(1/delta)) uniform
+// directions yields a delta-net with constant probability; the experiments
+// control m directly (m = 10kd by default, as in the paper).
+
+#ifndef FAIRHMS_UTILITY_UTILITY_NET_H_
+#define FAIRHMS_UTILITY_UTILITY_NET_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/random.h"
+
+namespace fairhms {
+
+/// An immutable set of unit utility vectors in R^d_+ (row-major flat).
+class UtilityNet {
+ public:
+  /// m directions sampled uniformly on S^{d-1}_+ (|Normal| coordinates,
+  /// l2-normalized). Deterministic given the Rng state.
+  static UtilityNet SampleRandom(int d, size_t m, Rng* rng);
+
+  /// Evenly spaced directions on the quarter circle (d = 2 only), endpoints
+  /// (0,1) and (1,0) included. m >= 2.
+  static UtilityNet Grid2D(size_t m);
+
+  /// Sample size that makes a random net a delta-net w.h.p.:
+  /// ceil((c/delta)^(d-1) * ln(c/delta)) with c = 2, floored at d.
+  static size_t DeltaToSampleSize(double delta, int d);
+
+  /// The delta achieved (in the Lemma 4.1 sense) by m random samples —
+  /// inverse of DeltaToSampleSize, up to rounding.
+  static double SampleSizeToDelta(size_t m, int d);
+
+  /// Error bound of Lemma 4.1: net-estimated mhr exceeds the true mhr by at
+  /// most 2*delta*d / (1 + delta*d).
+  static double MhrErrorBound(double delta, int d);
+
+  size_t size() const { return m_; }
+  int dim() const { return d_; }
+  const double* vec(size_t j) const { return &vecs_[j * static_cast<size_t>(d_)]; }
+
+  /// max over the net of <u, v> — used by tests to verify net coverage of a
+  /// direction u (compare against cos(delta)).
+  double CoverageCos(const double* u) const;
+
+ private:
+  UtilityNet(int d, size_t m) : d_(d), m_(m) {
+    vecs_.resize(m * static_cast<size_t>(d));
+  }
+
+  int d_;
+  size_t m_;
+  std::vector<double> vecs_;
+};
+
+}  // namespace fairhms
+
+#endif  // FAIRHMS_UTILITY_UTILITY_NET_H_

@@ -1,0 +1,142 @@
+#include "algo/algo_util.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "data/generators.h"
+#include "testing/test_util.h"
+
+namespace fairhms {
+namespace {
+
+using testing::MakeDataset;
+using testing::MakeGrouping;
+
+TEST(PrepareProblemTest, FillsDefaults) {
+  Rng rng(1);
+  const Dataset data = GenIndependent(100, 2, &rng);
+  const Grouping g = GroupBySumRank(data, 2);
+  auto bounds = GroupBounds::Explicit(4, {1, 1}, {3, 3});
+  ASSERT_TRUE(bounds.ok());
+  auto input = PrepareProblem(data, g, *bounds);
+  ASSERT_TRUE(input.ok()) << input.status();
+  EXPECT_FALSE(input->pool.empty());
+  EXPECT_FALSE(input->db_rows.empty());
+  EXPECT_EQ(input->pool_by_group.size(), 2u);
+  // Each pool row belongs to its listed group.
+  for (int c = 0; c < 2; ++c) {
+    for (int r : input->pool_by_group[static_cast<size_t>(c)]) {
+      EXPECT_EQ(g.group_of[static_cast<size_t>(r)], c);
+    }
+  }
+}
+
+TEST(PrepareProblemTest, RejectsMismatchedGrouping) {
+  const Dataset data = MakeDataset({{1, 0}, {0, 1}});
+  const Grouping g = MakeGrouping({0}, 1);  // Wrong size.
+  auto bounds = GroupBounds::Explicit(1, {1}, {1});
+  ASSERT_TRUE(bounds.ok());
+  EXPECT_EQ(PrepareProblem(data, g, *bounds).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(PrepareProblemTest, RejectsGroupCountMismatch) {
+  const Dataset data = MakeDataset({{1, 0}, {0, 1}});
+  const Grouping g = MakeGrouping({0, 1}, 2);
+  auto bounds = GroupBounds::Explicit(1, {1}, {1});  // 1 group only.
+  ASSERT_TRUE(bounds.ok());
+  EXPECT_EQ(PrepareProblem(data, g, *bounds).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(PrepareProblemTest, RejectsInfeasibleBounds) {
+  const Dataset data = MakeDataset({{1, 0}, {0, 1}, {0.5, 0.8}});
+  const Grouping g = MakeGrouping({0, 0, 1}, 2);
+  auto bounds = GroupBounds::Explicit(3, {2, 2}, {3, 3});  // sum(l) > k.
+  EXPECT_FALSE(bounds.ok());
+  auto bounds2 = GroupBounds::Explicit(3, {1, 2}, {3, 3});
+  ASSERT_TRUE(bounds2.ok());
+  // Group 1 has only one member but lower bound 2.
+  EXPECT_EQ(PrepareProblem(data, g, *bounds2).status().code(),
+            StatusCode::kInfeasible);
+}
+
+TEST(DedupRowsTest, PreservesFirstOccurrence) {
+  std::vector<int> rows = {3, 1, 3, 2, 1};
+  DedupRows(&rows);
+  EXPECT_EQ(rows, (std::vector<int>{3, 1, 2}));
+}
+
+TEST(PadSolutionTest, PadsToExactlyK) {
+  Rng rng(2);
+  const Dataset data = GenIndependent(50, 2, &rng);
+  const Grouping g = GroupBySumRank(data, 2);
+  auto bounds = GroupBounds::Explicit(6, {2, 2}, {4, 4});
+  ASSERT_TRUE(bounds.ok());
+  auto input = PrepareProblem(data, g, *bounds);
+  ASSERT_TRUE(input.ok());
+  std::vector<int> sol = {input->pool.front()};
+  ASSERT_TRUE(PadSolution(*input, &sol).ok());
+  EXPECT_EQ(sol.size(), 6u);
+  EXPECT_EQ(CountViolations(sol, g, *bounds), 0);
+}
+
+TEST(PadSolutionTest, AlreadyCompleteSolutionUnchanged) {
+  const Dataset data =
+      MakeDataset({{1, 0}, {0.9, 0.2}, {0, 1}, {0.2, 0.9}});
+  const Grouping g = MakeGrouping({0, 0, 1, 1}, 2);
+  auto bounds = GroupBounds::Explicit(2, {1, 1}, {1, 1});
+  ASSERT_TRUE(bounds.ok());
+  auto input = PrepareProblem(data, g, *bounds);
+  ASSERT_TRUE(input.ok());
+  std::vector<int> sol = {0, 2};
+  ASSERT_TRUE(PadSolution(*input, &sol).ok());
+  EXPECT_EQ(sol, (std::vector<int>{0, 2}));
+}
+
+TEST(PadSolutionTest, RemovesDuplicates) {
+  const Dataset data =
+      MakeDataset({{1, 0}, {0.9, 0.2}, {0, 1}, {0.2, 0.9}});
+  const Grouping g = MakeGrouping({0, 0, 1, 1}, 2);
+  auto bounds = GroupBounds::Explicit(2, {1, 1}, {1, 1});
+  ASSERT_TRUE(bounds.ok());
+  auto input = PrepareProblem(data, g, *bounds);
+  ASSERT_TRUE(input.ok());
+  std::vector<int> sol = {0, 0, 0};
+  ASSERT_TRUE(PadSolution(*input, &sol).ok());
+  EXPECT_EQ(sol.size(), 2u);
+  EXPECT_EQ(CountViolations(sol, g, *bounds), 0);
+}
+
+TEST(PadSolutionTest, DetectsOverfullGroup) {
+  const Dataset data =
+      MakeDataset({{1, 0}, {0.9, 0.2}, {0, 1}, {0.2, 0.9}});
+  const Grouping g = MakeGrouping({0, 0, 1, 1}, 2);
+  auto bounds = GroupBounds::Explicit(2, {1, 1}, {1, 1});
+  ASSERT_TRUE(bounds.ok());
+  auto input = PrepareProblem(data, g, *bounds);
+  ASSERT_TRUE(input.ok());
+  std::vector<int> sol = {0, 1};  // Two from group 0 but h_0 = 1.
+  EXPECT_EQ(PadSolution(*input, &sol).code(), StatusCode::kInternal);
+}
+
+TEST(PadSolutionTest, FillsLowerBoundsFirst) {
+  // Group 1 has lower bound 2; starting from a group-0 point, padding must
+  // bring group 1 up to 2.
+  const Dataset data = MakeDataset(
+      {{1, 0}, {0.9, 0.2}, {0, 1}, {0.2, 0.9}, {0.5, 0.5}, {0.6, 0.4}});
+  const Grouping g = MakeGrouping({0, 0, 1, 1, 1, 0}, 2);
+  auto bounds = GroupBounds::Explicit(3, {1, 2}, {1, 2});
+  ASSERT_TRUE(bounds.ok());
+  auto input = PrepareProblem(data, g, *bounds);
+  ASSERT_TRUE(input.ok());
+  std::vector<int> sol = {0};
+  ASSERT_TRUE(PadSolution(*input, &sol).ok());
+  EXPECT_EQ(sol.size(), 3u);
+  const auto counts = SolutionGroupCounts(sol, g);
+  EXPECT_EQ(counts[0], 1);
+  EXPECT_EQ(counts[1], 2);
+}
+
+}  // namespace
+}  // namespace fairhms

@@ -1,0 +1,181 @@
+#include "algo/baselines.h"
+
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/exact_evaluator.h"
+#include "data/generators.h"
+#include "skyline/skyline.h"
+#include "testing/test_util.h"
+
+namespace fairhms {
+namespace {
+
+using testing::MakeDataset;
+
+class BaselinesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(123);
+    data_ = std::make_unique<Dataset>(GenAntiCorrelated(400, 3, &rng));
+    sky_ = ComputeSkyline(*data_);
+    ASSERT_GE(sky_.size(), 20u);
+  }
+
+  std::unique_ptr<Dataset> data_;
+  std::vector<int> sky_;
+};
+
+TEST_F(BaselinesTest, RdpGreedyReturnsKDistinctRows) {
+  auto sol = RdpGreedy(*data_, sky_, 8);
+  ASSERT_TRUE(sol.ok()) << sol.status();
+  EXPECT_EQ(sol->rows.size(), 8u);
+  std::vector<int> dedup = sol->rows;
+  dedup.erase(std::unique(dedup.begin(), dedup.end()), dedup.end());
+  EXPECT_EQ(dedup.size(), 8u);
+  EXPECT_EQ(sol->algorithm, "Greedy");
+  EXPECT_GT(sol->mhr, 0.0);
+}
+
+TEST_F(BaselinesTest, RdpGreedyImprovesWithK) {
+  auto s4 = RdpGreedy(*data_, sky_, 4);
+  auto s12 = RdpGreedy(*data_, sky_, 12);
+  ASSERT_TRUE(s4.ok() && s12.ok());
+  EXPECT_GE(s12->mhr, s4->mhr - 1e-9);
+}
+
+TEST_F(BaselinesTest, RdpGreedyHandlesKBeyondPool) {
+  const Dataset tiny = MakeDataset({{1, 0, 0}, {0, 1, 0}, {0, 0, 1}});
+  auto sol = RdpGreedy(tiny, {0, 1, 2}, 10);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_EQ(sol->rows.size(), 3u);
+  EXPECT_NEAR(sol->mhr, 1.0, 1e-9);
+}
+
+TEST_F(BaselinesTest, RdpGreedyRejectsEmptyInput) {
+  EXPECT_FALSE(RdpGreedy(*data_, {}, 3).ok());
+  EXPECT_FALSE(RdpGreedy(*data_, sky_, 0).ok());
+}
+
+TEST_F(BaselinesTest, DmmReturnsReasonableSolution) {
+  auto sol = Dmm(*data_, sky_, 8);
+  ASSERT_TRUE(sol.ok()) << sol.status();
+  EXPECT_EQ(sol->rows.size(), 8u);
+  EXPECT_GT(sol->mhr, 0.3);
+  EXPECT_EQ(sol->algorithm, "DMM");
+}
+
+TEST_F(BaselinesTest, DmmMemoryGuardTriggersInHighD) {
+  Rng rng(7);
+  const Dataset wide = GenIndependent(200, 9, &rng);
+  const auto sky = ComputeSkyline(wide);
+  DmmOptions opts;
+  opts.memory_budget_bytes = 10'000'000;  // 10 MB: 6^8 dirs won't fit.
+  EXPECT_EQ(Dmm(wide, sky, 10, opts).status().code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST_F(BaselinesTest, DmmThresholdMonotonicity) {
+  // More budget (larger k) can only improve the achieved mhr.
+  auto s5 = Dmm(*data_, sky_, 5);
+  auto s15 = Dmm(*data_, sky_, 15);
+  ASSERT_TRUE(s5.ok() && s15.ok());
+  EXPECT_GE(s15->mhr, s5->mhr - 1e-9);
+}
+
+TEST_F(BaselinesTest, SphereRequiresKGreaterEqualD) {
+  EXPECT_EQ(SphereAlgo(*data_, sky_, 2).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(BaselinesTest, SphereIncludesDimensionExtremes) {
+  auto sol = SphereAlgo(*data_, sky_, 8);
+  ASSERT_TRUE(sol.ok()) << sol.status();
+  EXPECT_EQ(sol->rows.size(), 8u);
+  // Each dimension's max over the pool must be in the solution.
+  for (int j = 0; j < 3; ++j) {
+    int best = sky_.front();
+    for (int r : sky_) {
+      if (data_->at(static_cast<size_t>(r), j) >
+          data_->at(static_cast<size_t>(best), j)) {
+        best = r;
+      }
+    }
+    EXPECT_NE(std::find(sol->rows.begin(), sol->rows.end(), best),
+              sol->rows.end())
+        << "extreme of dim " << j << " missing";
+  }
+}
+
+TEST_F(BaselinesTest, HittingSetProducesSolution) {
+  auto sol = HittingSet(*data_, sky_, 8);
+  ASSERT_TRUE(sol.ok()) << sol.status();
+  EXPECT_EQ(sol->rows.size(), 8u);
+  EXPECT_GT(sol->mhr, 0.3);
+  EXPECT_EQ(sol->algorithm, "HS");
+}
+
+TEST_F(BaselinesTest, HittingSetScalesWithoutMatrix) {
+  // HS must handle dimensionalities where DMM refuses.
+  Rng rng(11);
+  const Dataset wide = GenIndependent(300, 9, &rng);
+  const auto sky = ComputeSkyline(wide);
+  DmmOptions dmm_opts;
+  dmm_opts.memory_budget_bytes = 10'000'000;
+  EXPECT_FALSE(Dmm(wide, sky, 10, dmm_opts).ok());
+  auto hs = HittingSet(wide, sky, 10);
+  ASSERT_TRUE(hs.ok()) << hs.status();
+  EXPECT_EQ(hs->rows.size(), 10u);
+}
+
+TEST_F(BaselinesTest, QualityOrderingSanity) {
+  // RDP-Greedy (LP-driven) should be competitive with Sphere on
+  // anti-correlated data; all baselines must stay within [0, 1].
+  auto greedy = RdpGreedy(*data_, sky_, 9);
+  auto sphere = SphereAlgo(*data_, sky_, 9);
+  auto dmm = Dmm(*data_, sky_, 9);
+  auto hs = HittingSet(*data_, sky_, 9);
+  for (const auto* sol :
+       {&greedy, &sphere, &dmm, &hs}) {
+    ASSERT_TRUE(sol->ok());
+    EXPECT_GE((*sol)->mhr, 0.0);
+    EXPECT_LE((*sol)->mhr, 1.0 + 1e-12);
+  }
+}
+
+TEST_F(BaselinesTest, AllBaselinesDeterministic) {
+  auto a1 = RdpGreedy(*data_, sky_, 6);
+  auto a2 = RdpGreedy(*data_, sky_, 6);
+  ASSERT_TRUE(a1.ok() && a2.ok());
+  EXPECT_EQ(a1->rows, a2->rows);
+  auto d1 = Dmm(*data_, sky_, 6);
+  auto d2 = Dmm(*data_, sky_, 6);
+  ASSERT_TRUE(d1.ok() && d2.ok());
+  EXPECT_EQ(d1->rows, d2->rows);
+  auto h1 = HittingSet(*data_, sky_, 6);
+  auto h2 = HittingSet(*data_, sky_, 6);
+  ASSERT_TRUE(h1.ok() && h2.ok());
+  EXPECT_EQ(h1->rows, h2->rows);
+}
+
+TEST_F(BaselinesTest, TwoDimensionalRun) {
+  Rng rng(13);
+  const Dataset data2 = GenAntiCorrelated(300, 2, &rng);
+  const auto sky2 = ComputeSkyline(data2);
+  for (int k : {3, 5}) {
+    auto g = RdpGreedy(data2, sky2, k);
+    ASSERT_TRUE(g.ok());
+    auto d = Dmm(data2, sky2, k);
+    ASSERT_TRUE(d.ok());
+    auto h = HittingSet(data2, sky2, k);
+    ASSERT_TRUE(h.ok());
+    // 2D with a handful of points covers most of the envelope.
+    EXPECT_GT(g->mhr, 0.7);
+    EXPECT_GT(d->mhr, 0.7);
+  }
+}
+
+}  // namespace
+}  // namespace fairhms

@@ -1,0 +1,195 @@
+#include "algo/fair_interval_cover.h"
+
+#include <functional>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace fairhms {
+namespace {
+
+GroupBounds Bounds(int k, std::vector<int> lower, std::vector<int> upper) {
+  auto b = GroupBounds::Explicit(k, std::move(lower), std::move(upper));
+  EXPECT_TRUE(b.ok());
+  return *b;
+}
+
+std::vector<GroupIntervalIndex> BuildGroups(
+    std::vector<std::vector<CoverInterval>> per_group) {
+  std::vector<GroupIntervalIndex> out(per_group.size());
+  for (size_t c = 0; c < per_group.size(); ++c) {
+    out[c].Build(std::move(per_group[c]));
+  }
+  return out;
+}
+
+/// Brute-force decision: enumerate all interval subsets, check coverage and
+/// the fair-completion condition.
+bool BruteDecide(const std::vector<std::vector<CoverInterval>>& per_group,
+                 const GroupBounds& bounds) {
+  struct Item {
+    CoverInterval iv;
+    int group;
+  };
+  std::vector<Item> items;
+  for (size_t c = 0; c < per_group.size(); ++c) {
+    for (const auto& iv : per_group[c]) {
+      items.push_back({iv, static_cast<int>(c)});
+    }
+  }
+  const size_t n = items.size();
+  EXPECT_LE(n, 18u) << "brute force too large";
+  for (uint64_t mask = 0; mask < (1ull << n); ++mask) {
+    std::vector<int> counts(per_group.size(), 0);
+    std::vector<std::pair<double, double>> chosen;
+    for (size_t i = 0; i < n; ++i) {
+      if (mask & (1ull << i)) {
+        ++counts[static_cast<size_t>(items[i].group)];
+        chosen.push_back({items[i].iv.lo, items[i].iv.hi});
+      }
+    }
+    // Fair completion condition.
+    long long needed = 0;
+    bool ok = true;
+    for (size_t c = 0; c < counts.size(); ++c) {
+      if (counts[c] > bounds.upper[c]) ok = false;
+      needed += std::max(counts[c], bounds.lower[c]);
+    }
+    if (!ok || needed > bounds.k) continue;
+    // Coverage check.
+    std::sort(chosen.begin(), chosen.end());
+    double reach = 0.0;
+    for (const auto& [lo, hi] : chosen) {
+      if (lo > reach + 1e-12) break;
+      reach = std::max(reach, hi);
+    }
+    if (reach >= 1.0 - 1e-12) return true;
+  }
+  return false;
+}
+
+TEST(GroupIntervalIndexTest, QueryReturnsBestEligible) {
+  GroupIntervalIndex idx;
+  idx.Build({{0.0, 0.4, 1}, {0.3, 0.9, 2}, {0.5, 1.0, 3}});
+  double hi;
+  int row;
+  ASSERT_TRUE(idx.Query(0.0, 1e-9, &hi, &row));
+  EXPECT_DOUBLE_EQ(hi, 0.4);
+  EXPECT_EQ(row, 1);
+  ASSERT_TRUE(idx.Query(0.35, 1e-9, &hi, &row));
+  EXPECT_DOUBLE_EQ(hi, 0.9);
+  EXPECT_EQ(row, 2);
+  ASSERT_TRUE(idx.Query(0.6, 1e-9, &hi, &row));
+  EXPECT_DOUBLE_EQ(hi, 1.0);
+  EXPECT_EQ(row, 3);
+  EXPECT_FALSE(GroupIntervalIndex().Query(0.5, 1e-9, &hi, &row));
+}
+
+TEST(FairIntervalCoverTest, SimpleYesInstance) {
+  auto dp = FairIntervalCoverDp::Create(Bounds(2, {1, 1}, {1, 1}), 1 << 20);
+  ASSERT_TRUE(dp.ok());
+  auto groups = BuildGroups({{{0.0, 0.6, 10}}, {{0.5, 1.0, 20}}});
+  std::vector<int> sol;
+  ASSERT_TRUE(dp->Decide(groups, 1e-9, &sol));
+  std::sort(sol.begin(), sol.end());
+  EXPECT_EQ(sol, (std::vector<int>{10, 20}));
+}
+
+TEST(FairIntervalCoverTest, NoWhenGapExists) {
+  auto dp = FairIntervalCoverDp::Create(Bounds(2, {0, 0}, {2, 2}), 1 << 20);
+  ASSERT_TRUE(dp.ok());
+  // Gap between 0.4 and 0.5.
+  auto groups = BuildGroups({{{0.0, 0.4, 1}}, {{0.5, 1.0, 2}}});
+  std::vector<int> sol;
+  EXPECT_FALSE(dp->Decide(groups, 1e-9, &sol));
+}
+
+TEST(FairIntervalCoverTest, NoWhenFairnessBlocksCover) {
+  // Group 0 could cover alone with 2 picks, but h_0 = 1 and group 1's
+  // reserved slot leaves no room.
+  auto dp = FairIntervalCoverDp::Create(Bounds(2, {0, 1}, {1, 1}), 1 << 20);
+  ASSERT_TRUE(dp.ok());
+  auto groups = BuildGroups(
+      {{{0.0, 0.6, 1}, {0.5, 1.0, 2}}, {{0.2, 0.3, 3}}});
+  std::vector<int> sol;
+  EXPECT_FALSE(dp->Decide(groups, 1e-9, &sol));
+}
+
+TEST(FairIntervalCoverTest, YesWhenBudgetAllowsBoth) {
+  // Same instance but k = 3 frees the second group-0 slot.
+  auto dp = FairIntervalCoverDp::Create(Bounds(3, {0, 1}, {2, 1}), 1 << 20);
+  ASSERT_TRUE(dp.ok());
+  auto groups = BuildGroups(
+      {{{0.0, 0.6, 1}, {0.5, 1.0, 2}}, {{0.2, 0.3, 3}}});
+  std::vector<int> sol;
+  ASSERT_TRUE(dp->Decide(groups, 1e-9, &sol));
+  std::sort(sol.begin(), sol.end());
+  EXPECT_EQ(sol, (std::vector<int>{1, 2}));  // Group 1 padding happens later.
+}
+
+TEST(FairIntervalCoverTest, TouchingEndpointsCount) {
+  auto dp = FairIntervalCoverDp::Create(Bounds(2, {0, 0}, {2, 2}), 1 << 20);
+  ASSERT_TRUE(dp.ok());
+  auto groups = BuildGroups({{{0.0, 0.5, 1}}, {{0.5, 1.0, 2}}});
+  std::vector<int> sol;
+  EXPECT_TRUE(dp->Decide(groups, 1e-9, &sol));
+}
+
+TEST(FairIntervalCoverTest, CreateRefusesHugeStateSpace) {
+  auto dp = FairIntervalCoverDp::Create(
+      Bounds(30, std::vector<int>(8, 0), std::vector<int>(8, 30)), 1000);
+  EXPECT_FALSE(dp.ok());
+  EXPECT_EQ(dp.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(FairIntervalCoverTest, MatchesBruteForceOnRandomInstances) {
+  Rng rng(4242);
+  int yes = 0;
+  int no = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    const int c_num = 1 + static_cast<int>(rng.UniformInt(3));
+    const int k = 1 + static_cast<int>(rng.UniformInt(4));
+    std::vector<int> lower(static_cast<size_t>(c_num)), upper(static_cast<size_t>(c_num));
+    long long sum_l = 0, sum_h = 0;
+    for (int c = 0; c < c_num; ++c) {
+      lower[static_cast<size_t>(c)] = static_cast<int>(rng.UniformInt(2));
+      upper[static_cast<size_t>(c)] =
+          lower[static_cast<size_t>(c)] + static_cast<int>(rng.UniformInt(3));
+      sum_l += lower[static_cast<size_t>(c)];
+      sum_h += upper[static_cast<size_t>(c)];
+    }
+    if (sum_l > k || sum_h < k) continue;
+    const GroupBounds bounds = Bounds(k, lower, upper);
+
+    std::vector<std::vector<CoverInterval>> per_group(
+        static_cast<size_t>(c_num));
+    int row = 0;
+    for (int c = 0; c < c_num; ++c) {
+      const int cnt = static_cast<int>(rng.UniformInt(4));
+      for (int i = 0; i < cnt; ++i) {
+        double a = rng.Uniform();
+        double b = rng.Uniform();
+        if (a > b) std::swap(a, b);
+        // Occasionally anchor at the borders to make "yes" likelier.
+        if (rng.Bernoulli(0.3)) a = 0.0;
+        if (rng.Bernoulli(0.3)) b = 1.0;
+        per_group[static_cast<size_t>(c)].push_back({a, b, row++});
+      }
+    }
+
+    auto dp = FairIntervalCoverDp::Create(bounds, 1 << 22);
+    ASSERT_TRUE(dp.ok());
+    std::vector<int> sol;
+    const bool fast = dp->Decide(BuildGroups(per_group), 1e-9, &sol);
+    const bool brute = BruteDecide(per_group, bounds);
+    ASSERT_EQ(fast, brute) << "trial " << trial;
+    fast ? ++yes : ++no;
+  }
+  // The sweep must exercise both outcomes to be meaningful.
+  EXPECT_GT(yes, 20);
+  EXPECT_GT(no, 20);
+}
+
+}  // namespace
+}  // namespace fairhms

@@ -1,0 +1,70 @@
+#include "common/statusor.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace fairhms {
+namespace {
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> s(42);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s.value(), 42);
+  EXPECT_EQ(*s, 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> s(Status::NotFound("nope"));
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusOrTest, OkStatusConvertedToInternal) {
+  StatusOr<int> s{Status::OK()};
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.status().code(), StatusCode::kInternal);
+}
+
+TEST(StatusOrTest, ValueOrFallsBack) {
+  StatusOr<int> err(Status::Internal("x"));
+  EXPECT_EQ(err.value_or(-1), -1);
+  StatusOr<int> ok(7);
+  EXPECT_EQ(ok.value_or(-1), 7);
+}
+
+TEST(StatusOrTest, MoveOnlyValueSupported) {
+  StatusOr<std::unique_ptr<int>> s(std::make_unique<int>(5));
+  ASSERT_TRUE(s.ok());
+  std::unique_ptr<int> v = std::move(s).value();
+  EXPECT_EQ(*v, 5);
+}
+
+TEST(StatusOrTest, ArrowOperator) {
+  StatusOr<std::string> s(std::string("abc"));
+  EXPECT_EQ(s->size(), 3u);
+}
+
+StatusOr<int> ParsePositive(int v) {
+  if (v <= 0) return Status::InvalidArgument("nonpositive");
+  return v;
+}
+
+StatusOr<int> DoubleIt(int v) {
+  FAIRHMS_ASSIGN_OR_RETURN(int parsed, ParsePositive(v));
+  return parsed * 2;
+}
+
+TEST(StatusOrTest, AssignOrReturnMacro) {
+  auto ok = DoubleIt(21);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 42);
+  auto err = DoubleIt(-1);
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace fairhms

@@ -1,0 +1,76 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace fairhms {
+namespace {
+
+TEST(SplitTest, BasicSplit) {
+  const auto parts = Split("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(SplitTest, KeepsEmptyFields) {
+  const auto parts = Split("a,,c,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(SplitTest, EmptyStringGivesOneEmptyField) {
+  const auto parts = Split("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(TrimTest, StripsWhitespace) {
+  EXPECT_EQ(Trim("  abc \t\n"), "abc");
+  EXPECT_EQ(Trim("abc"), "abc");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim(""), "");
+}
+
+TEST(ParseDoubleTest, ValidInputs) {
+  double v = 0;
+  EXPECT_TRUE(ParseDouble("3.25", &v));
+  EXPECT_DOUBLE_EQ(v, 3.25);
+  EXPECT_TRUE(ParseDouble("  -1e3 ", &v));
+  EXPECT_DOUBLE_EQ(v, -1000.0);
+  EXPECT_TRUE(ParseDouble("0", &v));
+  EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(ParseDoubleTest, RejectsGarbage) {
+  double v = 0;
+  EXPECT_FALSE(ParseDouble("", &v));
+  EXPECT_FALSE(ParseDouble("abc", &v));
+  EXPECT_FALSE(ParseDouble("1.5x", &v));
+  EXPECT_FALSE(ParseDouble("1.5 2.5", &v));
+}
+
+TEST(ParseInt64Test, ValidAndInvalid) {
+  int64_t v = 0;
+  EXPECT_TRUE(ParseInt64("-42", &v));
+  EXPECT_EQ(v, -42);
+  EXPECT_TRUE(ParseInt64(" 7 ", &v));
+  EXPECT_EQ(v, 7);
+  EXPECT_FALSE(ParseInt64("3.5", &v));
+  EXPECT_FALSE(ParseInt64("", &v));
+}
+
+TEST(StrFormatTest, FormatsLikePrintf) {
+  EXPECT_EQ(StrFormat("%d-%s", 3, "x"), "3-x");
+  EXPECT_EQ(StrFormat("%.2f", 1.2345), "1.23");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+TEST(JoinTest, JoinsWithSeparator) {
+  EXPECT_EQ(Join({"a", "b", "c"}, "+"), "a+b+c");
+  EXPECT_EQ(Join({"solo"}, "+"), "solo");
+  EXPECT_EQ(Join({}, "+"), "");
+}
+
+}  // namespace
+}  // namespace fairhms

@@ -1,0 +1,84 @@
+#include "core/evaluate.h"
+
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/exact_evaluator.h"
+#include "data/generators.h"
+#include "skyline/skyline.h"
+
+namespace fairhms {
+namespace {
+
+TEST(EvaluateTest, AutoPicksExact2D) {
+  Rng rng(1);
+  const Dataset data = GenIndependent(50, 2, &rng);
+  const auto sky = ComputeSkyline(data);
+  const std::vector<int> s = {sky.front(), sky.back()};
+  const double auto_val = EvaluateMhr(data, sky, s);
+  const double exact = MhrExact2D(data, sky, s);
+  EXPECT_DOUBLE_EQ(auto_val, exact);
+}
+
+TEST(EvaluateTest, AutoPicksLpForSmallSkylines) {
+  Rng rng(2);
+  const Dataset data = GenIndependent(60, 3, &rng);
+  const auto sky = ComputeSkyline(data);
+  const std::vector<int> s = {sky.front(), sky.back()};
+  const double auto_val = EvaluateMhr(data, sky, s);
+  const double lp = MhrExactLp(data, sky, s);
+  EXPECT_NEAR(auto_val, lp, 1e-12);
+}
+
+TEST(EvaluateTest, NetMethodUpperBoundsExact) {
+  Rng rng(3);
+  const Dataset data = GenIndependent(80, 3, &rng);
+  const auto sky = ComputeSkyline(data);
+  std::vector<int> s;
+  for (size_t i = 0; i < sky.size(); i += 4) s.push_back(sky[i]);
+  EvalOptions net_opts;
+  net_opts.method = MhrMethod::kNet;
+  net_opts.net_size = 5000;
+  const double net_val = EvaluateMhr(data, sky, s, net_opts);
+  const double exact = MhrExactLp(data, sky, s);
+  EXPECT_GE(net_val, exact - 1e-9);
+  EXPECT_LE(net_val, exact + 0.08);
+}
+
+TEST(EvaluateTest, EmptyInputsGiveZero) {
+  Rng rng(4);
+  const Dataset data = GenIndependent(10, 2, &rng);
+  EXPECT_DOUBLE_EQ(EvaluateMhr(data, {0, 1}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(EvaluateMhr(data, {}, {0}), 0.0);
+}
+
+TEST(EvaluateTest, ForcedMethodsConsistentOn2D) {
+  Rng rng(5);
+  const Dataset data = GenIndependent(40, 2, &rng);
+  const auto sky = ComputeSkyline(data);
+  std::vector<int> s = {sky[0]};
+  if (sky.size() > 2) s.push_back(sky[sky.size() / 2]);
+  EvalOptions lp_opts;
+  lp_opts.method = MhrMethod::kExactLp;
+  EvalOptions geo_opts;
+  geo_opts.method = MhrMethod::kExact2D;
+  EXPECT_NEAR(EvaluateMhr(data, sky, s, lp_opts),
+              EvaluateMhr(data, sky, s, geo_opts), 1e-7);
+}
+
+TEST(EvaluateTest, DeterministicNetEvaluation) {
+  Rng rng(6);
+  const Dataset data = GenIndependent(50, 4, &rng);
+  const auto sky = ComputeSkyline(data);
+  std::vector<int> s = {sky[0], sky[1 % sky.size()]};
+  EvalOptions opts;
+  opts.method = MhrMethod::kNet;
+  opts.net_size = 1000;
+  EXPECT_DOUBLE_EQ(EvaluateMhr(data, sky, s, opts),
+                   EvaluateMhr(data, sky, s, opts));
+}
+
+}  // namespace
+}  // namespace fairhms

@@ -1,0 +1,126 @@
+#include "data/csv.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+namespace fairhms {
+namespace {
+
+class CsvTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/fairhms_csv_test.csv";
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  void WriteFile(const std::string& content) {
+    std::ofstream out(path_);
+    out << content;
+  }
+
+  std::string path_;
+};
+
+TEST_F(CsvTest, ReadsNumericAndCategorical) {
+  WriteFile("lsat,gpa,gender\n160,3.5,F\n170,3.1,M\n155,3.9,F\n");
+  CsvReadOptions opts;
+  opts.numeric_columns = {"lsat", "gpa"};
+  opts.categorical_columns = {"gender"};
+  auto data = ReadCsv(path_, opts);
+  ASSERT_TRUE(data.ok()) << data.status();
+  EXPECT_EQ(data->size(), 3u);
+  EXPECT_EQ(data->dim(), 2);
+  EXPECT_DOUBLE_EQ(data->at(1, 0), 170.0);
+  ASSERT_EQ(data->num_categorical(), 1);
+  EXPECT_EQ(data->categorical(0).labels.size(), 2u);
+  EXPECT_EQ(data->categorical(0).codes[0], data->categorical(0).codes[2]);
+}
+
+TEST_F(CsvTest, ColumnOrderFollowsRequest) {
+  WriteFile("a,b\n1,2\n");
+  CsvReadOptions opts;
+  opts.numeric_columns = {"b", "a"};
+  auto data = ReadCsv(path_, opts);
+  ASSERT_TRUE(data.ok());
+  EXPECT_DOUBLE_EQ(data->at(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(data->at(0, 1), 1.0);
+}
+
+TEST_F(CsvTest, MissingColumnFails) {
+  WriteFile("a,b\n1,2\n");
+  CsvReadOptions opts;
+  opts.numeric_columns = {"zzz"};
+  EXPECT_EQ(ReadCsv(path_, opts).status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(CsvTest, BadNumericCellFailsByDefault) {
+  WriteFile("a\n1\nnope\n");
+  CsvReadOptions opts;
+  opts.numeric_columns = {"a"};
+  EXPECT_EQ(ReadCsv(path_, opts).status().code(), StatusCode::kIOError);
+}
+
+TEST_F(CsvTest, SkipBadRowsMode) {
+  WriteFile("a\n1\nnope\n3\n");
+  CsvReadOptions opts;
+  opts.numeric_columns = {"a"};
+  opts.skip_bad_rows = true;
+  auto data = ReadCsv(path_, opts);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->size(), 2u);
+}
+
+TEST_F(CsvTest, EmptyNumericColumnsRejected) {
+  WriteFile("a\n1\n");
+  EXPECT_EQ(ReadCsv(path_, CsvReadOptions{}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(CsvTest, MissingFileFails) {
+  CsvReadOptions opts;
+  opts.numeric_columns = {"a"};
+  EXPECT_EQ(ReadCsv("/nonexistent/file.csv", opts).status().code(),
+            StatusCode::kIOError);
+}
+
+TEST_F(CsvTest, BlankLinesSkipped) {
+  WriteFile("a\n1\n\n2\n");
+  CsvReadOptions opts;
+  opts.numeric_columns = {"a"};
+  auto data = ReadCsv(path_, opts);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->size(), 2u);
+}
+
+TEST_F(CsvTest, RoundTrip) {
+  Dataset data(std::vector<std::string>{"x", "y"});
+  data.AddCategoricalColumn("grp", {"one", "two"});
+  data.AddRow({0.25, 1.5}, {0});
+  data.AddRow({0.75, 2.5}, {1});
+  ASSERT_TRUE(WriteCsv(data, path_).ok());
+
+  CsvReadOptions opts;
+  opts.numeric_columns = {"x", "y"};
+  opts.categorical_columns = {"grp"};
+  auto back = ReadCsv(path_, opts);
+  ASSERT_TRUE(back.ok()) << back.status();
+  ASSERT_EQ(back->size(), 2u);
+  EXPECT_DOUBLE_EQ(back->at(0, 0), 0.25);
+  EXPECT_DOUBLE_EQ(back->at(1, 1), 2.5);
+  EXPECT_EQ(back->categorical(0).labels[back->categorical(0).codes[1]], "two");
+}
+
+TEST_F(CsvTest, CustomDelimiter) {
+  WriteFile("a;b\n1;2\n");
+  CsvReadOptions opts;
+  opts.delimiter = ';';
+  opts.numeric_columns = {"a", "b"};
+  auto data = ReadCsv(path_, opts);
+  ASSERT_TRUE(data.ok());
+  EXPECT_DOUBLE_EQ(data->at(0, 1), 2.0);
+}
+
+}  // namespace
+}  // namespace fairhms

@@ -1,0 +1,143 @@
+#include "data/generators.h"
+
+#include <gtest/gtest.h>
+
+#include "data/grouping.h"
+#include "skyline/skyline.h"
+
+namespace fairhms {
+namespace {
+
+TEST(GeneratorsTest, AntiCorrelatedShapeAndRange) {
+  Rng rng(1);
+  const Dataset data = GenAntiCorrelated(2000, 4, &rng);
+  EXPECT_EQ(data.size(), 2000u);
+  EXPECT_EQ(data.dim(), 4);
+  ASSERT_TRUE(data.Validate().ok());
+  for (size_t i = 0; i < data.size(); ++i) {
+    for (int j = 0; j < 4; ++j) {
+      EXPECT_GE(data.at(i, j), 0.0);
+      EXPECT_LE(data.at(i, j), 1.0);
+    }
+  }
+}
+
+TEST(GeneratorsTest, AntiCorrelatedHasNegativePairwiseCorrelation) {
+  Rng rng(2);
+  const Dataset data = GenAntiCorrelated(5000, 2, &rng);
+  double sx = 0, sy = 0, sxx = 0, syy = 0, sxy = 0;
+  const double n = static_cast<double>(data.size());
+  for (size_t i = 0; i < data.size(); ++i) {
+    const double x = data.at(i, 0);
+    const double y = data.at(i, 1);
+    sx += x; sy += y; sxx += x * x; syy += y * y; sxy += x * y;
+  }
+  const double cov = sxy / n - (sx / n) * (sy / n);
+  const double vx = sxx / n - (sx / n) * (sx / n);
+  const double vy = syy / n - (sy / n) * (sy / n);
+  const double corr = cov / std::sqrt(vx * vy);
+  EXPECT_LT(corr, -0.5);
+}
+
+TEST(GeneratorsTest, AntiCorrelatedSkylineIsHuge) {
+  Rng rng(3);
+  const Dataset data = GenAntiCorrelated(2000, 6, &rng);
+  const auto sky = ComputeSkyline(data);
+  // Table 2 reports 0.9n..n for anti-correlated data.
+  EXPECT_GT(sky.size(), data.size() * 7 / 10);
+}
+
+TEST(GeneratorsTest, CorrelatedSkylineIsTiny) {
+  Rng rng(4);
+  const Dataset data = GenCorrelated(5000, 4, &rng);
+  const auto sky = ComputeSkyline(data);
+  EXPECT_LT(sky.size(), 200u);
+}
+
+TEST(GeneratorsTest, IndependentUniform) {
+  Rng rng(5);
+  const Dataset data = GenIndependent(3000, 3, &rng);
+  ASSERT_TRUE(data.Validate().ok());
+  double mean = 0;
+  for (size_t i = 0; i < data.size(); ++i) mean += data.at(i, 0);
+  EXPECT_NEAR(mean / static_cast<double>(data.size()), 0.5, 0.03);
+}
+
+TEST(GeneratorsTest, DeterministicGivenSeed) {
+  Rng a(77), b(77);
+  const Dataset d1 = GenAntiCorrelated(100, 3, &a);
+  const Dataset d2 = GenAntiCorrelated(100, 3, &b);
+  for (size_t i = 0; i < 100; ++i) {
+    for (int j = 0; j < 3; ++j) EXPECT_DOUBLE_EQ(d1.at(i, j), d2.at(i, j));
+  }
+}
+
+TEST(GeneratorsTest, LawschsSimMatchesTable2Shape) {
+  Rng rng(6);
+  const Dataset data = MakeLawschsSim(&rng, 20000);
+  EXPECT_EQ(data.dim(), 2);
+  EXPECT_EQ(data.num_categorical(), 2);
+  auto gender = GroupByCategorical(data, "gender");
+  ASSERT_TRUE(gender.ok());
+  EXPECT_EQ(gender->num_groups, 2);
+  auto race = GroupByCategorical(data, "race");
+  ASSERT_TRUE(race.ok());
+  EXPECT_EQ(race->num_groups, 5);
+  // Positively correlated columns -> small per-group skylines (Table 2
+  // reports 19/42 for the real file).
+  const Dataset norm = data.ScaledByMax();
+  const auto pool = ComputeFairCandidatePool(norm, race.value());
+  EXPECT_LT(pool.size(), 300u);
+}
+
+TEST(GeneratorsTest, AdultSimShape) {
+  Rng rng(7);
+  const Dataset data = MakeAdultSim(&rng, 5000);
+  EXPECT_EQ(data.dim(), 5);
+  auto g = GroupByCategoricalProduct(data, {"gender", "race"});
+  ASSERT_TRUE(g.ok());
+  EXPECT_LE(g->num_groups, 10);
+  EXPECT_GE(g->num_groups, 6);  // Rare combos may be absent at small n.
+  ASSERT_TRUE(data.Validate().ok());
+}
+
+TEST(GeneratorsTest, AdultSimGenderSkewMatches) {
+  Rng rng(8);
+  const Dataset data = MakeAdultSim(&rng, 20000);
+  auto g = GroupByCategorical(data, "gender");
+  ASSERT_TRUE(g.ok());
+  const auto counts = g->Counts();
+  const double male_share =
+      static_cast<double>(std::max(counts[0], counts[1])) / 20000.0;
+  EXPECT_NEAR(male_share, 0.669, 0.02);
+}
+
+TEST(GeneratorsTest, CompasSimShape) {
+  Rng rng(9);
+  const Dataset data = MakeCompasSim(&rng, 4743);
+  EXPECT_EQ(data.dim(), 9);
+  EXPECT_EQ(data.size(), 4743u);
+  auto g = GroupByCategoricalProduct(data, {"gender", "isRecid"});
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_groups, 4);
+  ASSERT_TRUE(data.Validate().ok());
+}
+
+TEST(GeneratorsTest, CreditSimShape) {
+  Rng rng(10);
+  const Dataset data = MakeCreditSim(&rng, 1000);
+  EXPECT_EQ(data.dim(), 7);
+  EXPECT_EQ(data.size(), 1000u);
+  auto housing = GroupByCategorical(data, "housing");
+  ASSERT_TRUE(housing.ok());
+  EXPECT_EQ(housing->num_groups, 3);
+  auto job = GroupByCategorical(data, "job");
+  ASSERT_TRUE(job.ok());
+  EXPECT_EQ(job->num_groups, 4);
+  auto wy = GroupByCategorical(data, "working_years");
+  ASSERT_TRUE(wy.ok());
+  EXPECT_EQ(wy->num_groups, 5);
+}
+
+}  // namespace
+}  // namespace fairhms

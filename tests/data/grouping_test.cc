@@ -1,0 +1,114 @@
+#include "data/grouping.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_util.h"
+
+namespace fairhms {
+namespace {
+
+Dataset TwoColumnData() {
+  Dataset data(2);
+  data.AddCategoricalColumn("gender", {"F", "M"});
+  data.AddCategoricalColumn("race", {"A", "B", "C"});
+  data.AddRow({1, 1}, {0, 0});
+  data.AddRow({2, 2}, {1, 0});
+  data.AddRow({3, 3}, {0, 1});
+  data.AddRow({4, 4}, {1, 1});
+  data.AddRow({5, 5}, {0, 0});
+  return data;
+}
+
+TEST(GroupingTest, SingleGroup) {
+  const Grouping g = SingleGroup(4);
+  EXPECT_EQ(g.num_groups, 1);
+  EXPECT_EQ(g.group_of.size(), 4u);
+  EXPECT_EQ(g.Counts()[0], 4);
+}
+
+TEST(GroupingTest, ByCategorical) {
+  const Dataset data = TwoColumnData();
+  auto g = GroupByCategorical(data, "gender");
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_groups, 2);
+  const auto counts = g->Counts();
+  EXPECT_EQ(counts[g->group_of[0]], 3);  // F appears 3 times.
+}
+
+TEST(GroupingTest, MissingColumnFails) {
+  const Dataset data = TwoColumnData();
+  EXPECT_EQ(GroupByCategorical(data, "zzz").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(GroupingTest, ProductGrouping) {
+  const Dataset data = TwoColumnData();
+  auto g = GroupByCategoricalProduct(data, {"gender", "race"});
+  ASSERT_TRUE(g.ok());
+  // Occurring combos: F+A, M+A, F+B, M+B -> 4 groups (C never occurs).
+  EXPECT_EQ(g->num_groups, 4);
+  // Rows 0 and 4 share the F+A group.
+  EXPECT_EQ(g->group_of[0], g->group_of[4]);
+  EXPECT_NE(g->group_of[0], g->group_of[1]);
+}
+
+TEST(GroupingTest, ProductNamesJoined) {
+  const Dataset data = TwoColumnData();
+  auto g = GroupByCategoricalProduct(data, {"gender", "race"});
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->names[static_cast<size_t>(g->group_of[0])], "F+A");
+}
+
+TEST(GroupingTest, EmptyColumnsRejected) {
+  const Dataset data = TwoColumnData();
+  EXPECT_EQ(GroupByCategoricalProduct(data, {}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(GroupingTest, MembersPartitionRows) {
+  const Dataset data = TwoColumnData();
+  auto g = GroupByCategorical(data, "race");
+  ASSERT_TRUE(g.ok());
+  const auto members = g->Members();
+  size_t total = 0;
+  for (const auto& m : members) total += m.size();
+  EXPECT_EQ(total, data.size());
+}
+
+TEST(GroupingTest, SumRankSplitsEvenly) {
+  Dataset data(1);
+  for (int i = 0; i < 10; ++i) data.AddPoint({static_cast<double>(i)});
+  const Grouping g = GroupBySumRank(data, 5);
+  EXPECT_EQ(g.num_groups, 5);
+  const auto counts = g.Counts();
+  for (int c : counts) EXPECT_EQ(c, 2);
+  // Lowest sums land in group 0.
+  EXPECT_EQ(g.group_of[0], 0);
+  EXPECT_EQ(g.group_of[9], 4);
+}
+
+TEST(GroupingTest, SumRankUnevenSizes) {
+  Dataset data(1);
+  for (int i = 0; i < 7; ++i) data.AddPoint({static_cast<double>(i)});
+  const Grouping g = GroupBySumRank(data, 3);
+  const auto counts = g.Counts();
+  int total = 0;
+  for (int c : counts) {
+    EXPECT_GE(c, 2);
+    EXPECT_LE(c, 3);
+    total += c;
+  }
+  EXPECT_EQ(total, 7);
+}
+
+TEST(GroupingTest, SumRankSingleGroupDegenerates) {
+  Dataset data(1);
+  data.AddPoint({1});
+  data.AddPoint({2});
+  const Grouping g = GroupBySumRank(data, 1);
+  EXPECT_EQ(g.num_groups, 1);
+  EXPECT_EQ(g.Counts()[0], 2);
+}
+
+}  // namespace
+}  // namespace fairhms

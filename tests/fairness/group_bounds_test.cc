@@ -1,0 +1,160 @@
+#include "fairness/group_bounds.h"
+
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "testing/test_util.h"
+
+namespace fairhms {
+namespace {
+
+using testing::MakeGrouping;
+
+TEST(GroupBoundsTest, ExplicitValidates) {
+  auto ok = GroupBounds::Explicit(5, {1, 1}, {3, 3});
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->k, 5);
+  EXPECT_EQ(ok->num_groups(), 2);
+}
+
+TEST(GroupBoundsTest, ExplicitRejectsBadShapes) {
+  EXPECT_FALSE(GroupBounds::Explicit(5, {1}, {3, 3}).ok());
+  EXPECT_FALSE(GroupBounds::Explicit(0, {0}, {1}).ok());
+  EXPECT_FALSE(GroupBounds::Explicit(5, {2}, {1}).ok());    // l > h.
+  EXPECT_FALSE(GroupBounds::Explicit(5, {-1}, {2}).ok());   // Negative l.
+  EXPECT_FALSE(GroupBounds::Explicit(2, {2, 2}, {3, 3}).ok());  // sum(l) > k.
+  EXPECT_FALSE(GroupBounds::Explicit(9, {1, 1}, {3, 3}).ok());  // sum(h) < k.
+}
+
+TEST(GroupBoundsTest, ProportionalFollowsPaperFormula) {
+  // Paper Sec. 5.1: l_c = max(1, floor((1-a) k |Dc|/|D|)),
+  //                 h_c = min(k-C+1, ceil((1+a) k |Dc|/|D|)), a = 0.1.
+  const std::vector<int> counts = {800, 200};
+  const GroupBounds b = GroupBounds::Proportional(10, counts, 0.1);
+  EXPECT_EQ(b.lower[0], 7);   // floor(0.9 * 8) = 7.
+  EXPECT_EQ(b.upper[0], 9);   // min(9, ceil(1.1 * 8) = 9).
+  EXPECT_EQ(b.lower[1], 1);   // floor(0.9 * 2) = 1.
+  EXPECT_EQ(b.upper[1], 3);   // ceil(1.1 * 2) = 3.
+  EXPECT_TRUE(b.Validate(counts).ok());
+}
+
+TEST(GroupBoundsTest, ProportionalLowerAtLeastOne) {
+  const std::vector<int> counts = {9990, 10};
+  const GroupBounds b = GroupBounds::Proportional(10, counts, 0.1);
+  EXPECT_GE(b.lower[1], 1);  // "or at least 1".
+  EXPECT_LE(b.upper[0], 9);  // "or at most k-C+1".
+}
+
+TEST(GroupBoundsTest, ProportionalRepairsInfeasibleManyGroups) {
+  // 10 groups with a dominant one at k=16: the raw paper formula yields
+  // sum(l) > k (the "at least 1" floors plus the k-C+1 cap); the repair
+  // must deliver a satisfiable constraint.
+  const std::vector<int> counts = {18000, 9000, 800, 700, 600,
+                                   500,   400,  300, 200, 100};
+  const GroupBounds b = GroupBounds::Proportional(16, counts, 0.1);
+  EXPECT_TRUE(b.Validate(counts).ok());
+  long long sum_l = 0;
+  for (int l : b.lower) sum_l += l;
+  EXPECT_LE(sum_l, 16);
+}
+
+TEST(GroupBoundsTest, ProportionalRepairRaisesUppersWhenShort) {
+  // Two groups, k much larger than the proportional caps suggest.
+  const std::vector<int> counts = {50, 50};
+  const GroupBounds b = GroupBounds::Proportional(20, counts, 0.0);
+  EXPECT_TRUE(b.Validate(counts).ok());
+}
+
+TEST(GroupBoundsTest, BalancedFollowsFormula) {
+  const GroupBounds b = GroupBounds::Balanced(10, 4, 0.2);
+  for (int c = 0; c < 4; ++c) {
+    EXPECT_EQ(b.lower[static_cast<size_t>(c)], 2);  // floor(0.8 * 2.5).
+    EXPECT_EQ(b.upper[static_cast<size_t>(c)], 3);  // ceil(1.2 * 2.5).
+  }
+}
+
+TEST(GroupBoundsTest, ValidateDetectsSmallGroups) {
+  auto b = GroupBounds::Explicit(4, {3, 1}, {3, 3});
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b->Validate({2, 10}).code(), StatusCode::kInfeasible);
+  EXPECT_TRUE(b->Validate({3, 10}).ok());
+}
+
+TEST(GroupBoundsTest, ValidateDetectsUnreachableK) {
+  auto b = GroupBounds::Explicit(6, {0, 0}, {5, 5});
+  ASSERT_TRUE(b.ok());
+  // Only 2 + 3 = 5 tuples available.
+  EXPECT_EQ(b->Validate({2, 3}).code(), StatusCode::kInfeasible);
+}
+
+TEST(CountViolationsTest, ZeroForFairSolution) {
+  const Grouping g = MakeGrouping({0, 0, 1, 1}, 2);
+  auto b = GroupBounds::Explicit(2, {1, 1}, {1, 1});
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(CountViolations({0, 2}, g, *b), 0);
+}
+
+TEST(CountViolationsTest, CountsOverAndUnderRepresentation) {
+  const Grouping g = MakeGrouping({0, 0, 0, 1, 1}, 2);
+  auto b = GroupBounds::Explicit(2, {1, 1}, {1, 1});
+  ASSERT_TRUE(b.ok());
+  // Both from group 0: group 0 exceeds by 1, group 1 short by 1 -> err = 2.
+  EXPECT_EQ(CountViolations({0, 1}, g, *b), 2);
+}
+
+TEST(CountViolationsTest, MatchesEquationThree) {
+  const Grouping g = MakeGrouping({0, 0, 0, 0, 1, 1, 2}, 3);
+  auto b = GroupBounds::Explicit(4, {1, 1, 1}, {2, 2, 2});
+  ASSERT_TRUE(b.ok());
+  // Solution: 3 from group 0 (over by 1), 1 from group 1 (ok), 0 from group
+  // 2 (under by 1) -> err = 2.
+  EXPECT_EQ(CountViolations({0, 1, 2, 4}, g, *b), 2);
+}
+
+TEST(SolutionGroupCountsTest, Counts) {
+  const Grouping g = MakeGrouping({0, 1, 1, 2}, 3);
+  const auto counts = SolutionGroupCounts({0, 1, 2}, g);
+  EXPECT_EQ(counts, (std::vector<int>{1, 2, 0}));
+}
+
+TEST(AllocateQuotasTest, RespectsBoundsAndSumsToK) {
+  auto b = GroupBounds::Explicit(10, {1, 1, 1}, {6, 6, 6});
+  ASSERT_TRUE(b.ok());
+  auto q = AllocateQuotas(*b, {700, 200, 100}, {100, 100, 100});
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(std::accumulate(q->begin(), q->end(), 0), 10);
+  for (size_t c = 0; c < 3; ++c) {
+    EXPECT_GE((*q)[c], b->lower[c]);
+    EXPECT_LE((*q)[c], b->upper[c]);
+  }
+  // Dominant group gets the most.
+  EXPECT_GT((*q)[0], (*q)[1]);
+  EXPECT_GE((*q)[1], (*q)[2]);
+}
+
+TEST(AllocateQuotasTest, CapsRespected) {
+  auto b = GroupBounds::Explicit(6, {0, 0}, {6, 6});
+  ASSERT_TRUE(b.ok());
+  auto q = AllocateQuotas(*b, {100, 100}, {2, 10});
+  ASSERT_TRUE(q.ok());
+  EXPECT_LE((*q)[0], 2);
+  EXPECT_EQ((*q)[0] + (*q)[1], 6);
+}
+
+TEST(AllocateQuotasTest, InfeasibleWhenCapsTooTight) {
+  auto b = GroupBounds::Explicit(6, {0, 0}, {6, 6});
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(AllocateQuotas(*b, {1, 1}, {2, 2}).status().code(),
+            StatusCode::kInfeasible);
+}
+
+TEST(AllocateQuotasTest, LowerBoundAboveCapFails) {
+  auto b = GroupBounds::Explicit(4, {3, 0}, {3, 4});
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(AllocateQuotas(*b, {1, 1}, {2, 4}).status().code(),
+            StatusCode::kInfeasible);
+}
+
+}  // namespace
+}  // namespace fairhms

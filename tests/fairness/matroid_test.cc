@@ -1,0 +1,201 @@
+#include "fairness/matroid.h"
+
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "testing/test_util.h"
+
+namespace fairhms {
+namespace {
+
+using testing::MakeGrouping;
+
+FairnessMatroid MakeMatroid(int k, std::vector<int> lower,
+                            std::vector<int> upper) {
+  auto b = GroupBounds::Explicit(k, std::move(lower), std::move(upper));
+  EXPECT_TRUE(b.ok());
+  return FairnessMatroid(*b);
+}
+
+TEST(FairnessMatroidTest, EmptySetIndependent) {
+  const FairnessMatroid m = MakeMatroid(3, {1, 1}, {2, 2});
+  EXPECT_TRUE(m.IsIndependent({0, 0}));
+}
+
+TEST(FairnessMatroidTest, UpperBoundEnforced) {
+  const FairnessMatroid m = MakeMatroid(4, {0, 0}, {2, 2});
+  EXPECT_TRUE(m.IsIndependent({2, 2}));
+  EXPECT_FALSE(m.IsIndependent({3, 0}));
+}
+
+TEST(FairnessMatroidTest, LowerBoundsReserveRoom) {
+  // k=3, l=(0,2): picking 2 from group 0 leaves no room for group 1's
+  // reserved 2 slots: max(2,0)+max(0,2) = 4 > 3.
+  const FairnessMatroid m = MakeMatroid(3, {0, 2}, {3, 3});
+  EXPECT_TRUE(m.IsIndependent({1, 0}));
+  EXPECT_FALSE(m.IsIndependent({2, 0}));
+  EXPECT_TRUE(m.IsIndependent({1, 2}));
+}
+
+TEST(FairnessMatroidTest, CanAddConsistentWithIsIndependent) {
+  const FairnessMatroid m = MakeMatroid(3, {0, 2}, {3, 3});
+  std::vector<int> counts = {1, 0};
+  EXPECT_FALSE(m.CanAdd(counts, 0));
+  EXPECT_TRUE(m.CanAdd(counts, 1));
+}
+
+TEST(FairnessMatroidTest, FairSizeKSetsAreIndependent) {
+  // Every count vector with l <= counts <= h and sum = k is independent.
+  const FairnessMatroid m = MakeMatroid(5, {1, 2}, {3, 4});
+  for (int a = 1; a <= 3; ++a) {
+    const int b = 5 - a;
+    if (b >= 2 && b <= 4) {
+      EXPECT_TRUE(m.IsIndependent({a, b})) << a << "," << b;
+    }
+  }
+}
+
+// Matroid axioms verified on random instances by exhaustive enumeration of
+// count vectors (the independence system is defined purely on counts).
+TEST(FairnessMatroidTest, DownwardClosureProperty) {
+  Rng rng(7);
+  for (int trial = 0; trial < 30; ++trial) {
+    const int c_num = 2 + static_cast<int>(rng.UniformInt(2));
+    const int k = 3 + static_cast<int>(rng.UniformInt(5));
+    std::vector<int> lower(static_cast<size_t>(c_num)), upper(static_cast<size_t>(c_num));
+    int sum_l = 0;
+    for (int c = 0; c < c_num; ++c) {
+      lower[static_cast<size_t>(c)] = static_cast<int>(rng.UniformInt(2));
+      sum_l += lower[static_cast<size_t>(c)];
+      upper[static_cast<size_t>(c)] =
+          lower[static_cast<size_t>(c)] + static_cast<int>(rng.UniformInt(4));
+    }
+    if (sum_l > k) continue;
+    long long sum_h = 0;
+    for (int c = 0; c < c_num; ++c) sum_h += upper[static_cast<size_t>(c)];
+    if (sum_h < k) continue;
+    const FairnessMatroid m = MakeMatroid(k, lower, upper);
+
+    // Enumerate all count vectors up to upper bounds.
+    std::vector<int> counts(static_cast<size_t>(c_num), 0);
+    std::function<void(int)> rec = [&](int c) {
+      if (c == c_num) {
+        if (!m.IsIndependent(counts)) return;
+        // Every coordinate-wise decrement stays independent.
+        for (int i = 0; i < c_num; ++i) {
+          if (counts[static_cast<size_t>(i)] > 0) {
+            --counts[static_cast<size_t>(i)];
+            EXPECT_TRUE(m.IsIndependent(counts));
+            ++counts[static_cast<size_t>(i)];
+          }
+        }
+        return;
+      }
+      for (int v = 0; v <= upper[static_cast<size_t>(c)] + 1; ++v) {
+        counts[static_cast<size_t>(c)] = v;
+        rec(c + 1);
+      }
+      counts[static_cast<size_t>(c)] = 0;
+    };
+    rec(0);
+  }
+}
+
+TEST(FairnessMatroidTest, ExchangePropertyOnCounts) {
+  // If |S2| > |S1| and both independent, some group with more elements in S2
+  // can donate one to S1.
+  Rng rng(11);
+  for (int trial = 0; trial < 30; ++trial) {
+    const int c_num = 2 + static_cast<int>(rng.UniformInt(2));
+    const int k = 4 + static_cast<int>(rng.UniformInt(4));
+    std::vector<int> lower(static_cast<size_t>(c_num), 0), upper(static_cast<size_t>(c_num));
+    for (int c = 0; c < c_num; ++c) {
+      lower[static_cast<size_t>(c)] = static_cast<int>(rng.UniformInt(2));
+      upper[static_cast<size_t>(c)] =
+          lower[static_cast<size_t>(c)] + 1 + static_cast<int>(rng.UniformInt(3));
+    }
+    long long sl = std::accumulate(lower.begin(), lower.end(), 0LL);
+    long long sh = std::accumulate(upper.begin(), upper.end(), 0LL);
+    if (sl > k || sh < k) continue;
+    const FairnessMatroid m = MakeMatroid(k, lower, upper);
+
+    // Sample random independent pairs.
+    for (int probe = 0; probe < 200; ++probe) {
+      std::vector<int> s1(static_cast<size_t>(c_num)), s2(static_cast<size_t>(c_num));
+      for (int c = 0; c < c_num; ++c) {
+        s1[static_cast<size_t>(c)] = static_cast<int>(rng.UniformInt(
+            static_cast<uint64_t>(upper[static_cast<size_t>(c)] + 1)));
+        s2[static_cast<size_t>(c)] = static_cast<int>(rng.UniformInt(
+            static_cast<uint64_t>(upper[static_cast<size_t>(c)] + 1)));
+      }
+      if (!m.IsIndependent(s1) || !m.IsIndependent(s2)) continue;
+      const int n1 = std::accumulate(s1.begin(), s1.end(), 0);
+      const int n2 = std::accumulate(s2.begin(), s2.end(), 0);
+      if (n2 <= n1) continue;
+      bool can_exchange = false;
+      for (int c = 0; c < c_num; ++c) {
+        if (s2[static_cast<size_t>(c)] > s1[static_cast<size_t>(c)] &&
+            m.CanAdd(s1, c)) {
+          can_exchange = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(can_exchange)
+          << "exchange axiom violated at trial " << trial;
+    }
+  }
+}
+
+TEST(FairSelectionTest, TracksCountsAndMaximality) {
+  const Grouping g = MakeGrouping({0, 0, 1, 1}, 2);
+  auto b = GroupBounds::Explicit(2, {1, 1}, {1, 1});
+  ASSERT_TRUE(b.ok());
+  const FairnessMatroid m(*b);
+  FairSelection sel(&m, &g);
+  EXPECT_FALSE(sel.IsMaximal());
+  EXPECT_TRUE(sel.CanAdd(0));
+  sel.Add(0);
+  EXPECT_FALSE(sel.CanAdd(1));  // Group 0 is full (h=1).
+  EXPECT_TRUE(sel.CanAdd(2));
+  sel.Add(2);
+  EXPECT_TRUE(sel.IsMaximal());
+  EXPECT_EQ(sel.size(), 2);
+  EXPECT_EQ(sel.counts(), (std::vector<int>{1, 1}));
+}
+
+TEST(FairSelectionTest, MaximalSelectionsHaveSizeK) {
+  // Greedy-fill random orders; maximal independent sets in the fairness
+  // matroid always have exactly k elements.
+  Rng rng(13);
+  const int n = 30;
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<int> assign(n);
+    const int c_num = 3;
+    for (auto& a : assign) a = static_cast<int>(rng.UniformInt(c_num));
+    const Grouping g = MakeGrouping(assign, c_num);
+    const auto counts = g.Counts();
+    if (*std::min_element(counts.begin(), counts.end()) < 2) continue;
+    auto b = GroupBounds::Explicit(6, {1, 1, 1}, {4, 4, 4});
+    ASSERT_TRUE(b.ok());
+    const FairnessMatroid m(*b);
+    FairSelection sel(&m, &g);
+    std::vector<int> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    rng.Shuffle(&order);
+    for (int r : order) {
+      if (sel.CanAdd(r)) sel.Add(r);
+    }
+    EXPECT_TRUE(sel.IsMaximal());
+    EXPECT_EQ(sel.size(), 6);
+    // And the result satisfies the fairness constraint.
+    for (int c = 0; c < c_num; ++c) {
+      EXPECT_GE(sel.counts()[static_cast<size_t>(c)], 1);
+      EXPECT_LE(sel.counts()[static_cast<size_t>(c)], 4);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fairhms

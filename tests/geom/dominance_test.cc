@@ -1,0 +1,44 @@
+#include "geom/dominance.h"
+
+#include <gtest/gtest.h>
+
+namespace fairhms {
+namespace {
+
+TEST(DominanceTest, StrictDominance) {
+  const double a[] = {1.0, 1.0};
+  const double b[] = {0.5, 0.5};
+  EXPECT_TRUE(Dominates(a, b, 2));
+  EXPECT_FALSE(Dominates(b, a, 2));
+}
+
+TEST(DominanceTest, EqualPointsDoNotDominate) {
+  const double a[] = {0.3, 0.7};
+  EXPECT_FALSE(Dominates(a, a, 2));
+  EXPECT_TRUE(WeaklyDominates(a, a, 2));
+}
+
+TEST(DominanceTest, PartialImprovementCounts) {
+  const double a[] = {1.0, 0.5};
+  const double b[] = {1.0, 0.4};
+  EXPECT_TRUE(Dominates(a, b, 2));  // Equal in dim 0, better in dim 1.
+}
+
+TEST(DominanceTest, IncomparablePoints) {
+  const double a[] = {1.0, 0.0};
+  const double b[] = {0.0, 1.0};
+  EXPECT_FALSE(Dominates(a, b, 2));
+  EXPECT_FALSE(Dominates(b, a, 2));
+  EXPECT_FALSE(WeaklyDominates(a, b, 2));
+}
+
+TEST(DominanceTest, HigherDimensions) {
+  const double a[] = {0.5, 0.5, 0.5, 0.6};
+  const double b[] = {0.5, 0.5, 0.5, 0.5};
+  EXPECT_TRUE(Dominates(a, b, 4));
+  EXPECT_FALSE(Dominates(a, b, 3));  // Restricted to first 3 dims: equal.
+  EXPECT_TRUE(WeaklyDominates(a, b, 3));
+}
+
+}  // namespace
+}  // namespace fairhms

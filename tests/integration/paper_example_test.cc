@@ -1,0 +1,117 @@
+// Reproduces the paper's running example end to end (Table 1, the intro's
+// k = 3 HMS anecdote, and Example 2.2), validating the whole stack —
+// normalization, skyline, envelope, IntCov, fairness — against published
+// numbers.
+
+#include <gtest/gtest.h>
+
+#include "algo/intcov.h"
+#include "core/exact_evaluator.h"
+#include "data/grouping.h"
+#include "fairness/group_bounds.h"
+#include "skyline/skyline.h"
+#include "testing/test_util.h"
+
+namespace fairhms {
+namespace {
+
+using testing::MakeLsacExample;
+
+class PaperExampleTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    data_ = std::make_unique<Dataset>(MakeLsacExample());
+    sky_ = ComputeSkyline(*data_);
+  }
+  std::unique_ptr<Dataset> data_;
+  std::vector<int> sky_;
+};
+
+TEST_F(PaperExampleTest, AllApplicantsAreInTheSkyline) {
+  // "Since all the applicants are in the skyline ..." (paper Sec. 1).
+  EXPECT_EQ(sky_.size(), 8u);
+}
+
+TEST_F(PaperExampleTest, HmsK3SelectsThreeMales) {
+  // Intro: unconstrained HMS with k = 3 returns {a4, a5, a7} with minimum
+  // happiness ratio 0.9984 — all male applicants.
+  const Grouping g = SingleGroup(8);
+  auto bounds = GroupBounds::Explicit(3, {0}, {3});
+  ASSERT_TRUE(bounds.ok());
+  auto sol = IntCov(*data_, g, *bounds);
+  ASSERT_TRUE(sol.ok()) << sol.status();
+  EXPECT_EQ(sol->rows, (std::vector<int>{3, 4, 6}));  // a4, a5, a7.
+  EXPECT_NEAR(sol->mhr, 0.9984, 5e-4);
+  // All three are male (codes: 1 = Male).
+  for (int r : sol->rows) {
+    EXPECT_EQ(data_->categorical(0).codes[static_cast<size_t>(r)], 1);
+  }
+}
+
+TEST_F(PaperExampleTest, HmsK3ViolatesProportionalGenderFairness) {
+  auto gender = GroupByCategorical(*data_, "gender");
+  ASSERT_TRUE(gender.ok());
+  const GroupBounds bounds =
+      GroupBounds::Proportional(3, gender->Counts(), 0.1);
+  // {a4, a5, a7} has 0 females but the female lower bound is >= 1.
+  EXPECT_GT(CountViolations({3, 4, 6}, *gender, bounds), 0);
+}
+
+TEST_F(PaperExampleTest, Example22UnconstrainedK2) {
+  // Example 2.2: HMS with k = 2 returns S0 = {a4, a5}, mhr(S0) = 0.9846.
+  const Grouping g = SingleGroup(8);
+  auto bounds = GroupBounds::Explicit(2, {0}, {2});
+  ASSERT_TRUE(bounds.ok());
+  auto sol = IntCov(*data_, g, *bounds);
+  ASSERT_TRUE(sol.ok()) << sol.status();
+  EXPECT_EQ(sol->rows, (std::vector<int>{3, 4}));  // a4, a5.
+  EXPECT_NEAR(sol->mhr, 0.9846, 5e-4);
+}
+
+TEST_F(PaperExampleTest, Example22FairK2) {
+  // Example 2.2: with gender bounds l = h = 1, the optimum is {a5, a8} with
+  // mhr = 0.9834.
+  auto gender = GroupByCategorical(*data_, "gender");
+  ASSERT_TRUE(gender.ok());
+  auto bounds = GroupBounds::Explicit(2, {1, 1}, {1, 1});
+  ASSERT_TRUE(bounds.ok());
+  auto sol = IntCov(*data_, *gender, *bounds);
+  ASSERT_TRUE(sol.ok()) << sol.status();
+  EXPECT_EQ(sol->rows, (std::vector<int>{4, 7}));  // a5, a8.
+  EXPECT_NEAR(sol->mhr, 0.9834, 5e-4);
+  EXPECT_EQ(CountViolations(sol->rows, *gender, *bounds), 0);
+}
+
+TEST_F(PaperExampleTest, PublishedMhrValuesMatchExactEvaluators) {
+  // The three published mhr values, checked against both exact engines.
+  EXPECT_NEAR(MhrExact2D(*data_, sky_, {3, 4}), 0.9846, 5e-4);
+  EXPECT_NEAR(MhrExact2D(*data_, sky_, {4, 7}), 0.9834, 5e-4);
+  EXPECT_NEAR(MhrExact2D(*data_, sky_, {3, 4, 6}), 0.9984, 5e-4);
+  EXPECT_NEAR(MhrExactLp(*data_, sky_, {3, 4}), 0.9846, 5e-4);
+  EXPECT_NEAR(MhrExactLp(*data_, sky_, {4, 7}), 0.9834, 5e-4);
+  EXPECT_NEAR(MhrExactLp(*data_, sky_, {3, 4, 6}), 0.9984, 5e-4);
+}
+
+TEST_F(PaperExampleTest, PriceOfFairnessIsSmall) {
+  // 0.9846 -> 0.9834: the paper's point that fairness costs little.
+  const double unfair = MhrExact2D(*data_, sky_, {3, 4});
+  const double fair = MhrExact2D(*data_, sky_, {4, 7});
+  EXPECT_LT(unfair - fair, 0.01);
+  EXPECT_GT(unfair, fair);
+}
+
+TEST_F(PaperExampleTest, RaceFairSelectionFeasible) {
+  // Race has 4 groups of 2; l = h = 1 with k = 4 must be solvable.
+  auto race = GroupByCategorical(*data_, "race");
+  ASSERT_TRUE(race.ok());
+  ASSERT_EQ(race->num_groups, 4);
+  auto bounds = GroupBounds::Explicit(4, {1, 1, 1, 1}, {1, 1, 1, 1});
+  ASSERT_TRUE(bounds.ok());
+  auto sol = IntCov(*data_, *race, *bounds);
+  ASSERT_TRUE(sol.ok()) << sol.status();
+  EXPECT_EQ(sol->rows.size(), 4u);
+  EXPECT_EQ(CountViolations(sol->rows, *race, *bounds), 0);
+}
+
+}  // namespace
+}  // namespace fairhms

@@ -1,0 +1,159 @@
+// Parameterized property sweeps (TEST_P) across dimensionality, group
+// count, solution size and data distribution.
+
+#include <numeric>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "algo/bigreedy.h"
+#include "algo/fair_greedy.h"
+#include "algo/intcov.h"
+#include "common/random.h"
+#include "core/exact_evaluator.h"
+#include "data/generators.h"
+#include "skyline/skyline.h"
+#include "testing/test_util.h"
+
+namespace fairhms {
+namespace {
+
+using testing::BruteForceSkyline;
+using testing::ForEachSubset;
+
+// ---------------------------------------------------------------------------
+// Skyline correctness across (n, d, distribution).
+
+enum class Distro { kIndependent, kAntiCorrelated, kCorrelated };
+
+class SkylineSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, Distro>> {};
+
+TEST_P(SkylineSweep, MatchesBruteForce) {
+  const auto [n, d, distro] = GetParam();
+  Rng rng(static_cast<uint64_t>(n * 131 + d * 17 + static_cast<int>(distro)));
+  Dataset data(1);
+  switch (distro) {
+    case Distro::kIndependent:
+      data = GenIndependent(static_cast<size_t>(n), d, &rng);
+      break;
+    case Distro::kAntiCorrelated:
+      data = GenAntiCorrelated(static_cast<size_t>(n), d, &rng);
+      break;
+    case Distro::kCorrelated:
+      data = GenCorrelated(static_cast<size_t>(n), d, &rng);
+      break;
+  }
+  std::vector<int> rows(static_cast<size_t>(n));
+  std::iota(rows.begin(), rows.end(), 0);
+  auto brute = BruteForceSkyline(data, rows);
+  std::sort(brute.begin(), brute.end());
+  EXPECT_EQ(ComputeSkyline(data), brute);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, SkylineSweep,
+    ::testing::Combine(::testing::Values(50, 120, 250),
+                       ::testing::Values(2, 3, 5, 7),
+                       ::testing::Values(Distro::kIndependent,
+                                         Distro::kAntiCorrelated,
+                                         Distro::kCorrelated)));
+
+// ---------------------------------------------------------------------------
+// Fair feasibility across (d, C, k): every fair solver returns a fair set of
+// exactly k rows on random instances.
+
+class FairFeasibilitySweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(FairFeasibilitySweep, BiGreedyAndFairGreedyAlwaysFair) {
+  const auto [d, c_num, k] = GetParam();
+  if (k < c_num) GTEST_SKIP() << "k below one-per-group";
+  Rng rng(static_cast<uint64_t>(d * 1009 + c_num * 31 + k));
+  const Dataset data = GenAntiCorrelated(250, d, &rng);
+  const Grouping g = GroupBySumRank(data, c_num);
+  const GroupBounds bounds = GroupBounds::Proportional(k, g.Counts(), 0.1);
+  ASSERT_TRUE(bounds.Validate(g.Counts()).ok());
+
+  auto bg = BiGreedy(data, g, bounds);
+  ASSERT_TRUE(bg.ok()) << bg.status();
+  EXPECT_EQ(static_cast<int>(bg->rows.size()), k);
+  EXPECT_EQ(CountViolations(bg->rows, g, bounds), 0);
+
+  auto fg = FairGreedy(data, g, bounds);
+  ASSERT_TRUE(fg.ok()) << fg.status();
+  EXPECT_EQ(static_cast<int>(fg->rows.size()), k);
+  EXPECT_EQ(CountViolations(fg->rows, g, bounds), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, FairFeasibilitySweep,
+                         ::testing::Combine(::testing::Values(2, 4, 6),
+                                            ::testing::Values(2, 4, 5),
+                                            ::testing::Values(6, 10, 15)));
+
+// ---------------------------------------------------------------------------
+// IntCov exactness across (n, k, C) by brute-force enumeration.
+
+class IntCovExactnessSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(IntCovExactnessSweep, MatchesEnumeration) {
+  const auto [n, k, c_num] = GetParam();
+  if (k < c_num) GTEST_SKIP();
+  Rng rng(static_cast<uint64_t>(n * 7 + k * 101 + c_num));
+  const Dataset data = GenIndependent(static_cast<size_t>(n), 2, &rng);
+  const Grouping g = GroupBySumRank(data, c_num);
+  const GroupBounds bounds = GroupBounds::Proportional(k, g.Counts(), 0.5);
+  if (!bounds.Validate(g.Counts()).ok()) GTEST_SKIP();
+
+  auto sol = IntCov(data, g, bounds);
+  ASSERT_TRUE(sol.ok()) << sol.status();
+
+  const auto sky = ComputeSkyline(data);
+  std::vector<int> all(static_cast<size_t>(n));
+  std::iota(all.begin(), all.end(), 0);
+  double best = -1.0;
+  ForEachSubset(all, k, [&](const std::vector<int>& subset) {
+    if (CountViolations(subset, g, bounds) != 0) return;
+    best = std::max(best, MhrExact2D(data, sky, subset));
+  });
+  ASSERT_GE(best, 0.0);
+  EXPECT_NEAR(sol->mhr, best, 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, IntCovExactnessSweep,
+                         ::testing::Combine(::testing::Values(8, 10, 12),
+                                            ::testing::Values(2, 3, 4),
+                                            ::testing::Values(1, 2, 3)));
+
+// ---------------------------------------------------------------------------
+// Lemma 4.1 across dimensions: the net estimate upper-bounds the exact mhr
+// and stays within the error bound for the realized delta.
+
+class NetErrorSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(NetErrorSweep, NetUpperBoundsExactWithinLemmaError) {
+  const int d = GetParam();
+  Rng rng(static_cast<uint64_t>(d) * 7919);
+  const Dataset data = GenAntiCorrelated(80, d, &rng);
+  const auto sky = ComputeSkyline(data);
+  std::vector<int> sol;
+  for (size_t i = 0; i < sky.size(); i += 5) sol.push_back(sky[i]);
+  const double exact = MhrExactLp(data, sky, sol);
+
+  const size_t m = 4000;
+  Rng net_rng(3);
+  const UtilityNet net = UtilityNet::SampleRandom(d, m, &net_rng);
+  const NetEvaluator eval(&data, &net, sky);
+  const double net_mhr = eval.Mhr(sol);
+  EXPECT_GE(net_mhr, exact - 1e-9) << "net must upper-bound exact";
+  // Loose sanity ceiling: within the Lemma 4.1 bound for the delta that m
+  // random samples plausibly achieve, padded generously for randomness.
+  const double delta = UtilityNet::SampleSizeToDelta(m, d);
+  EXPECT_LE(net_mhr - exact, UtilityNet::MhrErrorBound(delta, d) + 0.15);
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, NetErrorSweep, ::testing::Values(2, 3, 4, 5));
+
+}  // namespace
+}  // namespace fairhms

@@ -1,0 +1,186 @@
+#include "lp/simplex.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace fairhms {
+namespace {
+
+TEST(SimplexTest, SimpleMaximization) {
+  // max 3x + 2y  s.t. x + y <= 4, x + 3y <= 6;  optimum at (4, 0) = 12.
+  LpProblem lp(2);
+  lp.SetObjective({3, 2});
+  lp.AddConstraint({1, 1}, RelOp::kLe, 4);
+  lp.AddConstraint({1, 3}, RelOp::kLe, 6);
+  const LpResult res = lp.Solve();
+  ASSERT_EQ(res.status, LpStatus::kOptimal);
+  EXPECT_NEAR(res.objective, 12.0, 1e-9);
+  EXPECT_NEAR(res.x[0], 4.0, 1e-9);
+  EXPECT_NEAR(res.x[1], 0.0, 1e-9);
+}
+
+TEST(SimplexTest, InteriorOptimum) {
+  // max x + y  s.t. 2x + y <= 4, x + 2y <= 4; optimum (4/3, 4/3) = 8/3.
+  LpProblem lp(2);
+  lp.SetObjective({1, 1});
+  lp.AddConstraint({2, 1}, RelOp::kLe, 4);
+  lp.AddConstraint({1, 2}, RelOp::kLe, 4);
+  const LpResult res = lp.Solve();
+  ASSERT_EQ(res.status, LpStatus::kOptimal);
+  EXPECT_NEAR(res.objective, 8.0 / 3.0, 1e-9);
+  EXPECT_NEAR(res.x[0], 4.0 / 3.0, 1e-9);
+}
+
+TEST(SimplexTest, EqualityConstraint) {
+  // max x  s.t. x + y = 1; optimum x = 1.
+  LpProblem lp(2);
+  lp.SetObjective({1, 0});
+  lp.AddConstraint({1, 1}, RelOp::kEq, 1);
+  const LpResult res = lp.Solve();
+  ASSERT_EQ(res.status, LpStatus::kOptimal);
+  EXPECT_NEAR(res.objective, 1.0, 1e-9);
+  EXPECT_NEAR(res.x[1], 0.0, 1e-9);
+}
+
+TEST(SimplexTest, GreaterEqualConstraint) {
+  // min x + y (max -x - y) s.t. x + y >= 2 -> optimum -2.
+  LpProblem lp(2);
+  lp.SetObjective({-1, -1});
+  lp.AddConstraint({1, 1}, RelOp::kGe, 2);
+  const LpResult res = lp.Solve();
+  ASSERT_EQ(res.status, LpStatus::kOptimal);
+  EXPECT_NEAR(res.objective, -2.0, 1e-9);
+}
+
+TEST(SimplexTest, DetectsInfeasible) {
+  LpProblem lp(1);
+  lp.SetObjective({1});
+  lp.AddConstraint({1}, RelOp::kLe, 1);
+  lp.AddConstraint({1}, RelOp::kGe, 2);
+  EXPECT_EQ(lp.Solve().status, LpStatus::kInfeasible);
+}
+
+TEST(SimplexTest, DetectsInfeasibleEqualities) {
+  LpProblem lp(2);
+  lp.SetObjective({1, 0});
+  lp.AddConstraint({1, 1}, RelOp::kEq, 1);
+  lp.AddConstraint({1, 1}, RelOp::kEq, 2);
+  EXPECT_EQ(lp.Solve().status, LpStatus::kInfeasible);
+}
+
+TEST(SimplexTest, DetectsUnbounded) {
+  LpProblem lp(2);
+  lp.SetObjective({1, 0});
+  lp.AddConstraint({0, 1}, RelOp::kLe, 1);  // x unconstrained above.
+  EXPECT_EQ(lp.Solve().status, LpStatus::kUnbounded);
+}
+
+TEST(SimplexTest, NegativeRhsNormalized) {
+  // max -x s.t. -x <= -2 (i.e. x >= 2): optimum x = 2, objective -2.
+  LpProblem lp(1);
+  lp.SetObjective({-1});
+  lp.AddConstraint({-1}, RelOp::kLe, -2);
+  const LpResult res = lp.Solve();
+  ASSERT_EQ(res.status, LpStatus::kOptimal);
+  EXPECT_NEAR(res.x[0], 2.0, 1e-9);
+}
+
+TEST(SimplexTest, RedundantConstraintsHandled) {
+  LpProblem lp(2);
+  lp.SetObjective({1, 1});
+  lp.AddConstraint({1, 0}, RelOp::kLe, 1);
+  lp.AddConstraint({1, 0}, RelOp::kLe, 1);  // Duplicate.
+  lp.AddConstraint({2, 0}, RelOp::kLe, 2);  // Scaled duplicate.
+  lp.AddConstraint({0, 1}, RelOp::kLe, 1);
+  const LpResult res = lp.Solve();
+  ASSERT_EQ(res.status, LpStatus::kOptimal);
+  EXPECT_NEAR(res.objective, 2.0, 1e-9);
+}
+
+TEST(SimplexTest, DegenerateVertexTerminates) {
+  // Klee-Minty-ish degenerate instance; must terminate and be optimal.
+  LpProblem lp(3);
+  lp.SetObjective({10, 1, 0});
+  lp.AddConstraint({1, 0, 0}, RelOp::kLe, 1);
+  lp.AddConstraint({20, 1, 0}, RelOp::kLe, 100);
+  lp.AddConstraint({200, 20, 1}, RelOp::kLe, 10000);
+  const LpResult res = lp.Solve();
+  ASSERT_EQ(res.status, LpStatus::kOptimal);
+  EXPECT_GT(res.objective, 0.0);
+}
+
+TEST(SimplexTest, WitnessLpShape) {
+  // The exact shape used by the evaluator: max x s.t. <u,w> = 1,
+  // <u,s> + x <= 1, u,x >= 0. w = (1, 0), s = (0.8, 0.6).
+  LpProblem lp(3);  // u0, u1, x.
+  lp.SetObjective({0, 0, 1});
+  lp.AddConstraint({1.0, 0.0, 0}, RelOp::kEq, 1);    // u.w = 1.
+  lp.AddConstraint({0.8, 0.6, 1}, RelOp::kLe, 1);    // u.s + x <= 1.
+  const LpResult res = lp.Solve();
+  ASSERT_EQ(res.status, LpStatus::kOptimal);
+  // Best: u = (1, 0) -> x = 1 - 0.8 = 0.2.
+  EXPECT_NEAR(res.objective, 0.2, 1e-9);
+}
+
+// Property test: on random feasible-by-construction LPs the simplex solution
+// must (a) be feasible and (b) weakly beat a cloud of random feasible points.
+TEST(SimplexTest, RandomLpsFeasibleAndNoWorseThanSampledPoints) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 60; ++trial) {
+    const int n = 2 + static_cast<int>(rng.UniformInt(3));  // 2..4 vars.
+    const int m = 2 + static_cast<int>(rng.UniformInt(4));  // 2..5 rows.
+    LpProblem lp(n);
+    std::vector<double> c(static_cast<size_t>(n));
+    for (auto& v : c) v = rng.Uniform(-1, 1);
+    lp.SetObjective(c);
+    std::vector<std::vector<double>> rows;
+    std::vector<double> rhs;
+    for (int i = 0; i < m; ++i) {
+      std::vector<double> a(static_cast<size_t>(n));
+      for (auto& v : a) v = rng.Uniform(0, 1);  // Nonneg rows keep it bounded.
+      const double b = rng.Uniform(0.5, 2.0);
+      lp.AddConstraint(a, RelOp::kLe, b);
+      rows.push_back(a);
+      rhs.push_back(b);
+    }
+    const LpResult res = lp.Solve();
+    ASSERT_EQ(res.status, LpStatus::kOptimal) << "trial " << trial;
+    // Feasibility.
+    for (int i = 0; i < m; ++i) {
+      double lhs = 0;
+      for (int j = 0; j < n; ++j) lhs += rows[static_cast<size_t>(i)][static_cast<size_t>(j)] * res.x[static_cast<size_t>(j)];
+      EXPECT_LE(lhs, rhs[static_cast<size_t>(i)] + 1e-7);
+    }
+    for (double v : res.x) EXPECT_GE(v, -1e-9);
+    // Optimality vs sampled feasible points.
+    for (int probe = 0; probe < 200; ++probe) {
+      std::vector<double> x(static_cast<size_t>(n));
+      for (auto& v : x) v = rng.Uniform(0, 2);
+      bool feasible = true;
+      for (int i = 0; i < m && feasible; ++i) {
+        double lhs = 0;
+        for (int j = 0; j < n; ++j) lhs += rows[static_cast<size_t>(i)][static_cast<size_t>(j)] * x[static_cast<size_t>(j)];
+        feasible = lhs <= rhs[static_cast<size_t>(i)];
+      }
+      if (!feasible) continue;
+      double obj = 0;
+      for (int j = 0; j < n; ++j) obj += c[static_cast<size_t>(j)] * x[static_cast<size_t>(j)];
+      EXPECT_LE(obj, res.objective + 1e-6);
+    }
+  }
+}
+
+TEST(SimplexTest, StatusToString) {
+  EXPECT_STREQ(LpStatusToString(LpStatus::kOptimal), "Optimal");
+  EXPECT_STREQ(LpStatusToString(LpStatus::kInfeasible), "Infeasible");
+  EXPECT_STREQ(LpStatusToString(LpStatus::kUnbounded), "Unbounded");
+  EXPECT_STREQ(LpStatusToString(LpStatus::kIterationLimit), "IterationLimit");
+}
+
+}  // namespace
+}  // namespace fairhms
