@@ -99,12 +99,22 @@ class IntCovExactnessSweep
 
 TEST_P(IntCovExactnessSweep, MatchesEnumeration) {
   const auto [n, k, c_num] = GetParam();
-  if (k < c_num) GTEST_SKIP();
+  if (k < c_num) {
+    // Proportional bounds give every group at least one slot, so k < C is
+    // infeasible by definition — the only grid points allowed to skip.
+    GTEST_SKIP() << "k=" << k << " < C=" << c_num
+                 << ": no fair size-k set exists";
+  }
   Rng rng(static_cast<uint64_t>(n * 7 + k * 101 + c_num));
   const Dataset data = GenIndependent(static_cast<size_t>(n), 2, &rng);
   const Grouping g = GroupBySumRank(data, c_num);
   const GroupBounds bounds = GroupBounds::Proportional(k, g.Counts(), 0.5);
-  if (!bounds.Validate(g.Counts()).ok()) GTEST_SKIP();
+  // Every k >= C grid point must be exercised; a Validate failure here means
+  // Proportional produced unusable bounds and must fail the sweep, not
+  // silently shrink it.
+  ASSERT_TRUE(bounds.Validate(g.Counts()).ok())
+      << "(n=" << n << ", k=" << k << ", C=" << c_num
+      << "): " << bounds.Validate(g.Counts());
 
   auto sol = IntCov(data, g, bounds);
   ASSERT_TRUE(sol.ok()) << sol.status();

@@ -1,0 +1,85 @@
+// Argument parsing and result emission for the unified fairhms_cli driver.
+//
+// Kept separate from bench/bench_util.h on purpose: the bench harness is a
+// paper-reproduction fixture, while the CLI is the long-lived entry point
+// that future scaling/batching work extends.
+
+#ifndef FAIRHMS_TOOLS_CLI_UTIL_H_
+#define FAIRHMS_TOOLS_CLI_UTIL_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+
+namespace fairhms {
+namespace cli {
+
+/// Command-line flags: --key=value and boolean --key. Every lookup records
+/// the key so Unknown() can flag typos after parsing.
+class Flags {
+ public:
+  Flags(int argc, char** argv);
+
+  bool Has(const std::string& key) const;
+  int64_t GetInt(const std::string& key, int64_t def) const;
+  double GetDouble(const std::string& key, double def) const;
+  std::string GetString(const std::string& key, const std::string& def) const;
+  /// Comma-separated list flag ("a,b,c"); empty when absent.
+  std::vector<std::string> GetList(const std::string& key) const;
+  /// Comma-separated integer list; error status on malformed entries.
+  StatusOr<std::vector<int>> GetIntList(const std::string& key) const;
+
+  /// Keys given on the command line but never looked up (typo guard).
+  std::vector<std::string> Unknown() const;
+
+  /// First malformed numeric value seen by GetInt/GetDouble (a present flag
+  /// whose value failed to parse), or OK. Callers must check this before
+  /// trusting defaults: a typo like --k=1O must not silently run with k=10.
+  Status ParseError() const;
+
+ private:
+  std::map<std::string, std::string> kv_;
+  mutable std::set<std::string> seen_;
+  mutable Status parse_error_;
+};
+
+/// Ordered key/value report with typed adders, emitted as aligned plain
+/// text, a two-line CSV (header + row), or a flat JSON object.
+class Report {
+ public:
+  void AddString(const std::string& key, const std::string& value);
+  void AddInt(const std::string& key, int64_t value);
+  void AddDouble(const std::string& key, double value);
+
+  std::string ToPlain() const;
+  std::string ToCsv() const;
+  std::string ToJson() const;
+
+  /// Dispatches on "plain", "csv" or "json"; error on anything else.
+  StatusOr<std::string> Render(const std::string& format) const;
+
+ private:
+  enum class Kind { kString, kNumber };
+  struct Entry {
+    std::string key;
+    std::string value;  ///< Already formatted.
+    Kind kind = Kind::kString;
+  };
+  std::vector<Entry> entries_;
+};
+
+/// Escapes a string for embedding in a JSON document (no surrounding
+/// quotes added).
+std::string JsonEscape(const std::string& s);
+
+/// Escapes a CSV cell (quotes when it contains delimiter/quote/newline).
+std::string CsvEscape(const std::string& s);
+
+}  // namespace cli
+}  // namespace fairhms
+
+#endif  // FAIRHMS_TOOLS_CLI_UTIL_H_
