@@ -1,0 +1,26 @@
+# CTest smoke for the perf-tracking pipeline: run bench_parallel_eval on a
+# tiny grid, feed its CSV through bench_to_json, and require the JSON
+# report to appear. Mirrors what the CI bench job does at full size.
+# Expects -DBENCH=..., -DEMIT=..., -DOUT_DIR=... .
+
+execute_process(
+  COMMAND ${BENCH} --n=400 --dim=3 --net=600 --k=6 --cand=100
+          --threads=1,2 --reps=1 --sweep_iters=2
+  OUTPUT_FILE ${OUT_DIR}/bench_smoke.csv
+  RESULT_VARIABLE bench_rc)
+if(NOT bench_rc EQUAL 0)
+  message(FATAL_ERROR "bench_parallel_eval failed (rc=${bench_rc})")
+endif()
+
+execute_process(
+  COMMAND ${EMIT} --in=${OUT_DIR}/bench_smoke.csv
+          --out=${OUT_DIR}/BENCH_smoke.json --min_speedup=mhr_sweep:2:0.0
+  RESULT_VARIABLE emit_rc)
+if(NOT emit_rc EQUAL 0)
+  message(FATAL_ERROR "bench_to_json failed (rc=${emit_rc}); a non-zero exit "
+          "here means a determinism or speedup gate tripped")
+endif()
+
+if(NOT EXISTS ${OUT_DIR}/BENCH_smoke.json)
+  message(FATAL_ERROR "bench_to_json exited 0 but wrote no JSON report")
+endif()

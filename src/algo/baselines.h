@@ -34,6 +34,9 @@ struct RdpGreedyOptions {
   /// Stop early when the max regret drops below this (remaining slots are
   /// filled with the best unused rows by attribute sum).
   double regret_tolerance = 1e-9;
+  /// Witness-LP lanes (0 = DefaultThreads(), 1 = exact serial path); output
+  /// is bit-identical across thread counts.
+  int threads = 0;
 };
 
 /// RDP-Greedy. `rows` must be non-empty; k >= 1.
@@ -52,6 +55,9 @@ struct DmmOptions {
   /// At most this many matrix values become binary-search candidates
   /// (uniformly strided subsample above).
   size_t max_threshold_candidates = 2'000'000;
+  /// Matrix-fill / evaluation lanes (0 = DefaultThreads(), 1 = exact serial
+  /// path); output is bit-identical across thread counts.
+  int threads = 0;
 };
 
 /// DMM.
@@ -62,6 +68,9 @@ StatusOr<Solution> Dmm(const Dataset& data, const std::vector<int>& rows,
 struct SphereOptions {
   size_t net_size = 0;  ///< 0 -> 10 * k * d sampled directions.
   uint64_t seed = 29;
+  /// Evaluation lanes (0 = DefaultThreads(), 1 = exact serial path); output
+  /// is bit-identical across thread counts.
+  int threads = 0;
 };
 
 /// Sphere. Fails with InvalidArgument when k < d (as the original does).
@@ -77,6 +86,9 @@ struct HittingSetOptions {
   int max_rounds = 64;
   int binary_search_steps = 24;
   uint64_t seed = 31;
+  /// Evaluation lanes (0 = DefaultThreads(), 1 = exact serial path); output
+  /// is bit-identical across thread counts.
+  int threads = 0;
 };
 
 /// HS (lazy hitting set).

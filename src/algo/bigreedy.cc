@@ -238,7 +238,7 @@ StatusOr<Solution> BiGreedy(const Dataset& data, const Grouping& grouping,
   const size_t m = DefaultNetSize(opts, bounds.k, data.dim());
   Rng rng(opts.seed);
   const UtilityNet net = UtilityNet::SampleRandom(data.dim(), m, &rng);
-  NetEvaluator eval(&data, &net, input.db_rows);
+  NetEvaluator eval(&data, &net, input.db_rows, opts.threads);
   eval.CacheCandidates(input.pool);
   FAIRHMS_ASSIGN_OR_RETURN(Solution out,
                            BiGreedyOnNet(input, &eval, opts, info));
@@ -272,7 +272,8 @@ StatusOr<Solution> BiGreedyPlus(const Dataset& data, const Grouping& grouping,
   Rng eval_rng = rng.Fork();
   const UtilityNet eval_net = UtilityNet::SampleRandom(
       d, std::max<size_t>(2 * cap, 2000), &eval_rng);
-  const NetEvaluator final_eval(&data, &eval_net, input.db_rows);
+  const NetEvaluator final_eval(&data, &eval_net, input.db_rows,
+                                opts.base.threads);
 
   Solution best;
   double best_quality = -1.0;
@@ -282,7 +283,7 @@ StatusOr<Solution> BiGreedyPlus(const Dataset& data, const Grouping& grouping,
   for (int round = 0;; ++round) {
     Rng net_rng = rng.Fork();
     const UtilityNet net = UtilityNet::SampleRandom(d, m, &net_rng);
-    NetEvaluator eval(&data, &net, input.db_rows);
+    NetEvaluator eval(&data, &net, input.db_rows, opts.base.threads);
     eval.CacheCandidates(input.pool);
     BiGreedyRunInfo run;
     FAIRHMS_ASSIGN_OR_RETURN(Solution sol,

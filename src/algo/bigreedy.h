@@ -56,6 +56,10 @@ struct BiGreedyOptions {
   /// ablation knob.
   bool lazy = true;
   uint64_t seed = 13;
+  /// Evaluation-engine lanes for the net denominator precompute, candidate
+  /// cache fill and mhr sweeps (0 = DefaultThreads(), 1 = exact serial
+  /// path). Selected rows and mhr are bit-identical across thread counts.
+  int threads = 0;
   /// Candidate pool / denominator overrides (default: fair pool / skyline).
   std::vector<int> pool;
   std::vector<int> db_rows;

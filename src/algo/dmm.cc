@@ -1,10 +1,12 @@
 #include <algorithm>
 #include <cmath>
+#include <mutex>
 #include <numeric>
 
 #include "algo/baselines.h"
 #include "common/stopwatch.h"
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 #include "core/exact_evaluator.h"
 #include "geom/vec.h"
 
@@ -75,27 +77,40 @@ StatusOr<Solution> Dmm(const Dataset& data, const std::vector<int>& rows,
   const size_t m = dirs.size() / static_cast<size_t>(d);
   const size_t n = rows.size();
 
-  // Happiness matrix, point-major: H[i*m + j] = hr(u_j, {p_i}).
+  // Happiness matrix, point-major: H[i*m + j] = hr(u_j, {p_i}). Raw scores
+  // fill per-point slices in parallel; denominators come from block-local
+  // maxima merged with exact max, then the normalize pass splits over
+  // directions — every value bit-identical for any lane count.
   std::vector<float> happiness(n * m);
   {
     std::vector<double> best(m, 0.0);
-    for (size_t i = 0; i < n; ++i) {
-      const double* p = data.point(static_cast<size_t>(rows[i]));
+    std::mutex best_mu;
+    ParallelFor(opts.threads, n, [&](size_t i_begin, size_t i_end) {
+      std::vector<double> local_best(m, 0.0);
+      for (size_t i = i_begin; i < i_end; ++i) {
+        const double* p = data.point(static_cast<size_t>(rows[i]));
+        for (size_t j = 0; j < m; ++j) {
+          const double s = Dot(&dirs[j * static_cast<size_t>(d)], p,
+                               static_cast<size_t>(d));
+          happiness[i * m + j] = static_cast<float>(s);
+          if (s > local_best[j]) local_best[j] = s;
+        }
+      }
+      std::lock_guard<std::mutex> lock(best_mu);
       for (size_t j = 0; j < m; ++j) {
-        const double s = Dot(&dirs[j * static_cast<size_t>(d)], p,
-                             static_cast<size_t>(d));
-        happiness[i * m + j] = static_cast<float>(s);
-        if (s > best[j]) best[j] = s;
+        if (local_best[j] > best[j]) best[j] = local_best[j];
       }
-    }
-    for (size_t j = 0; j < m; ++j) {
-      const float inv = best[j] > 1e-12 ? static_cast<float>(1.0 / best[j])
-                                        : 0.0f;
-      for (size_t i = 0; i < n; ++i) {
-        happiness[i * m + j] =
-            inv > 0 ? std::min(1.0f, happiness[i * m + j] * inv) : 1.0f;
+    });
+    ParallelFor(opts.threads, m, [&](size_t j_begin, size_t j_end) {
+      for (size_t j = j_begin; j < j_end; ++j) {
+        const float inv = best[j] > 1e-12 ? static_cast<float>(1.0 / best[j])
+                                          : 0.0f;
+        for (size_t i = 0; i < n; ++i) {
+          happiness[i * m + j] =
+              inv > 0 ? std::min(1.0f, happiness[i * m + j] * inv) : 1.0f;
+        }
       }
-    }
+    });
   }
 
   // Threshold candidates: the distinct matrix values (strided subsample when
@@ -183,7 +198,8 @@ StatusOr<Solution> Dmm(const Dataset& data, const std::vector<int>& rows,
   Solution out;
   out.rows = std::move(best_rows);
   std::sort(out.rows.begin(), out.rows.end());
-  out.mhr = rows.size() <= 4000 ? MhrExactLp(data, rows, out.rows) : 0.0;
+  out.mhr =
+      rows.size() <= 4000 ? MhrExactLp(data, rows, out.rows, opts.threads) : 0.0;
   out.elapsed_ms = timer.ElapsedMillis();
   out.algorithm = "DMM";
   return out;

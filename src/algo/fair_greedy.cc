@@ -40,7 +40,7 @@ StatusOr<Solution> FairGreedy(const Dataset& data, const Grouping& grouping,
 
   while (!sel.IsMaximal()) {
     const std::vector<double> regrets =
-        AllWitnessRegretsLp(data, input.pool, sel.rows());
+        AllWitnessRegretsLp(data, input.pool, sel.rows(), opts.threads);
     // Highest-regret feasible candidate.
     int best_row = -1;
     double best_regret = -1.0;
@@ -68,7 +68,7 @@ StatusOr<Solution> FairGreedy(const Dataset& data, const Grouping& grouping,
   Solution out;
   out.rows = std::move(solution);
   std::sort(out.rows.begin(), out.rows.end());
-  out.mhr = MhrExactLp(data, input.db_rows, out.rows);
+  out.mhr = MhrExactLp(data, input.db_rows, out.rows, opts.threads);
   out.elapsed_ms = timer.ElapsedMillis();
   out.algorithm = "F-Greedy";
   return out;

@@ -25,6 +25,9 @@ struct FairGreedyOptions {
   std::vector<int> pool;     ///< Default: union of per-group skylines.
   std::vector<int> db_rows;  ///< Default: global skyline.
   double regret_tolerance = 1e-9;
+  /// Witness-LP lanes (0 = DefaultThreads(), 1 = exact serial path); output
+  /// is bit-identical across thread counts.
+  int threads = 0;
 };
 
 /// Runs F-Greedy; the result is always fair and of size k.

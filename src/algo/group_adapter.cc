@@ -55,7 +55,9 @@ StatusOr<Solution> GroupAdapt(const BaseSolver& solver,
   std::sort(out.rows.begin(), out.rows.end());
   const std::vector<int> db_rows =
       opts.db_rows.empty() ? ComputeSkyline(data) : opts.db_rows;
-  out.mhr = EvaluateMhr(data, db_rows, out.rows);
+  EvalOptions eval_opts;
+  eval_opts.threads = opts.threads;
+  out.mhr = EvaluateMhr(data, db_rows, out.rows, eval_opts);
   out.elapsed_ms = timer.ElapsedMillis();
   out.algorithm = "G-" + name;
   return out;

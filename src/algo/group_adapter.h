@@ -32,6 +32,9 @@ struct GroupAdapterOptions {
   /// Denominator rows for the final MHR evaluation (default: global
   /// skyline). Does not influence the per-group runs.
   std::vector<int> db_rows;
+  /// Lanes for the final MHR evaluation (0 = DefaultThreads(), 1 = exact
+  /// serial path). The per-group solvers carry their own threads knobs.
+  int threads = 0;
 };
 
 /// Runs `solver` once per group with quota k_c and unions the solutions.

@@ -5,6 +5,7 @@
 #include "algo/baselines.h"
 #include "common/random.h"
 #include "common/stopwatch.h"
+#include "common/thread_pool.h"
 #include "core/exact_evaluator.h"
 #include "geom/vec.h"
 #include "utility/utility_net.h"
@@ -38,14 +39,17 @@ StatusOr<Solution> HittingSet(const Dataset& data,
   Rng rng(opts.seed);
   const UtilityNet net = UtilityNet::SampleRandom(d, m_val, &rng);
 
-  // Denominators over the sub-database.
+  // Denominators over the sub-database; lanes own disjoint direction
+  // blocks (max is exact, so any lane count gives identical values).
   std::vector<double> best(m_val, 0.0);
-  for (int r : rows) {
-    const double* p = data.point(static_cast<size_t>(r));
-    for (size_t j = 0; j < m_val; ++j) {
-      best[j] = std::max(best[j], Dot(net.vec(j), p, static_cast<size_t>(d)));
+  ParallelFor(opts.threads, m_val, [&](size_t j_begin, size_t j_end) {
+    for (int r : rows) {
+      const double* p = data.point(static_cast<size_t>(r));
+      for (size_t j = j_begin; j < j_end; ++j) {
+        best[j] = std::max(best[j], Dot(net.vec(j), p, static_cast<size_t>(d)));
+      }
     }
-  }
+  });
 
   // Greedy cover of the working direction set at threshold tau; empty result
   // = more than k points needed.
@@ -167,7 +171,8 @@ StatusOr<Solution> HittingSet(const Dataset& data,
   Solution out;
   out.rows = std::move(best_rows);
   std::sort(out.rows.begin(), out.rows.end());
-  out.mhr = rows.size() <= 4000 ? MhrExactLp(data, rows, out.rows) : 0.0;
+  out.mhr =
+      rows.size() <= 4000 ? MhrExactLp(data, rows, out.rows, opts.threads) : 0.0;
   out.elapsed_ms = timer.ElapsedMillis();
   out.algorithm = "HS";
   return out;

@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <mutex>
 
 #include "algo/algo_util.h"
 #include "algo/fair_interval_cover.h"
 #include "common/stopwatch.h"
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 #include "core/exact_evaluator.h"
 #include "geom/envelope2d.h"
 
@@ -72,21 +74,33 @@ StatusOr<Solution> IntCov(const Dataset& data, const Grouping& grouping,
       if (max_x > 0) cand.push_back(std::min(1.0, x / max_x));
       if (max_y > 0) cand.push_back(std::min(1.0, y / max_y));
     }
-    for (size_t i = 0; i < pool_n; ++i) {
-      const double xi = data.at(static_cast<size_t>(input.pool[i]), 0);
-      const double yi = data.at(static_cast<size_t>(input.pool[i]), 1);
-      for (size_t j = i + 1; j < pool_n; ++j) {
-        const double xj = data.at(static_cast<size_t>(input.pool[j]), 0);
-        const double yj = data.at(static_cast<size_t>(input.pool[j]), 1);
-        const double denom = (xi - yi) - (xj - yj);
-        if (std::fabs(denom) < 1e-15) continue;
-        const double lambda = (yj - yi) / denom;
-        if (lambda < 0.0 || lambda > 1.0) continue;
-        const double env = env_db.Eval(lambda);
-        if (env <= 0.0) continue;
-        const double score = yi + (xi - yi) * lambda;
-        cand.push_back(std::clamp(score / env, 0.0, 1.0));
-      }
+    // Pairwise line crossings, fanned out over blocks of outer rows. Each
+    // block collects into its own vector; the sort + unique below erases
+    // any ordering differences, so the candidate set is bit-identical for
+    // every thread count.
+    {
+      std::mutex cand_mu;
+      ParallelFor(opts.threads, pool_n, [&](size_t i_begin, size_t i_end) {
+        std::vector<double> local;
+        for (size_t i = i_begin; i < i_end; ++i) {
+          const double xi = data.at(static_cast<size_t>(input.pool[i]), 0);
+          const double yi = data.at(static_cast<size_t>(input.pool[i]), 1);
+          for (size_t j = i + 1; j < pool_n; ++j) {
+            const double xj = data.at(static_cast<size_t>(input.pool[j]), 0);
+            const double yj = data.at(static_cast<size_t>(input.pool[j]), 1);
+            const double denom = (xi - yi) - (xj - yj);
+            if (std::fabs(denom) < 1e-15) continue;
+            const double lambda = (yj - yi) / denom;
+            if (lambda < 0.0 || lambda > 1.0) continue;
+            const double env = env_db.Eval(lambda);
+            if (env <= 0.0) continue;
+            const double score = yi + (xi - yi) * lambda;
+            local.push_back(std::clamp(score / env, 0.0, 1.0));
+          }
+        }
+        std::lock_guard<std::mutex> lock(cand_mu);
+        cand.insert(cand.end(), local.begin(), local.end());
+      });
     }
     cand.push_back(1.0);
     std::sort(cand.begin(), cand.end());

@@ -39,6 +39,11 @@ struct IntCovOptions {
   uint64_t max_pair_candidates = 20'000'000;
   /// Coverage / eligibility tolerance.
   double tolerance = 1e-9;
+  /// Lanes for the O(n^2) pairwise candidate enumeration and the final
+  /// exact evaluation (0 = DefaultThreads(), 1 = exact serial path). The
+  /// candidate set is sorted and deduplicated, so the selected rows and mhr
+  /// are bit-identical across thread counts.
+  int threads = 0;
 };
 
 /// Runs IntCov. Requires data.dim() == 2. Returns the optimal fair set (its

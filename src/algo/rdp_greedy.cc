@@ -43,7 +43,8 @@ StatusOr<Solution> RdpGreedy(const Dataset& data, const std::vector<int>& rows,
 
   const int target = std::min<int>(k, static_cast<int>(rows.size()));
   while (static_cast<int>(solution.size()) < target) {
-    const RegretWitness witness = MaxRegretWitnessLp(data, rows, solution);
+    const RegretWitness witness =
+        MaxRegretWitnessLp(data, rows, solution, opts.threads);
     if (witness.row < 0 || witness.regret <= opts.regret_tolerance) break;
     solution.push_back(witness.row);
   }
@@ -61,7 +62,7 @@ StatusOr<Solution> RdpGreedy(const Dataset& data, const std::vector<int>& rows,
   Solution out;
   out.rows = std::move(solution);
   std::sort(out.rows.begin(), out.rows.end());
-  out.mhr = MhrExactLp(data, rows, out.rows);
+  out.mhr = MhrExactLp(data, rows, out.rows, opts.threads);
   out.elapsed_ms = timer.ElapsedMillis();
   out.algorithm = "Greedy";
   return out;

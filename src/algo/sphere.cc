@@ -47,7 +47,7 @@ StatusOr<Solution> SphereAlgo(const Dataset& data,
                        : static_cast<size_t>(10) * k * d;
   Rng rng(opts.seed);
   const UtilityNet net = UtilityNet::SampleRandom(d, m, &rng);
-  const NetEvaluator eval(&data, &net, rows);
+  const NetEvaluator eval(&data, &net, rows, opts.threads);
 
   std::vector<double> cur(m, 0.0);
   for (int r : solution) {
@@ -94,7 +94,7 @@ StatusOr<Solution> SphereAlgo(const Dataset& data,
   Solution out;
   out.rows = std::move(solution);
   std::sort(out.rows.begin(), out.rows.end());
-  out.mhr = rows.size() <= 4000 ? MhrExactLp(data, rows, out.rows)
+  out.mhr = rows.size() <= 4000 ? MhrExactLp(data, rows, out.rows, opts.threads)
                                 : eval.Mhr(out.rows);
   out.elapsed_ms = timer.ElapsedMillis();
   out.algorithm = "Sphere";

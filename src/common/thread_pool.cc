@@ -1,0 +1,154 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+
+namespace fairhms {
+
+namespace {
+
+/// Set while a thread is executing pool work; ParallelFor issued from such
+/// a thread runs serially instead of re-entering the queue (nested calls
+/// would otherwise wait on workers that are busy waiting on them).
+thread_local bool t_inside_pool_work = false;
+
+std::atomic<int> g_default_threads{0};  // 0 = not overridden.
+
+}  // namespace
+
+/// Shared bookkeeping of one ParallelFor call. Chunks are claimed from an
+/// atomic cursor so helpers and the caller drain the same fixed partition;
+/// the partition itself (and therefore every block boundary) depends only
+/// on (total, chunks), never on scheduling.
+struct ThreadPool::ForState {
+  size_t total = 0;
+  size_t chunks = 0;
+  const std::function<void(size_t, size_t)>* fn = nullptr;
+  std::atomic<size_t> next{0};
+  std::atomic<size_t> done{0};
+  std::mutex mu;
+  std::condition_variable done_cv;
+  std::exception_ptr first_error;
+
+  void RunChunks() {
+    while (true) {
+      const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= chunks) return;
+      const size_t begin = total * i / chunks;
+      const size_t end = total * (i + 1) / chunks;
+      try {
+        if (begin < end) (*fn)(begin, end);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      if (++done == chunks) done_cv.notify_all();
+    }
+  }
+};
+
+ThreadPool::ThreadPool(int num_workers) {
+  workers_.reserve(static_cast<size_t>(std::max(0, num_workers)));
+  for (int i = 0; i < num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // Shutdown with a drained queue.
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    t_inside_pool_work = true;
+    task();
+    t_inside_pool_work = false;
+  }
+}
+
+void ThreadPool::ParallelFor(size_t total, size_t max_chunks,
+                             const std::function<void(size_t, size_t)>& fn) {
+  if (total == 0) return;
+  const size_t chunks = std::max<size_t>(1, std::min(max_chunks, total));
+  if (chunks == 1 || workers_.empty() || t_inside_pool_work) {
+    fn(0, total);
+    return;
+  }
+
+  auto state = std::make_shared<ForState>();
+  state->total = total;
+  state->chunks = chunks;
+  state->fn = &fn;
+
+  // One helper task per chunk beyond the caller's own lane; late helpers
+  // (queue backlog) find the cursor exhausted and return immediately.
+  const size_t helpers = std::min(chunks - 1, workers_.size());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t i = 0; i < helpers; ++i) {
+      queue_.emplace_back([state] { state->RunChunks(); });
+    }
+  }
+  if (helpers == 1) {
+    work_cv_.notify_one();
+  } else {
+    work_cv_.notify_all();
+  }
+
+  const bool was_inside = t_inside_pool_work;
+  t_inside_pool_work = true;
+  state->RunChunks();
+  t_inside_pool_work = was_inside;
+
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->done_cv.wait(lock, [&] { return state->done == state->chunks; });
+  if (state->first_error) std::rethrow_exception(state->first_error);
+}
+
+ThreadPool* ThreadPool::Shared() {
+  static ThreadPool* pool = new ThreadPool(HardwareThreads() - 1);
+  return pool;
+}
+
+int HardwareThreads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+int DefaultThreads() {
+  const int n = g_default_threads.load(std::memory_order_relaxed);
+  return n > 0 ? n : HardwareThreads();
+}
+
+void SetDefaultThreads(int n) {
+  g_default_threads.store(n > 0 ? n : 0, std::memory_order_relaxed);
+}
+
+int ResolveThreads(int n) { return n >= 1 ? n : DefaultThreads(); }
+
+void ParallelFor(int threads, size_t total,
+                 const std::function<void(size_t, size_t)>& fn) {
+  const size_t n = static_cast<size_t>(ResolveThreads(threads));
+  if (n <= 1 || total <= 1) {
+    if (total > 0) fn(0, total);
+    return;
+  }
+  ThreadPool::Shared()->ParallelFor(total, n, fn);
+}
+
+}  // namespace fairhms

@@ -1,0 +1,89 @@
+// Fixed-size worker pool with a blocked ParallelFor, the substrate of the
+// parallel happiness-evaluation engine.
+//
+// Determinism contract: ParallelFor partitions [0, total) into contiguous
+// blocks and runs each block exactly once. Callers that (a) write only to
+// per-index slots, or (b) reduce with exact order-independent operations
+// (min / max / argmax-by-index over a materialized array) get bit-identical
+// results for every thread count, including the serial n = 1 path.
+
+#ifndef FAIRHMS_COMMON_THREAD_POOL_H_
+#define FAIRHMS_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fairhms {
+
+/// A fixed set of worker threads fed from one task queue. Construction
+/// spawns the workers; destruction drains and joins them. ParallelFor may
+/// be called repeatedly (and concurrently from different threads); a call
+/// issued from inside a worker runs serially on that worker, so nested
+/// parallel sections cannot deadlock the pool.
+class ThreadPool {
+ public:
+  /// Spawns `num_workers` threads (0 is allowed: every ParallelFor then
+  /// runs serially on the calling thread).
+  explicit ThreadPool(int num_workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+
+  /// Runs fn(begin, end) over contiguous blocks covering [0, total), at
+  /// most `max_chunks` of them, using the workers plus the calling thread.
+  /// Blocks until every block finished. The first exception thrown by any
+  /// block is rethrown here (remaining blocks still run to completion).
+  void ParallelFor(size_t total, size_t max_chunks,
+                   const std::function<void(size_t, size_t)>& fn);
+
+  /// Process-wide pool with HardwareThreads() - 1 workers (the caller is
+  /// the extra lane), created on first use and never destroyed.
+  static ThreadPool* Shared();
+
+ private:
+  struct ForState;
+
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::deque<std::function<void()>> queue_;
+  bool shutdown_ = false;
+};
+
+/// max(1, std::thread::hardware_concurrency()).
+int HardwareThreads();
+
+/// The process-wide default thread count used when a Threads(n) knob is
+/// left at 0. Starts at HardwareThreads().
+int DefaultThreads();
+
+/// Overrides DefaultThreads(); n <= 0 resets to HardwareThreads(). This is
+/// what --threads=N sets. Not synchronized with concurrently running
+/// evaluations — set it up front.
+void SetDefaultThreads(int n);
+
+/// Maps a Threads(n) knob value to an effective count: n >= 1 is taken
+/// as-is, n <= 0 means DefaultThreads().
+int ResolveThreads(int n);
+
+/// Blocked parallel loop over [0, total): fn(begin, end) on contiguous
+/// blocks. `threads` follows the ResolveThreads convention; an effective
+/// count of 1 (or total <= 1) degrades to the exact serial path
+/// fn(0, total) on the calling thread, everything else fans out over
+/// ThreadPool::Shared().
+void ParallelFor(int threads, size_t total,
+                 const std::function<void(size_t, size_t)>& fn);
+
+}  // namespace fairhms
+
+#endif  // FAIRHMS_COMMON_THREAD_POOL_H_

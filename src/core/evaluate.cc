@@ -24,12 +24,12 @@ double EvaluateMhr(const Dataset& data, const std::vector<int>& db_rows,
     case MhrMethod::kExact2D:
       return MhrExact2D(data, db_rows, solution);
     case MhrMethod::kExactLp:
-      return MhrExactLp(data, db_rows, solution);
+      return MhrExactLp(data, db_rows, solution, opts.threads);
     case MhrMethod::kNet: {
       Rng rng(opts.seed);
       const UtilityNet net =
           UtilityNet::SampleRandom(data.dim(), opts.net_size, &rng);
-      const NetEvaluator eval(&data, &net, db_rows);
+      const NetEvaluator eval(&data, &net, db_rows, opts.threads);
       return eval.Mhr(solution);
     }
     case MhrMethod::kAuto:

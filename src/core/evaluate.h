@@ -26,6 +26,9 @@ struct EvalOptions {
   /// kAuto falls back from ExactLp to Net above this witness count.
   size_t lp_witness_limit = 4000;
   uint64_t seed = 0xE7A1u;
+  /// Evaluation lanes (0 = DefaultThreads(), 1 = exact serial path). The
+  /// result is bit-identical across thread counts.
+  int threads = 0;
 };
 
 /// Evaluates mhr(S) against the database represented by `db_rows` (pass the

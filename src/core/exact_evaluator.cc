@@ -3,11 +3,70 @@
 #include <algorithm>
 #include <cassert>
 
+#include "common/thread_pool.h"
 #include "geom/dominance.h"
 #include "geom/vec.h"
 #include "lp/simplex.h"
 
 namespace fairhms {
+
+namespace {
+
+/// One witness LP: max regret over utilities normalized to <u, w> = 1.
+struct WitnessLpResult {
+  bool optimal = false;
+  double objective = 0.0;      ///< Raw LP objective (unclamped).
+  std::vector<double> utility;  ///< Maximizing utility (size d), if optimal.
+};
+
+/// Solves the witness LP for `w` against S, or returns a non-optimal result
+/// when the witness is skippable (member of S, weakly dominated, or
+/// non-positive). Pure function of its arguments — safe to run per-witness
+/// in parallel.
+WitnessLpResult SolveWitnessLp(const Dataset& data, int w,
+                               const std::vector<int>& solution,
+                               bool want_utility) {
+  WitnessLpResult out;
+  const int d = data.dim();
+  const double* pw = data.point(static_cast<size_t>(w));
+  // Cheap skips: members of S and points weakly dominated by S have
+  // regret 0 and can never be the (positive) maximum.
+  for (int s : solution) {
+    if (s == w ||
+        WeaklyDominates(data.point(static_cast<size_t>(s)), pw,
+                        static_cast<size_t>(d))) {
+      return out;
+    }
+  }
+  if (SumCoords(pw, static_cast<size_t>(d)) <= 0.0) return out;
+
+  // Variables: u[0..d-1], x. Maximize x.
+  LpProblem lp(d + 1);
+  std::vector<double> obj(static_cast<size_t>(d + 1), 0.0);
+  obj[static_cast<size_t>(d)] = 1.0;
+  lp.SetObjective(obj);
+
+  std::vector<double> row(static_cast<size_t>(d + 1), 0.0);
+  for (int j = 0; j < d; ++j) row[static_cast<size_t>(j)] = pw[j];
+  row[static_cast<size_t>(d)] = 0.0;
+  lp.AddConstraint(row, RelOp::kEq, 1.0);  // <u, w> = 1.
+
+  for (int s : solution) {
+    const double* ps = data.point(static_cast<size_t>(s));
+    for (int j = 0; j < d; ++j) row[static_cast<size_t>(j)] = ps[j];
+    row[static_cast<size_t>(d)] = 1.0;
+    lp.AddConstraint(row, RelOp::kLe, 1.0);  // <u, s> + x <= 1.
+  }
+
+  const LpResult res = lp.Solve();
+  if (res.status != LpStatus::kOptimal) return out;
+  out.optimal = true;
+  out.objective = res.objective;
+  if (want_utility) out.utility.assign(res.x.begin(), res.x.begin() + d);
+  return out;
+}
+
+}  // namespace
 
 Envelope2D BuildEnvelope2D(const Dataset& data, const std::vector<int>& rows) {
   assert(data.dim() == 2);
@@ -31,7 +90,8 @@ double MhrExact2D(const Dataset& data, const std::vector<int>& db_rows,
 
 RegretWitness MaxRegretWitnessLp(const Dataset& data,
                                  const std::vector<int>& db_rows,
-                                 const std::vector<int>& solution) {
+                                 const std::vector<int>& solution,
+                                 int threads) {
   const int d = data.dim();
   RegretWitness best;
   if (db_rows.empty()) return best;
@@ -42,100 +102,55 @@ RegretWitness MaxRegretWitnessLp(const Dataset& data,
     return best;
   }
 
-  for (int w : db_rows) {
-    const double* pw = data.point(static_cast<size_t>(w));
-    // Cheap skips: members of S and points weakly dominated by S have
-    // regret 0 and can never be the (positive) maximum.
-    bool skip = false;
-    for (int s : solution) {
-      if (s == w ||
-          WeaklyDominates(data.point(static_cast<size_t>(s)), pw,
-                          static_cast<size_t>(d))) {
-        skip = true;
-        break;
-      }
+  // Every witness LP into its own slot (objectives only — the losing
+  // utilities would be discarded), then a serial first-maximum scan in
+  // witness order picks the same winner the all-serial loop does, and one
+  // targeted re-solve recovers its utility (the LP is deterministic, so
+  // the re-solve reproduces the identical optimum).
+  std::vector<WitnessLpResult> results(db_rows.size());
+  ParallelFor(threads, db_rows.size(), [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      results[i] = SolveWitnessLp(data, db_rows[i], solution,
+                                  /*want_utility=*/false);
     }
-    if (skip) continue;
-    if (SumCoords(pw, static_cast<size_t>(d)) <= 0.0) continue;
-
-    // Variables: u[0..d-1], x. Maximize x.
-    LpProblem lp(d + 1);
-    std::vector<double> obj(static_cast<size_t>(d + 1), 0.0);
-    obj[static_cast<size_t>(d)] = 1.0;
-    lp.SetObjective(obj);
-
-    std::vector<double> row(static_cast<size_t>(d + 1), 0.0);
-    for (int j = 0; j < d; ++j) row[static_cast<size_t>(j)] = pw[j];
-    row[static_cast<size_t>(d)] = 0.0;
-    lp.AddConstraint(row, RelOp::kEq, 1.0);  // <u, w> = 1.
-
-    for (int s : solution) {
-      const double* ps = data.point(static_cast<size_t>(s));
-      for (int j = 0; j < d; ++j) row[static_cast<size_t>(j)] = ps[j];
-      row[static_cast<size_t>(d)] = 1.0;
-      lp.AddConstraint(row, RelOp::kLe, 1.0);  // <u, s> + x <= 1.
+  });
+  for (size_t i = 0; i < db_rows.size(); ++i) {
+    if (results[i].optimal && results[i].objective > best.regret) {
+      best.regret = results[i].objective;
+      best.row = db_rows[i];
     }
-
-    const LpResult res = lp.Solve();
-    if (res.status != LpStatus::kOptimal) continue;
-    if (res.objective > best.regret) {
-      best.regret = res.objective;
-      best.row = w;
-      best.utility.assign(res.x.begin(), res.x.begin() + d);
-    }
+  }
+  if (best.row >= 0) {
+    best.utility =
+        SolveWitnessLp(data, best.row, solution, /*want_utility=*/true)
+            .utility;
   }
   best.regret = std::clamp(best.regret, 0.0, 1.0);
   return best;
 }
 
 double MhrExactLp(const Dataset& data, const std::vector<int>& db_rows,
-                  const std::vector<int>& solution) {
+                  const std::vector<int>& solution, int threads) {
   if (solution.empty()) return 0.0;
-  return 1.0 - MaxRegretWitnessLp(data, db_rows, solution).regret;
+  return 1.0 - MaxRegretWitnessLp(data, db_rows, solution, threads).regret;
 }
 
 std::vector<double> AllWitnessRegretsLp(const Dataset& data,
                                         const std::vector<int>& witnesses,
-                                        const std::vector<int>& solution) {
-  const int d = data.dim();
+                                        const std::vector<int>& solution,
+                                        int threads) {
   std::vector<double> regrets(witnesses.size(), 0.0);
   if (solution.empty()) {
     std::fill(regrets.begin(), regrets.end(), 1.0);
     return regrets;
   }
-  std::vector<double> obj(static_cast<size_t>(d + 1), 0.0);
-  obj[static_cast<size_t>(d)] = 1.0;
-  std::vector<double> row(static_cast<size_t>(d + 1), 0.0);
-  for (size_t wi = 0; wi < witnesses.size(); ++wi) {
-    const int w = witnesses[wi];
-    const double* pw = data.point(static_cast<size_t>(w));
-    bool skip = false;
-    for (int s : solution) {
-      if (s == w ||
-          WeaklyDominates(data.point(static_cast<size_t>(s)), pw,
-                          static_cast<size_t>(d))) {
-        skip = true;
-        break;
-      }
+  ParallelFor(threads, witnesses.size(), [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      const WitnessLpResult res = SolveWitnessLp(
+          data, witnesses[i], solution, /*want_utility=*/false);
+      if (res.optimal) regrets[i] = std::clamp(res.objective, 0.0, 1.0);
     }
-    if (skip || SumCoords(pw, static_cast<size_t>(d)) <= 0.0) continue;
-
-    LpProblem lp(d + 1);
-    lp.SetObjective(obj);
-    for (int j = 0; j < d; ++j) row[static_cast<size_t>(j)] = pw[j];
-    row[static_cast<size_t>(d)] = 0.0;
-    lp.AddConstraint(row, RelOp::kEq, 1.0);
-    for (int s : solution) {
-      const double* ps = data.point(static_cast<size_t>(s));
-      for (int j = 0; j < d; ++j) row[static_cast<size_t>(j)] = ps[j];
-      row[static_cast<size_t>(d)] = 1.0;
-      lp.AddConstraint(row, RelOp::kLe, 1.0);
-    }
-    const LpResult res = lp.Solve();
-    if (res.status == LpStatus::kOptimal) {
-      regrets[wi] = std::clamp(res.objective, 0.0, 1.0);
-    }
-  }
+  });
   return regrets;
 }
 

@@ -36,20 +36,29 @@ struct RegretWitness {
 /// LP-based max-regret witness over `db_rows` against solution S. S may be
 /// empty (regret 1 with an arbitrary witness). Witnesses that are members
 /// of S or weakly dominated by a member of S are skipped (regret 0).
+///
+/// The witness LPs are independent and fan out over `threads` lanes
+/// (0 = DefaultThreads(), 1 = exact serial path); the winning witness is
+/// picked by a serial first-maximum scan, so the result is bit-identical
+/// for every thread count.
 RegretWitness MaxRegretWitnessLp(const Dataset& data,
                                  const std::vector<int>& db_rows,
-                                 const std::vector<int>& solution);
+                                 const std::vector<int>& solution,
+                                 int threads = 0);
 
 /// Exact mhr via witness LPs: 1 - MaxRegretWitnessLp(...).regret.
 double MhrExactLp(const Dataset& data, const std::vector<int>& db_rows,
-                  const std::vector<int>& solution);
+                  const std::vector<int>& solution, int threads = 0);
 
 /// Per-witness regrets, aligned with `witnesses`. Witnesses that are in S
 /// or weakly dominated by a member of S get 0. This is the "one LP per
-/// skyline item per iteration" workhorse of RDP-Greedy / F-Greedy.
+/// skyline item per iteration" workhorse of RDP-Greedy / F-Greedy. Each
+/// lane owns a disjoint slice of the output (same threads contract as
+/// MaxRegretWitnessLp).
 std::vector<double> AllWitnessRegretsLp(const Dataset& data,
                                         const std::vector<int>& witnesses,
-                                        const std::vector<int>& solution);
+                                        const std::vector<int>& solution,
+                                        int threads = 0);
 
 }  // namespace fairhms
 

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <mutex>
 
+#include "common/thread_pool.h"
 #include "geom/vec.h"
 
 namespace fairhms {
@@ -12,19 +14,26 @@ constexpr double kDegenerate = 1e-12;
 }  // namespace
 
 NetEvaluator::NetEvaluator(const Dataset* data, const UtilityNet* net,
-                           std::vector<int> db_rows)
-    : data_(data), net_(net), db_rows_(std::move(db_rows)) {
+                           std::vector<int> db_rows, int threads)
+    : data_(data),
+      net_(net),
+      threads_(ResolveThreads(threads)),
+      db_rows_(std::move(db_rows)) {
   assert(data_->dim() == net_->dim());
   const size_t m = net_->size();
   const size_t d = static_cast<size_t>(data_->dim());
   best_.assign(m, 0.0);
-  for (int row : db_rows_) {
-    const double* p = data_->point(static_cast<size_t>(row));
-    for (size_t j = 0; j < m; ++j) {
-      const double s = Dot(net_->vec(j), p, d);
-      if (s > best_[j]) best_[j] = s;
+  // Lanes own disjoint direction blocks; max over rows is exact and
+  // order-independent, so the fill is bit-identical for any lane count.
+  ParallelFor(threads_, m, [&](size_t j_begin, size_t j_end) {
+    for (int row : db_rows_) {
+      const double* p = data_->point(static_cast<size_t>(row));
+      for (size_t j = j_begin; j < j_end; ++j) {
+        const double s = Dot(net_->vec(j), p, d);
+        if (s > best_[j]) best_[j] = s;
+      }
     }
-  }
+  });
 }
 
 double NetEvaluator::PointHappiness(size_t j, int row) const {
@@ -54,11 +63,28 @@ double NetEvaluator::Hr(size_t j, const std::vector<int>& rows) const {
 double NetEvaluator::Mhr(const std::vector<int>& rows) const {
   if (rows.empty()) return 0.0;
   const size_t m = net_->size();
-  double mhr = 1.0;
-  for (size_t j = 0; j < m; ++j) {
-    mhr = std::min(mhr, Hr(j, rows));
-    if (mhr <= 0.0) break;
+  if (threads_ <= 1) {
+    double mhr = 1.0;
+    for (size_t j = 0; j < m; ++j) {
+      mhr = std::min(mhr, Hr(j, rows));
+      if (mhr <= 0.0) break;
+    }
+    return mhr;
   }
+  // Block-local minima merged with exact min, which is order-independent,
+  // so the result is identical to the serial sweep (whose early break only
+  // skips work, never changes the minimum).
+  std::mutex mu;
+  double mhr = 1.0;
+  ParallelFor(threads_, m, [&](size_t j_begin, size_t j_end) {
+    double local = 1.0;
+    for (size_t j = j_begin; j < j_end; ++j) {
+      local = std::min(local, Hr(j, rows));
+      if (local <= 0.0) break;
+    }
+    std::lock_guard<std::mutex> lock(mu);
+    mhr = std::min(mhr, local);
+  });
   return mhr;
 }
 
@@ -68,14 +94,17 @@ void NetEvaluator::CacheCandidates(const std::vector<int>& rows,
   if (rows.size() * m > max_entries) return;
   cache_offset_.assign(data_->size(), -1);
   cache_.resize(rows.size() * m);
-  size_t off = 0;
-  for (int row : rows) {
-    cache_offset_[static_cast<size_t>(row)] = static_cast<int64_t>(off);
-    for (size_t j = 0; j < m; ++j) {
-      cache_[off + j] = PointHappiness(j, row);
-    }
-    off += m;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    cache_offset_[static_cast<size_t>(rows[i])] =
+        static_cast<int64_t>(i * m);
   }
+  // Each row owns one disjoint slice of the matrix.
+  ParallelFor(threads_, rows.size(), [&](size_t i_begin, size_t i_end) {
+    for (size_t i = i_begin; i < i_end; ++i) {
+      double* out = &cache_[i * m];
+      for (size_t j = 0; j < m; ++j) out[j] = PointHappiness(j, rows[i]);
+    }
+  });
 }
 
 TruncatedMhrState::TruncatedMhrState(const NetEvaluator* eval)

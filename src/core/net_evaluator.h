@@ -17,14 +17,20 @@ namespace fairhms {
 ///
 /// `db_rows` defines the denominator population — pass the global skyline
 /// (scores of dominated points never attain the max, so this is exact).
+///
+/// The denominator precompute, candidate-cache fill and mhr sweep fan out
+/// over `threads` lanes (0 = DefaultThreads()); every result is
+/// bit-identical across thread counts, and threads = 1 takes the exact
+/// serial path.
 class NetEvaluator {
  public:
   NetEvaluator(const Dataset* data, const UtilityNet* net,
-               std::vector<int> db_rows);
+               std::vector<int> db_rows, int threads = 0);
 
   const Dataset& data() const { return *data_; }
   const UtilityNet& net() const { return *net_; }
   size_t net_size() const { return net_->size(); }
+  int threads() const { return threads_; }
 
   /// Best database score for direction j (denominator).
   double best(size_t j) const { return best_[j]; }
@@ -58,6 +64,7 @@ class NetEvaluator {
  private:
   const Dataset* data_;
   const UtilityNet* net_;
+  int threads_;  ///< Effective lane count (already resolved, >= 1).
   std::vector<int> db_rows_;
   std::vector<double> best_;
   std::vector<int64_t> cache_offset_;  // Per dataset row; -1 = not cached.

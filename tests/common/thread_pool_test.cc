@@ -1,0 +1,180 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace fairhms {
+namespace {
+
+TEST(ThreadPoolTest, EmptyRangeIsNoOp) {
+  std::atomic<int> calls{0};
+  ParallelFor(4, 0, [&](size_t, size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+  ThreadPool pool(2);
+  pool.ParallelFor(0, 4, [&](size_t, size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPoolTest, CoversEveryIndexExactlyOnce) {
+  const size_t total = 10'000;
+  std::vector<int> hits(total, 0);
+  ParallelFor(8, total, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) ++hits[i];  // Disjoint blocks.
+  });
+  for (size_t i = 0; i < total; ++i) {
+    ASSERT_EQ(hits[i], 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, SerialPathRunsOnCallingThread) {
+  const std::thread::id caller = std::this_thread::get_id();
+  int calls = 0;
+  ParallelFor(1, 100, [&](size_t begin, size_t end) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    EXPECT_EQ(begin, 0u);
+    EXPECT_EQ(end, 100u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);  // One contiguous block, no partitioning.
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesToCaller) {
+  EXPECT_THROW(
+      ParallelFor(4, 1000,
+                  [&](size_t begin, size_t) {
+                    if (begin == 0) throw std::runtime_error("boom");
+                  }),
+      std::runtime_error);
+  // From a worker-run block too (not just the caller's own lane).
+  ThreadPool pool(3);
+  EXPECT_THROW(pool.ParallelFor(1000, 4,
+                                [&](size_t, size_t) {
+                                  throw std::logic_error("every block");
+                                }),
+               std::logic_error);
+}
+
+TEST(ThreadPoolTest, ExceptionDoesNotAbortOtherBlocks) {
+  std::atomic<size_t> covered{0};
+  try {
+    ParallelFor(4, 4000, [&](size_t begin, size_t end) {
+      covered += end - begin;
+      if (begin == 0) throw std::runtime_error("one bad block");
+    });
+    FAIL() << "expected the exception to propagate";
+  } catch (const std::runtime_error&) {
+  }
+  EXPECT_EQ(covered.load(), 4000u);  // Remaining blocks still ran.
+}
+
+TEST(ThreadPoolTest, ReusableAcrossManyCalls) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 200; ++round) {
+    std::atomic<long long> sum{0};
+    pool.ParallelFor(1000, 4, [&](size_t begin, size_t end) {
+      long long local = 0;
+      for (size_t i = begin; i < end; ++i) local += static_cast<long long>(i);
+      sum += local;
+    });
+    ASSERT_EQ(sum.load(), 999LL * 1000 / 2) << "round " << round;
+  }
+}
+
+TEST(ThreadPoolTest, NestedCallsFallBackToSerialWithoutDeadlock) {
+  std::atomic<long long> sum{0};
+  ParallelFor(4, 64, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      // The nested call must complete (serially) instead of deadlocking on
+      // workers that are busy running the outer loop.
+      ParallelFor(4, 10, [&](size_t b, size_t e) {
+        for (size_t j = b; j < e; ++j) {
+          sum += static_cast<long long>(i * 10 + j);
+        }
+      });
+    }
+  });
+  long long want = 0;
+  for (long long i = 0; i < 64; ++i) {
+    for (long long j = 0; j < 10; ++j) want += i * 10 + j;
+  }
+  EXPECT_EQ(sum.load(), want);
+}
+
+TEST(ThreadPoolTest, ConcurrentParallelForsFromManyThreads) {
+  std::vector<std::thread> callers;
+  std::vector<long long> sums(6, 0);
+  for (int t = 0; t < 6; ++t) {
+    callers.emplace_back([t, &sums] {
+      for (int round = 0; round < 20; ++round) {
+        std::atomic<long long> sum{0};
+        ParallelFor(3, 500, [&](size_t begin, size_t end) {
+          for (size_t i = begin; i < end; ++i) {
+            sum += static_cast<long long>(i);
+          }
+        });
+        sums[static_cast<size_t>(t)] = sum.load();
+      }
+    });
+  }
+  for (auto& c : callers) c.join();
+  for (long long s : sums) EXPECT_EQ(s, 499LL * 500 / 2);
+}
+
+TEST(ThreadPoolTest, ZeroWorkerPoolRunsSerially) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_workers(), 0);
+  long long sum = 0;  // No synchronization: everything runs on this thread.
+  pool.ParallelFor(100, 8, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) sum += static_cast<long long>(i);
+  });
+  EXPECT_EQ(sum, 99LL * 100 / 2);
+}
+
+TEST(ThreadPoolTest, DefaultThreadsKnob) {
+  const int hw = HardwareThreads();
+  EXPECT_GE(hw, 1);
+  EXPECT_EQ(DefaultThreads(), hw);  // Unset knob falls back to hardware.
+  SetDefaultThreads(3);
+  EXPECT_EQ(DefaultThreads(), 3);
+  EXPECT_EQ(ResolveThreads(0), 3);
+  EXPECT_EQ(ResolveThreads(7), 7);
+  SetDefaultThreads(0);  // Reset for other tests.
+  EXPECT_EQ(DefaultThreads(), hw);
+}
+
+TEST(ThreadPoolTest, BlockBoundariesDependOnlyOnTotalAndChunks) {
+  // Two runs with identical (total, chunks) must produce identical block
+  // boundaries — the determinism substrate the evaluators rely on.
+  auto collect = [](size_t total, size_t chunks) {
+    std::vector<std::pair<size_t, size_t>> blocks(chunks + 1,
+                                                  {SIZE_MAX, SIZE_MAX});
+    std::atomic<size_t> slot{0};
+    ThreadPool pool(3);
+    pool.ParallelFor(total, chunks, [&](size_t begin, size_t end) {
+      blocks[slot.fetch_add(1)] = {begin, end};
+    });
+    blocks.resize(slot.load());
+    std::sort(blocks.begin(), blocks.end());
+    return blocks;
+  };
+  EXPECT_EQ(collect(1003, 4), collect(1003, 4));
+  // Blocks tile [0, total) without gaps or overlap.
+  const auto blocks = collect(1003, 4);
+  size_t expect_begin = 0;
+  for (const auto& [begin, end] : blocks) {
+    EXPECT_EQ(begin, expect_begin);
+    expect_begin = end;
+  }
+  EXPECT_EQ(expect_begin, 1003u);
+}
+
+}  // namespace
+}  // namespace fairhms

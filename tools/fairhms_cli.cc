@@ -28,6 +28,7 @@
 #include "common/random.h"
 #include "common/stopwatch.h"
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 #include "core/evaluate.h"
 #include "data/csv.h"
 #include "data/generators.h"
@@ -48,8 +49,16 @@ Dataset (pick one source):
                            lawschs | adult | compas | credit
     --n=N                  rows (synthetic; replicas default to paper sizes)
     --dim=D                dimensions (independent/anticorrelated/correlated)
-  --seed=S                 generator seed (default 42)
   --normalize=MODE         minmax (default) | max | none
+
+Execution (valid with every dataset source and algorithm):
+  --seed=S                 seed (>= 0, default 42) for the synthetic
+                           generator AND all randomized algorithm parts
+                           (BiGreedy/Sphere/HS direction nets); echoed in
+                           the output so runs are reproducible
+  --threads=N              evaluation-engine lanes; 0 (default) = all
+                           hardware threads, 1 = serial. Results are
+                           bit-identical across thread counts
 
 Grouping (pick one):
   --groups=C               C groups by attribute-sum rank (default 1)
@@ -286,6 +295,19 @@ int Run(int argc, char** argv) {
   }
   const int k = static_cast<int>(flags.GetInt("k", 10));
   if (k < 1) return Fail(Status::InvalidArgument("--k must be >= 1"));
+  // --seed and --threads apply to every dataset source and algorithm;
+  // validate them up front so no path accepts garbage silently.
+  const int64_t seed_raw = flags.GetInt("seed", 42);
+  if (seed_raw < 0) {
+    return Fail(Status::InvalidArgument("--seed must be >= 0"));
+  }
+  const int64_t threads_raw = flags.GetInt("threads", 0);
+  if (threads_raw < 0 || threads_raw > 4096) {
+    return Fail(Status::InvalidArgument(
+        "--threads must be in [0, 4096] (0 = all hardware threads)"));
+  }
+  SetDefaultThreads(static_cast<int>(threads_raw));
+  const int threads = DefaultThreads();
   // Reject a bad --format up front: a typo must not discard a long solve.
   const std::string format = flags.GetString("format", "plain");
   if (format != "plain" && format != "csv" && format != "json") {
@@ -293,7 +315,7 @@ int Run(int argc, char** argv) {
         "unknown --format '%s' (want plain, csv or json)", format.c_str())));
   }
 
-  Rng rng(static_cast<uint64_t>(flags.GetInt("seed", 42)));
+  Rng rng(static_cast<uint64_t>(seed_raw));
   auto raw = LoadDataset(flags, &rng);
   if (!raw.ok()) return Fail(raw.status());
 
@@ -344,6 +366,8 @@ int Run(int argc, char** argv) {
   report.AddInt("dim", data.dim());
   report.AddInt("k", k);
   report.AddInt("groups", grouping->num_groups);
+  report.AddInt("seed", seed_raw);
+  report.AddInt("threads", threads);
   report.AddInt("solution_size", static_cast<int64_t>(sol.rows.size()));
   report.AddDouble("happiness_ratio", mhr);
   report.AddDouble("algo_mhr_estimate", sol.mhr);
@@ -372,7 +396,7 @@ int Run(int argc, char** argv) {
       "dim",    "seed",      "normalize",   "groups",    "group_by",
       "k",      "bounds",    "alpha",       "lower",     "upper",
       "algo",   "net_size",  "eps",         "lambda",    "max_net_size",
-      "format", "help"};
+      "format", "threads",   "help"};
   for (const auto& key : flags.Unknown()) {
     if (kDocumented.count(key)) {
       std::fprintf(stderr,
