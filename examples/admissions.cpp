@@ -1,8 +1,10 @@
 // Admissions scenario: the paper's motivating use case on a law-school
 // admission pool (LSAC replica). Shows how an unconstrained happiness
 // maximizing set under-represents female applicants, and how FairHMS fixes
-// it at a tiny cost in happiness — first on the 8-tuple Table 1 example,
-// then at dataset scale with the exact IntCov algorithm.
+// it at a tiny cost in happiness — first unconstrained, then under a
+// proportional gender constraint, both solved exactly by IntCov through the
+// unified Solver::Solve facade (the C = 1 single-group case IS vanilla
+// HMS).
 //
 //   $ ./build/examples/admissions
 //
@@ -12,12 +14,10 @@
 
 #include <cstdio>
 
-#include "algo/intcov.h"
+#include "api/solver.h"
 #include "common/random.h"
 #include "core/exact_evaluator.h"
 #include "data/generators.h"
-#include "data/grouping.h"
-#include "fairness/group_bounds.h"
 #include "skyline/skyline.h"
 
 using namespace fairhms;
@@ -25,15 +25,16 @@ using namespace fairhms;
 namespace {
 
 void Report(const char* label, const Dataset& data, const Grouping& gender,
-            const Solution& sol, const std::vector<int>& skyline) {
+            const SolverResult& result, const std::vector<int>& skyline) {
   int female = 0;
-  for (int r : sol.rows) {
+  for (int r : result.solution.rows) {
     if (gender.group_of[static_cast<size_t>(r)] == 0) ++female;
   }
   std::printf("%-28s k=%zu  mhr=%.4f  female=%d  male=%zu  (%.0f ms)\n",
-              label, sol.rows.size(), MhrExact2D(data, skyline, sol.rows),
-              female, sol.rows.size() - static_cast<size_t>(female),
-              sol.elapsed_ms);
+              label, result.solution.rows.size(),
+              MhrExact2D(data, skyline, result.solution.rows), female,
+              result.solution.rows.size() - static_cast<size_t>(female),
+              result.solve_ms);
 }
 
 }  // namespace
@@ -57,8 +58,12 @@ int main() {
 
   // Unconstrained HMS: exact optimum via IntCov with a single group.
   const Grouping single = SingleGroup(data.size());
-  auto unconstrained =
-      IntCov(data, single, GroupBounds::Explicit(k, {0}, {k}).value());
+  SolverRequest unconstrained_req;
+  unconstrained_req.data = &data;
+  unconstrained_req.grouping = &single;
+  unconstrained_req.bounds = GroupBounds::Explicit(k, {0}, {k}).value();
+  unconstrained_req.algorithm = "intcov";
+  auto unconstrained = Solver::Solve(unconstrained_req);
   if (!unconstrained.ok()) {
     std::fprintf(stderr, "%s\n", unconstrained.status().ToString().c_str());
     return 1;
@@ -66,11 +71,16 @@ int main() {
   Report("unconstrained HMS:", data, gender, *unconstrained, skyline);
 
   // FairHMS under proportional gender representation (alpha = 0.1).
-  const GroupBounds bounds = GroupBounds::Proportional(k, counts, 0.1);
+  SolverRequest fair_req;
+  fair_req.data = &data;
+  fair_req.grouping = &gender;
+  fair_req.bounds = GroupBounds::Proportional(k, counts, 0.1);
+  fair_req.algorithm = "intcov";
   std::printf("\nfairness constraint: %s in [%d, %d], %s in [%d, %d]\n",
-              gender.names[0].c_str(), bounds.lower[0], bounds.upper[0],
-              gender.names[1].c_str(), bounds.lower[1], bounds.upper[1]);
-  auto fair = IntCov(data, gender, bounds);
+              gender.names[0].c_str(), fair_req.bounds.lower[0],
+              fair_req.bounds.upper[0], gender.names[1].c_str(),
+              fair_req.bounds.lower[1], fair_req.bounds.upper[1]);
+  auto fair = Solver::Solve(fair_req);
   if (!fair.ok()) {
     std::fprintf(stderr, "%s\n", fair.status().ToString().c_str());
     return 1;
@@ -78,10 +88,11 @@ int main() {
   Report("FairHMS (IntCov, exact):", data, gender, *fair, skyline);
 
   std::printf("\nprice of fairness: %.4f -> %.4f (drop %.4f)\n",
-              unconstrained->mhr, fair->mhr,
-              unconstrained->mhr - fair->mhr);
+              unconstrained->solution.mhr, fair->solution.mhr,
+              unconstrained->solution.mhr - fair->solution.mhr);
   std::printf("violations before/after: %d / %d\n",
-              CountViolations(unconstrained->rows, gender, bounds),
-              CountViolations(fair->rows, gender, bounds));
+              CountViolations(unconstrained->solution.rows, gender,
+                              fair_req.bounds),
+              fair->violations);
   return 0;
 }

@@ -1,15 +1,15 @@
-// Quickstart: build a small dataset, declare a fairness constraint, run
-// BiGreedy, and inspect the solution.
+// Quickstart: build a small dataset, declare a fairness constraint, and
+// solve FairHMS through the unified Solver::Solve facade — the same entry
+// point behind fairhms_cli and the recommended library API.
 //
 //   $ ./build/examples/quickstart
 
 #include <cstdio>
 
-#include "algo/bigreedy.h"
+#include "api/solver.h"
 #include "common/random.h"
 #include "core/evaluate.h"
 #include "data/generators.h"
-#include "fairness/group_bounds.h"
 #include "skyline/skyline.h"
 
 using namespace fairhms;
@@ -22,37 +22,42 @@ int main() {
   const Dataset data = GenAntiCorrelated(5000, 4, &rng).ScaledByMax();
   const Grouping groups = GroupBySumRank(data, 3);
 
-  // 2. Constraint: pick k = 12 tuples, each group's share within 10% of its
-  //    population share (proportional representation).
-  const int k = 12;
-  const GroupBounds bounds =
-      GroupBounds::Proportional(k, groups.Counts(), /*alpha=*/0.1);
+  // 2. Request: pick k = 12 tuples, each group's share within 10% of its
+  //    population share, solved by BiGreedy. Any name from
+  //    AlgorithmRegistry::Names() (fairhms_cli --list_algos) works here —
+  //    algorithms are interchangeable behind the facade.
+  SolverRequest request;
+  request.data = &data;
+  request.grouping = &groups;
+  request.bounds = GroupBounds::Proportional(12, groups.Counts(), 0.1);
+  request.algorithm = "bigreedy";
 
-  // 3. Solve FairHMS.
-  auto solution = BiGreedy(data, groups, bounds);
-  if (!solution.ok()) {
-    std::fprintf(stderr, "BiGreedy failed: %s\n",
-                 solution.status().ToString().c_str());
+  // 3. Solve. The result carries the rows, per-group counts versus bounds,
+  //    the violation count and timings.
+  auto result = Solver::Solve(request);
+  if (!result.ok()) {
+    std::fprintf(stderr, "solve failed: %s\n",
+                 result.status().ToString().c_str());
     return 1;
   }
 
   // 4. Inspect: the solution is fair by construction; its minimum happiness
   //    ratio says how well it represents every linear preference.
   const auto skyline = ComputeSkyline(data);
-  const double mhr = EvaluateMhr(data, skyline, solution->rows);
-  std::printf("selected %zu rows in %.1f ms\n", solution->rows.size(),
-              solution->elapsed_ms);
+  const double mhr = EvaluateMhr(data, skyline, result->solution.rows);
+  std::printf("algorithm: %s\n", result->solution.algorithm.c_str());
+  std::printf("selected %zu rows in %.1f ms\n", result->solution.rows.size(),
+              result->solve_ms);
   std::printf("minimum happiness ratio: %.4f\n", mhr);
-  std::printf("fairness violations:     %d\n",
-              CountViolations(solution->rows, groups, bounds));
+  std::printf("fairness violations:     %d\n", result->violations);
   std::printf("per-group counts:       ");
-  const auto counts = SolutionGroupCounts(solution->rows, groups);
-  for (size_t c = 0; c < counts.size(); ++c) {
-    std::printf(" %s=%d (allowed %d..%d)", groups.names[c].c_str(), counts[c],
-                bounds.lower[c], bounds.upper[c]);
+  for (size_t c = 0; c < result->group_counts.size(); ++c) {
+    std::printf(" %s=%d (allowed %d..%d)", groups.names[c].c_str(),
+                result->group_counts[c], result->bounds.lower[c],
+                result->bounds.upper[c]);
   }
   std::printf("\nrows:");
-  for (int r : solution->rows) std::printf(" %d", r);
+  for (int r : result->solution.rows) std::printf(" %d", r);
   std::printf("\n");
   return 0;
 }

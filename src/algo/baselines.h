@@ -16,6 +16,12 @@
 //    k >= d), then covers the worst-served sampled directions.
 //  * HittingSet — Agarwal et al. / Kumar & Sintos [2, 29]: threshold + greedy
 //    cover with lazy constraint generation over directions (memory-light).
+//
+// Registered in the unified solver registry (api/registry.h) both plain
+// ("rdp_greedy", "dmm", "sphere", "hs" — run on the global skyline,
+// violations reported) and G-adapted ("g_greedy", "g_dmm", "g_sphere",
+// "g_hs" — fair by per-group quotas). Solver::Solve (api/solver.h) is the
+// stable entry point.
 
 #ifndef FAIRHMS_ALGO_BASELINES_H_
 #define FAIRHMS_ALGO_BASELINES_H_

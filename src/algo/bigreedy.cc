@@ -1,6 +1,8 @@
 #include "algo/bigreedy.h"
 
 #include <algorithm>
+
+#include "api/registry.h"
 #include <cassert>
 #include <cmath>
 #include <queue>
@@ -306,5 +308,98 @@ StatusOr<Solution> BiGreedyPlus(const Dataset& data, const Grouping& grouping,
   best.algorithm = "BiGreedy+";
   return best;
 }
+
+namespace {
+
+BiGreedyOptions BiGreedyOptionsFromContext(const SolveContext& ctx) {
+  BiGreedyOptions opts;
+  opts.net_size = static_cast<size_t>(
+      ctx.params->IntOr("net_size", static_cast<int64_t>(opts.net_size)));
+  opts.delta = ctx.params->DoubleOr("delta", opts.delta);
+  opts.eps = ctx.params->DoubleOr("eps", opts.eps);
+  opts.tau_search = ctx.params->StringOr("tau_search", "binary") == "linear"
+                        ? TauSearch::kLinear
+                        : TauSearch::kBinary;
+  opts.strict_feasible =
+      ctx.params->BoolOr("strict_feasible", opts.strict_feasible);
+  opts.lazy = ctx.params->BoolOr("lazy", opts.lazy);
+  opts.seed = ctx.seed;
+  opts.threads = ctx.threads;
+  return opts;
+}
+
+/// Schema shared by bigreedy and bigreedy+ (the latter appends its own).
+std::vector<ParamSpec> BiGreedyParamSchema() {
+  return {
+      {"net_size", ParamType::kInt, "direction-net size m", "auto (10*k*d)",
+       1, 1e308, false, false, {}},
+      {"delta", ParamType::kDouble,
+       "derive m from a delta-net rule instead (used when net_size unset)",
+       "unset", 0.0, 1.0, true, true, {}},
+      {"eps", ParamType::kDouble, "capped-value search granularity", "0.02",
+       0.0, 1.0, true, true, {}},
+      {"tau_search", ParamType::kString,
+       "capped-value grid traversal", "binary", -1e308, 1e308, false, false,
+       {"binary", "linear"}},
+      {"strict_feasible", ParamType::kBool,
+       "only accept single-round (exactly k, fair) solutions", "true", -1e308,
+       1e308, false, false, {}},
+      {"lazy", ParamType::kBool, "priority-queue marginal gains", "true",
+       -1e308, 1e308, false, false, {}},
+  };
+}
+
+const AlgorithmRegistrar bigreedy_registrar([] {
+  AlgorithmInfo info;
+  info.name = "bigreedy";
+  info.display_name = "BiGreedy";
+  info.summary =
+      "bicriteria matroid-greedy over a sampled direction net (any "
+      "dimension)";
+  info.caps.fairness_aware = true;
+  info.caps.randomized = true;
+  info.params = BiGreedyParamSchema();
+  info.solve = [](const SolveContext& ctx) {
+    return BiGreedy(*ctx.data, *ctx.grouping, *ctx.bounds,
+                    BiGreedyOptionsFromContext(ctx));
+  };
+  return info;
+}());
+
+const AlgorithmRegistrar bigreedy_plus_registrar([] {
+  AlgorithmInfo info;
+  info.name = "bigreedy+";
+  info.display_name = "BiGreedy+";
+  info.summary = "BiGreedy with adaptive net-size doubling (Sec. 4.3)";
+  info.caps.fairness_aware = true;
+  info.caps.randomized = true;
+  info.caps.supports_lambda = true;
+  info.params = BiGreedyParamSchema();
+  info.params.push_back({"max_net_size", ParamType::kInt,
+                         "net-size doubling ceiling M", "auto (10*k*d)", 1,
+                         1e308, false, false, {}});
+  info.params.push_back({"m0_fraction", ParamType::kDouble,
+                         "initial net size as a fraction of M", "0.05", 0.0,
+                         1.0, true, false, {}});
+  info.params.push_back({"lambda", ParamType::kDouble,
+                         "stop doubling when tau improves by less than this",
+                         "0.04", 0.0, 1e308, false, false, {}});
+  info.solve = [](const SolveContext& ctx) {
+    BiGreedyPlusOptions opts;
+    opts.base = BiGreedyOptionsFromContext(ctx);
+    opts.max_net_size = static_cast<size_t>(ctx.params->IntOr(
+        "max_net_size", static_cast<int64_t>(opts.max_net_size)));
+    opts.m0_fraction = ctx.params->DoubleOr("m0_fraction", opts.m0_fraction);
+    opts.lambda = ctx.params->DoubleOr("lambda", opts.lambda);
+    return BiGreedyPlus(*ctx.data, *ctx.grouping, *ctx.bounds, opts);
+  };
+  return info;
+}());
+
+}  // namespace
+
+namespace internal {
+int LinkAlgoBiGreedy() { return 0; }
+}  // namespace internal
 
 }  // namespace fairhms

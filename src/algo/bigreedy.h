@@ -9,6 +9,9 @@
 // outer loop searches the capped value over the geometric grid
 // (1 - eps/2)^j. BiGreedy+ repeats BiGreedy with doubling net sizes until
 // the capped value stabilizes (adaptive sampling, Sec. 4.3).
+//
+// Registered in the unified solver registry (api/registry.h) as "bigreedy"
+// and "bigreedy+"; Solver::Solve (api/solver.h) is the stable entry point.
 
 #ifndef FAIRHMS_ALGO_BIGREEDY_H_
 #define FAIRHMS_ALGO_BIGREEDY_H_

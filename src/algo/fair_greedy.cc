@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "api/registry.h"
+
 #include "algo/algo_util.h"
 #include "common/stopwatch.h"
 #include "core/exact_evaluator.h"
@@ -73,5 +75,36 @@ StatusOr<Solution> FairGreedy(const Dataset& data, const Grouping& grouping,
   out.algorithm = "F-Greedy";
   return out;
 }
+
+namespace {
+
+const AlgorithmRegistrar fair_greedy_registrar([] {
+  AlgorithmInfo info;
+  info.name = "fair_greedy";
+  info.display_name = "F-Greedy";
+  info.summary =
+      "matroid-greedy max-regret insertion (one witness LP per candidate "
+      "per round)";
+  info.caps.fairness_aware = true;
+  info.params = {
+      {"regret_tolerance", ParamType::kDouble,
+       "stop early when the max regret drops below this", "1e-9", 0.0, 1e308,
+       false, false, {}},
+  };
+  info.solve = [](const SolveContext& ctx) {
+    FairGreedyOptions opts;
+    opts.regret_tolerance =
+        ctx.params->DoubleOr("regret_tolerance", opts.regret_tolerance);
+    opts.threads = ctx.threads;
+    return FairGreedy(*ctx.data, *ctx.grouping, *ctx.bounds, opts);
+  };
+  return info;
+}());
+
+}  // namespace
+
+namespace internal {
+int LinkAlgoFairGreedy() { return 0; }
+}  // namespace internal
 
 }  // namespace fairhms

@@ -6,6 +6,9 @@
 // matroid; insertion continues until the selection is a maximal independent
 // set (exactly k rows, fair). One LP per skyline item per iteration — the
 // cost profile the paper reports (slowest fair baseline).
+//
+// Registered in the unified solver registry (api/registry.h) as
+// "fair_greedy"; Solver::Solve (api/solver.h) is the stable entry point.
 
 #ifndef FAIRHMS_ALGO_FAIR_GREEDY_H_
 #define FAIRHMS_ALGO_FAIR_GREEDY_H_

@@ -7,6 +7,10 @@
 // group-local happiness denominators, and the union is returned. The
 // adaptation inherits the paper's caveat: per-group selections are mutually
 // redundant, so the union's global MHR trails the native fair algorithms.
+//
+// The adapted variants are registered in the unified solver registry
+// (api/registry.h) as "g_greedy", "g_dmm", "g_sphere" and "g_hs" from the
+// respective baseline .cc files.
 
 #ifndef FAIRHMS_ALGO_GROUP_ADAPTER_H_
 #define FAIRHMS_ALGO_GROUP_ADAPTER_H_

@@ -3,6 +3,8 @@
 #include <numeric>
 
 #include "algo/baselines.h"
+#include "algo/group_adapter.h"
+#include "api/registry.h"
 #include "common/random.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
@@ -177,5 +179,71 @@ StatusOr<Solution> HittingSet(const Dataset& data,
   out.algorithm = "HS";
   return out;
 }
+
+namespace {
+
+HittingSetOptions HittingSetOptionsFromContext(const SolveContext& ctx) {
+  HittingSetOptions opts;
+  opts.validation_net_size = static_cast<size_t>(ctx.params->IntOr(
+      "net_size", static_cast<int64_t>(opts.validation_net_size)));
+  opts.max_rounds = static_cast<int>(
+      ctx.params->IntOr("max_rounds", opts.max_rounds));
+  opts.seed = ctx.seed;
+  opts.threads = ctx.threads;
+  return opts;
+}
+
+std::vector<ParamSpec> HittingSetParamSchema() {
+  return {
+      {"net_size", ParamType::kInt, "validation direction-net size",
+       "auto (20*k*d)", 1, 1e308, false, false, {}},
+      {"max_rounds", ParamType::kInt,
+       "lazy constraint-generation round limit", "64", 1, 1e308, false,
+       false, {}},
+  };
+}
+
+const AlgorithmRegistrar hs_registrar([] {
+  AlgorithmInfo info;
+  info.name = "hs";
+  info.display_name = "HS";
+  info.summary =
+      "lazy hitting-set baseline: threshold + greedy cover with constraint "
+      "generation (unconstrained, memory-light)";
+  info.caps.randomized = true;
+  info.params = HittingSetParamSchema();
+  info.solve = [](const SolveContext& ctx) {
+    return HittingSet(*ctx.data, *ctx.skyline, ctx.bounds->k,
+                      HittingSetOptionsFromContext(ctx));
+  };
+  return info;
+}());
+
+const AlgorithmRegistrar g_hs_registrar([] {
+  AlgorithmInfo info;
+  info.name = "g_hs";
+  info.display_name = "G-HS";
+  info.summary = "HS run per group and unioned (fair by quotas)";
+  info.caps.fairness_aware = true;
+  info.caps.randomized = true;
+  info.params = HittingSetParamSchema();
+  info.solve = [](const SolveContext& ctx) {
+    const HittingSetOptions opts = HittingSetOptionsFromContext(ctx);
+    GroupAdapterOptions adapter_opts;
+    adapter_opts.threads = ctx.threads;
+    return GroupAdapt(
+        [opts](const Dataset& d, const std::vector<int>& rows, int k) {
+          return HittingSet(d, rows, k, opts);
+        },
+        "HS", *ctx.data, *ctx.grouping, *ctx.bounds, adapter_opts);
+  };
+  return info;
+}());
+
+}  // namespace
+
+namespace internal {
+int LinkAlgoHittingSet() { return 0; }
+}  // namespace internal
 
 }  // namespace fairhms

@@ -1,6 +1,8 @@
 #include "algo/intcov.h"
 
 #include <algorithm>
+
+#include "api/registry.h"
 #include <cassert>
 #include <cmath>
 #include <mutex>
@@ -160,5 +162,50 @@ StatusOr<Solution> IntCov(const Dataset& data, const Grouping& grouping,
   out.algorithm = "IntCov";
   return out;
 }
+
+namespace {
+
+IntCovOptions IntCovOptionsFromContext(const SolveContext& ctx) {
+  IntCovOptions opts;
+  opts.max_states = static_cast<uint64_t>(ctx.params->IntOr(
+      "max_states", static_cast<int64_t>(opts.max_states)));
+  opts.max_pair_candidates = static_cast<uint64_t>(ctx.params->IntOr(
+      "max_pair_candidates", static_cast<int64_t>(opts.max_pair_candidates)));
+  opts.tolerance = ctx.params->DoubleOr("tolerance", opts.tolerance);
+  opts.threads = ctx.threads;
+  return opts;
+}
+
+const AlgorithmRegistrar intcov_registrar([] {
+  AlgorithmInfo info;
+  info.name = "intcov";
+  info.display_name = "IntCov";
+  info.summary =
+      "exact FairHMS via fair interval cover (2D; higher-D requests are "
+      "solved on a 2-attribute projection)";
+  info.caps.exact_2d = true;
+  info.caps.fairness_aware = true;
+  info.params = {
+      {"max_states", ParamType::kInt,
+       "abort when the DP state space exceeds this", "50000000", 1, 1e308,
+       false, false, {}},
+      {"max_pair_candidates", ParamType::kInt,
+       "above this many pairwise tau candidates, fall back to bisection",
+       "20000000", 1, 1e308, false, false, {}},
+      {"tolerance", ParamType::kDouble, "coverage/eligibility tolerance",
+       "1e-9", 0.0, 1.0, true, false, {}},
+  };
+  info.solve = [](const SolveContext& ctx) {
+    return IntCov(*ctx.data, *ctx.grouping, *ctx.bounds,
+                  IntCovOptionsFromContext(ctx));
+  };
+  return info;
+}());
+
+}  // namespace
+
+namespace internal {
+int LinkAlgoIntCov() { return 0; }
+}  // namespace internal
 
 }  // namespace fairhms

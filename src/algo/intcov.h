@@ -9,6 +9,10 @@
 // O(n^2) candidate MHR values (single-point happiness at the axis utilities
 // plus every pairwise line crossing — Asudeh et al. Thm 2 guarantees the
 // optimum is among them).
+//
+// Registered in the unified solver registry (api/registry.h) as "intcov";
+// prefer Solver::Solve (api/solver.h) over calling IntCov directly — the
+// facade applies the 2D-projection fallback for higher-D data.
 
 #ifndef FAIRHMS_ALGO_INTCOV_H_
 #define FAIRHMS_ALGO_INTCOV_H_

@@ -2,6 +2,8 @@
 #include <cmath>
 
 #include "algo/baselines.h"
+#include "algo/group_adapter.h"
+#include "api/registry.h"
 #include "common/random.h"
 #include "common/stopwatch.h"
 #include "common/string_util.h"
@@ -100,5 +102,68 @@ StatusOr<Solution> SphereAlgo(const Dataset& data,
   out.algorithm = "Sphere";
   return out;
 }
+
+namespace {
+
+SphereOptions SphereOptionsFromContext(const SolveContext& ctx) {
+  SphereOptions opts;
+  opts.net_size = static_cast<size_t>(
+      ctx.params->IntOr("net_size", static_cast<int64_t>(opts.net_size)));
+  opts.seed = ctx.seed;
+  opts.threads = ctx.threads;
+  return opts;
+}
+
+std::vector<ParamSpec> SphereParamSchema() {
+  return {
+      {"net_size", ParamType::kInt, "sampled direction count",
+       "auto (10*k*d)", 1, 1e308, false, false, {}},
+  };
+}
+
+const AlgorithmRegistrar sphere_registrar([] {
+  AlgorithmInfo info;
+  info.name = "sphere";
+  info.display_name = "Sphere";
+  info.summary =
+      "Sphere baseline: dimension extremes + worst-served sampled "
+      "directions (unconstrained; needs k >= d)";
+  info.caps.randomized = true;
+  info.params = SphereParamSchema();
+  info.solve = [](const SolveContext& ctx) {
+    return SphereAlgo(*ctx.data, *ctx.skyline, ctx.bounds->k,
+                      SphereOptionsFromContext(ctx));
+  };
+  return info;
+}());
+
+const AlgorithmRegistrar g_sphere_registrar([] {
+  AlgorithmInfo info;
+  info.name = "g_sphere";
+  info.display_name = "G-Sphere";
+  info.summary =
+      "Sphere run per group and unioned (fair by quotas; needs every "
+      "per-group quota >= d)";
+  info.caps.fairness_aware = true;
+  info.caps.randomized = true;
+  info.params = SphereParamSchema();
+  info.solve = [](const SolveContext& ctx) {
+    const SphereOptions opts = SphereOptionsFromContext(ctx);
+    GroupAdapterOptions adapter_opts;
+    adapter_opts.threads = ctx.threads;
+    return GroupAdapt(
+        [opts](const Dataset& d, const std::vector<int>& rows, int k) {
+          return SphereAlgo(d, rows, k, opts);
+        },
+        "Sphere", *ctx.data, *ctx.grouping, *ctx.bounds, adapter_opts);
+  };
+  return info;
+}());
+
+}  // namespace
+
+namespace internal {
+int LinkAlgoSphere() { return 0; }
+}  // namespace internal
 
 }  // namespace fairhms

@@ -1,0 +1,106 @@
+#include "api/registry.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/string_util.h"
+
+namespace fairhms {
+
+namespace internal {
+
+// Link anchors: one per algorithm translation unit. Referencing them here
+// forces the linker to pull those objects out of the static fairhms
+// archive into every binary that uses the registry — without this, a
+// binary that never names IntCov() etc. would silently drop the objects
+// and their file-scope AlgorithmRegistrars would never run.
+int LinkAlgoIntCov();
+int LinkAlgoBiGreedy();
+int LinkAlgoFairGreedy();
+int LinkAlgoRdpGreedy();
+int LinkAlgoDmm();
+int LinkAlgoSphere();
+int LinkAlgoHittingSet();
+
+int LinkBuiltinAlgorithms() {
+  return LinkAlgoIntCov() + LinkAlgoBiGreedy() + LinkAlgoFairGreedy() +
+         LinkAlgoRdpGreedy() + LinkAlgoDmm() + LinkAlgoSphere() +
+         LinkAlgoHittingSet();
+}
+
+}  // namespace internal
+
+std::string CapabilitiesToString(const AlgoCapabilities& caps) {
+  std::vector<std::string> parts;
+  if (caps.fairness_aware) parts.push_back("fair");
+  if (caps.exact_2d) parts.push_back("exact-2d");
+  if (caps.randomized) parts.push_back("randomized");
+  if (caps.supports_lambda) parts.push_back("lambda");
+  return parts.empty() ? "-" : Join(parts, ",");
+}
+
+AlgorithmRegistry& AlgorithmRegistry::Instance() {
+  static AlgorithmRegistry* const registry = new AlgorithmRegistry();
+  // Volatile sink so no optimizer may elide the anchor references.
+  static volatile int anchors = internal::LinkBuiltinAlgorithms();
+  (void)anchors;
+  return *registry;
+}
+
+Status AlgorithmRegistry::Register(AlgorithmInfo info) {
+  if (info.name.empty()) {
+    return Status::Internal("algorithm registered with an empty name");
+  }
+  if (!info.solve) {
+    return Status::Internal(
+        StrFormat("algorithm '%s' registered without a solve fn",
+                  info.name.c_str()));
+  }
+  std::sort(info.params.begin(), info.params.end(),
+            [](const ParamSpec& a, const ParamSpec& b) {
+              return a.name < b.name;
+            });
+  const auto [it, inserted] = entries_.emplace(info.name, std::move(info));
+  (void)it;
+  if (!inserted) {
+    return Status::Internal(StrFormat("duplicate algorithm registration '%s'",
+                                      it->first.c_str()));
+  }
+  return Status::OK();
+}
+
+const AlgorithmInfo* AlgorithmRegistry::Find(const std::string& name) const {
+  const auto it = entries_.find(name);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> AlgorithmRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const auto& [name, info] : entries_) names.push_back(name);
+  return names;
+}
+
+std::vector<const AlgorithmInfo*> AlgorithmRegistry::All() const {
+  std::vector<const AlgorithmInfo*> all;
+  all.reserve(entries_.size());
+  for (const auto& [name, info] : entries_) all.push_back(&info);
+  return all;
+}
+
+std::string AlgorithmRegistry::NamesForError() const {
+  return Join(Names(), ", ");
+}
+
+AlgorithmRegistrar::AlgorithmRegistrar(AlgorithmInfo info) {
+  const std::string name = info.name;
+  const Status st = AlgorithmRegistry::Instance().Register(std::move(info));
+  if (!st.ok()) {
+    std::fprintf(stderr, "fatal: algorithm registration '%s' failed: %s\n",
+                 name.c_str(), st.ToString().c_str());
+    std::abort();
+  }
+}
+
+}  // namespace fairhms

@@ -4,14 +4,21 @@
 #ifndef FAIRHMS_FAIRHMS_H_
 #define FAIRHMS_FAIRHMS_H_
 
+#include "algo/algo_util.h"
 #include "algo/baselines.h"
 #include "algo/bigreedy.h"
 #include "algo/fair_greedy.h"
 #include "algo/group_adapter.h"
 #include "algo/intcov.h"
+#include "api/params.h"
+#include "api/registry.h"
+#include "api/solver.h"
 #include "common/random.h"
 #include "common/status.h"
 #include "common/statusor.h"
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "common/thread_pool.h"
 #include "core/evaluate.h"
 #include "core/exact_evaluator.h"
 #include "core/net_evaluator.h"

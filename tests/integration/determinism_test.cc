@@ -1,27 +1,33 @@
-// Cross-thread-count determinism: every algorithm must select the same
-// rows and report a bit-identical mhr at threads = 1 and threads = 8.
-// This is the contract that makes --threads a pure performance knob.
+// Cross-thread-count determinism, exercised through the Solver::Solve
+// facade: every registered algorithm must select the same rows and report a
+// bit-identical mhr at threads = 1 and threads = 8. This is the contract
+// that makes --threads a pure performance knob, now tested on the exact
+// path the CLI and library users take.
 
 #include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
-#include "algo/baselines.h"
-#include "algo/bigreedy.h"
-#include "algo/fair_greedy.h"
-#include "algo/group_adapter.h"
-#include "algo/intcov.h"
+#include "api/solver.h"
 #include "common/random.h"
 #include "data/generators.h"
 #include "data/grouping.h"
 #include "fairness/group_bounds.h"
-#include "skyline/skyline.h"
 
 namespace fairhms {
 namespace {
 
 constexpr int kParallelThreads = 8;
+
+// The parameter list is spelled out (instead of reading
+// AlgorithmRegistry::Names() at instantiation time) because gtest
+// instantiates during static initialization, which races the registrars in
+// other translation units. RegistryCoversDeterminismSuite below fails when
+// the registry and this list drift apart.
+const std::string kAlgorithms[] = {
+    "bigreedy", "bigreedy+", "dmm",    "fair_greedy", "g_dmm",  "g_greedy",
+    "g_hs",     "g_sphere",  "hs",     "intcov",      "rdp_greedy", "sphere"};
 
 struct Instance {
   Dataset data{1};
@@ -29,142 +35,70 @@ struct Instance {
   GroupBounds bounds;
 };
 
-Instance MakeInstance(int dim, int k, uint64_t seed) {
+/// 600 independent points, 3 equal groups, k = 12 with alpha = 0.2 so every
+/// per-group quota is 4 = dim (g_sphere stays feasible); intcov runs on its
+/// 2D projection via the facade.
+Instance MakeInstance(uint64_t seed) {
   Instance inst;
   Rng rng(seed);
-  inst.data = GenIndependent(600, dim, &rng).NormalizedMinMax();
+  inst.data = GenIndependent(600, /*dim=*/4, &rng).NormalizedMinMax();
   inst.grouping = GroupBySumRank(inst.data, 3);
-  inst.bounds = GroupBounds::Proportional(k, inst.grouping.Counts(), 0.2);
+  inst.bounds = GroupBounds::Proportional(12, inst.grouping.Counts(), 0.2);
   return inst;
 }
 
-void ExpectSameSolution(const StatusOr<Solution>& serial,
-                        const StatusOr<Solution>& parallel,
-                        const std::string& label) {
-  ASSERT_TRUE(serial.ok()) << label << ": " << serial.status().ToString();
-  ASSERT_TRUE(parallel.ok()) << label << ": " << parallel.status().ToString();
-  EXPECT_EQ(serial->rows, parallel->rows) << label;
+class FacadeDeterminismTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(FacadeDeterminismTest, SerialMatchesParallel) {
+  const std::string algo = GetParam();
+  const Instance inst = MakeInstance(/*seed=*/101);
+
+  SolverRequest request;
+  request.data = &inst.data;
+  request.grouping = &inst.grouping;
+  request.bounds = inst.bounds;
+  request.algorithm = algo;
+
+  request.threads = 1;
+  auto serial = Solver::Solve(request);
+  request.threads = kParallelThreads;
+  auto parallel = Solver::Solve(request);
+
+  ASSERT_TRUE(serial.ok()) << algo << ": " << serial.status().ToString();
+  ASSERT_TRUE(parallel.ok()) << algo << ": " << parallel.status().ToString();
+  EXPECT_EQ(serial->solution.rows, parallel->solution.rows) << algo;
   // Bit-identical, not approximately equal.
-  EXPECT_EQ(serial->mhr, parallel->mhr) << label;
+  EXPECT_EQ(serial->solution.mhr, parallel->solution.mhr) << algo;
+  EXPECT_EQ(serial->group_counts, parallel->group_counts) << algo;
+  EXPECT_EQ(serial->violations, parallel->violations) << algo;
 }
 
-TEST(DeterminismTest, IntCov) {
-  const Instance inst = MakeInstance(/*dim=*/2, /*k=*/8, /*seed=*/101);
-  IntCovOptions serial_opts;
-  serial_opts.threads = 1;
-  IntCovOptions parallel_opts;
-  parallel_opts.threads = kParallelThreads;
-  ExpectSameSolution(
-      IntCov(inst.data, inst.grouping, inst.bounds, serial_opts),
-      IntCov(inst.data, inst.grouping, inst.bounds, parallel_opts), "intcov");
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, FacadeDeterminismTest,
+                         ::testing::ValuesIn(kAlgorithms));
+
+TEST(FacadeDeterminismTest, RegistryCoversDeterminismSuite) {
+  std::vector<std::string> expected(std::begin(kAlgorithms),
+                                    std::end(kAlgorithms));
+  EXPECT_EQ(AlgorithmRegistry::Instance().Names(), expected)
+      << "registry and determinism suite drifted apart; update kAlgorithms";
 }
 
-TEST(DeterminismTest, BiGreedy) {
-  const Instance inst = MakeInstance(/*dim=*/4, /*k=*/10, /*seed=*/102);
-  BiGreedyOptions serial_opts;
-  serial_opts.threads = 1;
-  BiGreedyOptions parallel_opts;
-  parallel_opts.threads = kParallelThreads;
-  ExpectSameSolution(
-      BiGreedy(inst.data, inst.grouping, inst.bounds, serial_opts),
-      BiGreedy(inst.data, inst.grouping, inst.bounds, parallel_opts),
-      "bigreedy");
-}
-
-TEST(DeterminismTest, BiGreedyPlus) {
-  const Instance inst = MakeInstance(/*dim=*/4, /*k=*/10, /*seed=*/103);
-  BiGreedyPlusOptions serial_opts;
-  serial_opts.base.threads = 1;
-  BiGreedyPlusOptions parallel_opts;
-  parallel_opts.base.threads = kParallelThreads;
-  ExpectSameSolution(
-      BiGreedyPlus(inst.data, inst.grouping, inst.bounds, serial_opts),
-      BiGreedyPlus(inst.data, inst.grouping, inst.bounds, parallel_opts),
-      "bigreedy+");
-}
-
-TEST(DeterminismTest, FairGreedy) {
-  const Instance inst = MakeInstance(/*dim=*/4, /*k=*/8, /*seed=*/104);
-  FairGreedyOptions serial_opts;
-  serial_opts.threads = 1;
-  FairGreedyOptions parallel_opts;
-  parallel_opts.threads = kParallelThreads;
-  ExpectSameSolution(
-      FairGreedy(inst.data, inst.grouping, inst.bounds, serial_opts),
-      FairGreedy(inst.data, inst.grouping, inst.bounds, parallel_opts),
-      "fair_greedy");
-}
-
-TEST(DeterminismTest, GroupAdaptedBaselines) {
-  const Instance inst = MakeInstance(/*dim=*/4, /*k=*/12, /*seed=*/105);
-  const auto run = [&](int threads) {
-    std::vector<StatusOr<Solution>> out;
-    GroupAdapterOptions adapter_opts;
-    adapter_opts.threads = threads;
-    out.push_back(GroupAdapt(
-        [threads](const Dataset& d, const std::vector<int>& rows, int k) {
-          RdpGreedyOptions o;
-          o.threads = threads;
-          return RdpGreedy(d, rows, k, o);
-        },
-        "Greedy", inst.data, inst.grouping, inst.bounds, adapter_opts));
-    out.push_back(GroupAdapt(
-        [threads](const Dataset& d, const std::vector<int>& rows, int k) {
-          DmmOptions o;
-          o.threads = threads;
-          return Dmm(d, rows, k, o);
-        },
-        "DMM", inst.data, inst.grouping, inst.bounds, adapter_opts));
-    out.push_back(GroupAdapt(
-        [threads](const Dataset& d, const std::vector<int>& rows, int k) {
-          HittingSetOptions o;
-          o.threads = threads;
-          return HittingSet(d, rows, k, o);
-        },
-        "HS", inst.data, inst.grouping, inst.bounds, adapter_opts));
-    return out;
-  };
-  const auto serial = run(1);
-  const auto parallel = run(kParallelThreads);
-  const char* names[] = {"g_greedy", "g_dmm", "g_hs"};
-  for (size_t i = 0; i < serial.size(); ++i) {
-    ExpectSameSolution(serial[i], parallel[i], names[i]);
-  }
-}
-
-TEST(DeterminismTest, UnconstrainedBaselines) {
-  const Instance inst = MakeInstance(/*dim=*/4, /*k=*/10, /*seed=*/106);
-  const std::vector<int> sky = ComputeSkyline(inst.data);
-
-  {
-    RdpGreedyOptions serial_opts, parallel_opts;
-    serial_opts.threads = 1;
-    parallel_opts.threads = kParallelThreads;
-    ExpectSameSolution(RdpGreedy(inst.data, sky, 10, serial_opts),
-                       RdpGreedy(inst.data, sky, 10, parallel_opts),
-                       "rdp_greedy");
-  }
-  {
-    DmmOptions serial_opts, parallel_opts;
-    serial_opts.threads = 1;
-    parallel_opts.threads = kParallelThreads;
-    ExpectSameSolution(Dmm(inst.data, sky, 10, serial_opts),
-                       Dmm(inst.data, sky, 10, parallel_opts), "dmm");
-  }
-  {
-    SphereOptions serial_opts, parallel_opts;
-    serial_opts.threads = 1;
-    parallel_opts.threads = kParallelThreads;
-    ExpectSameSolution(SphereAlgo(inst.data, sky, 10, serial_opts),
-                       SphereAlgo(inst.data, sky, 10, parallel_opts),
-                       "sphere");
-  }
-  {
-    HittingSetOptions serial_opts, parallel_opts;
-    serial_opts.threads = 1;
-    parallel_opts.threads = kParallelThreads;
-    ExpectSameSolution(HittingSet(inst.data, sky, 10, serial_opts),
-                       HittingSet(inst.data, sky, 10, parallel_opts), "hs");
+TEST(FacadeDeterminismTest, RepeatedSolvesAreIdentical) {
+  // Same request twice (fixed seed) -> identical rows, also for the
+  // randomized algorithms.
+  const Instance inst = MakeInstance(/*seed=*/202);
+  SolverRequest request;
+  request.data = &inst.data;
+  request.grouping = &inst.grouping;
+  request.bounds = inst.bounds;
+  for (const char* algo : {"bigreedy", "sphere", "hs"}) {
+    request.algorithm = algo;
+    auto first = Solver::Solve(request);
+    auto second = Solver::Solve(request);
+    ASSERT_TRUE(first.ok()) << algo << ": " << first.status().ToString();
+    ASSERT_TRUE(second.ok()) << algo << ": " << second.status().ToString();
+    EXPECT_EQ(first->solution.rows, second->solution.rows) << algo;
+    EXPECT_EQ(first->solution.mhr, second->solution.mhr) << algo;
   }
 }
 

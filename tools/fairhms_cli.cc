@@ -1,10 +1,12 @@
 // fairhms_cli: the unified driver for every FairHMS / HMS algorithm in the
-// library. Loads a CSV or synthetic dataset, applies a grouping, dispatches
-// to the requested algorithm, and emits the happiness ratio, per-group
-// counts versus bounds, fairness violations and wall-clock as plain text,
-// CSV or JSON.
+// library. Loads a CSV or synthetic dataset, applies a grouping, solves via
+// the Solver::Solve facade (algorithm selection goes through the
+// AlgorithmRegistry — no per-algorithm wiring lives here), and emits the
+// happiness ratio, per-group counts versus bounds, fairness violations and
+// wall-clock as plain text, CSV or JSON.
 //
 // Examples:
+//   fairhms_cli --list_algos
 //   fairhms_cli --algo=intcov --synthetic=independent --n=1000 --dim=4
 //       --k=10 --groups=3
 //   fairhms_cli --algo=bigreedy --synthetic=anticorrelated --n=20000
@@ -19,11 +21,7 @@
 #include <string>
 #include <vector>
 
-#include "algo/baselines.h"
-#include "algo/bigreedy.h"
-#include "algo/fair_greedy.h"
-#include "algo/group_adapter.h"
-#include "algo/intcov.h"
+#include "api/solver.h"
 #include "cli_util.h"
 #include "common/random.h"
 #include "common/stopwatch.h"
@@ -70,12 +68,14 @@ Constraint:
   --alpha=A                tolerance for proportional/balanced (default 0.1)
   --lower=l0,l1,... --upper=h0,h1,...   explicit per-group bounds
 
-Algorithm (--algo=..., required):
-  fair:          intcov (exact, 2D; higher-D inputs are solved on a
-                 2-attribute projection), bigreedy, bigreedy+, fair_greedy,
-                 g_greedy, g_dmm, g_sphere, g_hs
-  unconstrained: rdp_greedy, dmm, sphere, hs   (violations still reported)
-  --net_size=M --eps=E     BiGreedy knobs; --lambda=L for bigreedy+
+Algorithm:
+  --algo=NAME              required; any registry name (see --list_algos)
+  --list_algos             print every registered algorithm with its
+                           capabilities and parameter schema, then exit
+  --<param>=V              any parameter of the chosen algorithm's schema
+                           becomes a flag (e.g. --net_size, --eps,
+                           --lambda, --max_rounds; --list_algos shows
+                           names, types and defaults per algorithm)
 
 Output:
   --format=F               plain (default) | csv | json
@@ -84,6 +84,23 @@ Output:
 int Fail(const Status& status) {
   std::fprintf(stderr, "fairhms_cli: %s\n", status.ToString().c_str());
   return 1;
+}
+
+/// Prints the registry: one block per algorithm with capabilities and the
+/// parameter schema (name, type, default, description). The algorithm name
+/// is the first token of its line so scripts can match on field 1.
+int ListAlgos() {
+  for (const AlgorithmInfo* info : AlgorithmRegistry::Instance().All()) {
+    std::printf("%-12s [%s]  %s — %s\n", info->name.c_str(),
+                CapabilitiesToString(info->caps).c_str(),
+                info->display_name.c_str(), info->summary.c_str());
+    for (const ParamSpec& p : info->params) {
+      std::printf("    --%s (%s, default %s): %s\n", p.name.c_str(),
+                  ParamTypeToString(p.type), p.default_value.c_str(),
+                  p.description.c_str());
+    }
+  }
+  return 0;
 }
 
 StatusOr<Dataset> LoadDataset(const cli::Flags& flags, Rng* rng) {
@@ -171,114 +188,52 @@ StatusOr<GroupBounds> MakeBounds(const cli::Flags& flags, int k,
       StrFormat("unknown --bounds '%s'", kind.c_str()));
 }
 
-/// Copies the first two numeric attributes (IntCov is exact-2D only).
-Dataset ProjectTo2D(const Dataset& data) {
-  Dataset proj(std::vector<std::string>{data.attr_names()[0],
-                                        data.attr_names()[1]});
-  proj.Reserve(data.size());
-  for (size_t i = 0; i < data.size(); ++i) {
-    proj.AddPoint({data.at(i, 0), data.at(i, 1)});
+/// Forwards every flag matching the chosen algorithm's parameter schema
+/// into the request's AlgoParams — each entry --list_algos prints is a
+/// working --flag. Flags naming a parameter of a *different* algorithm are
+/// never looked up here; the end-of-run unknown-flag sweep warns about
+/// them ("no effect with the chosen options") like any other unused knob.
+Status FillParamsFromFlags(const cli::Flags& flags, const AlgorithmInfo& info,
+                           AlgoParams* params) {
+  for (const ParamSpec& spec : info.params) {
+    if (!flags.Has(spec.name)) continue;
+    switch (spec.type) {
+      case ParamType::kInt:
+        params->SetInt(spec.name, flags.GetInt(spec.name, 0));
+        break;
+      case ParamType::kDouble:
+        params->SetDouble(spec.name, flags.GetDouble(spec.name, 0.0));
+        break;
+      case ParamType::kBool: {
+        // Bare --flag means true; otherwise require true/false (or 1/0).
+        const std::string v = flags.GetString(spec.name, "true");
+        if (v.empty() || v == "true" || v == "1") {
+          params->SetBool(spec.name, true);
+        } else if (v == "false" || v == "0") {
+          params->SetBool(spec.name, false);
+        } else {
+          return Status::InvalidArgument(
+              StrFormat("--%s wants true or false, got '%s'",
+                        spec.name.c_str(), v.c_str()));
+        }
+        break;
+      }
+      case ParamType::kString:
+        params->SetString(spec.name, flags.GetString(spec.name, ""));
+        break;
+    }
   }
-  return proj;
+  return Status::OK();
 }
 
-struct RunOutput {
-  Solution solution;
-  std::string note;  ///< e.g. the IntCov projection caveat.
-};
-
-StatusOr<RunOutput> Dispatch(const std::string& algo, const cli::Flags& flags,
-                             const Dataset& data, const Grouping& grouping,
-                             const GroupBounds& bounds,
-                             const std::vector<int>& skyline) {
-  RunOutput out;
-  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
-  if (algo == "intcov") {
-    IntCovOptions opts;
-    if (data.dim() == 2) {
-      FAIRHMS_ASSIGN_OR_RETURN(out.solution,
-                               IntCov(data, grouping, bounds, opts));
-      return out;
-    }
-    if (data.dim() < 2) {
-      return Status::InvalidArgument(
-          "intcov needs at least 2 numeric attributes");
-    }
-    const Dataset proj = ProjectTo2D(data);
-    FAIRHMS_ASSIGN_OR_RETURN(out.solution,
-                             IntCov(proj, grouping, bounds, opts));
-    out.note = StrFormat(
-        "intcov is exact-2D; selected on the (%s, %s) projection, evaluated "
-        "in full %dD",
-        data.attr_names()[0].c_str(), data.attr_names()[1].c_str(),
-        data.dim());
-    return out;
+/// Every parameter name registered by any algorithm: a flag in this set
+/// that went unused is "documented but without effect here", not a typo.
+std::set<std::string> AllRegisteredParamNames() {
+  std::set<std::string> names;
+  for (const AlgorithmInfo* info : AlgorithmRegistry::Instance().All()) {
+    for (const ParamSpec& p : info->params) names.insert(p.name);
   }
-  if (algo == "bigreedy" || algo == "bigreedy+") {
-    BiGreedyOptions base;
-    base.net_size = static_cast<size_t>(flags.GetInt("net_size", 0));
-    base.eps = flags.GetDouble("eps", 0.02);
-    base.seed = seed;
-    if (algo == "bigreedy") {
-      FAIRHMS_ASSIGN_OR_RETURN(out.solution,
-                               BiGreedy(data, grouping, bounds, base));
-      return out;
-    }
-    BiGreedyPlusOptions opts;
-    opts.base = base;
-    opts.max_net_size = static_cast<size_t>(flags.GetInt("max_net_size", 0));
-    opts.lambda = flags.GetDouble("lambda", 0.04);
-    FAIRHMS_ASSIGN_OR_RETURN(out.solution,
-                             BiGreedyPlus(data, grouping, bounds, opts));
-    return out;
-  }
-  if (algo == "fair_greedy") {
-    FAIRHMS_ASSIGN_OR_RETURN(out.solution, FairGreedy(data, grouping, bounds));
-    return out;
-  }
-
-  // Fairness-unaware baselines, either G-adapted (fair by construction) or
-  // run unconstrained on the global skyline (violations reported).
-  const BaseSolver solvers[] = {
-      [](const Dataset& d, const std::vector<int>& rows, int k) {
-        return RdpGreedy(d, rows, k);
-      },
-      [](const Dataset& d, const std::vector<int>& rows, int k) {
-        return Dmm(d, rows, k);
-      },
-      [seed](const Dataset& d, const std::vector<int>& rows, int k) {
-        SphereOptions opts;
-        opts.seed = seed;
-        return SphereAlgo(d, rows, k, opts);
-      },
-      [seed](const Dataset& d, const std::vector<int>& rows, int k) {
-        HittingSetOptions opts;
-        opts.seed = seed;
-        return HittingSet(d, rows, k, opts);
-      },
-  };
-  const std::string adapted[] = {"g_greedy", "g_dmm", "g_sphere", "g_hs"};
-  const std::string display[] = {"Greedy", "DMM", "Sphere", "HS"};
-  const std::string plain[] = {"rdp_greedy", "dmm", "sphere", "hs"};
-  for (int i = 0; i < 4; ++i) {
-    if (algo == adapted[i]) {
-      FAIRHMS_ASSIGN_OR_RETURN(
-          out.solution,
-          GroupAdapt(solvers[i], display[i], data, grouping, bounds));
-      return out;
-    }
-    if (algo == plain[i]) {
-      FAIRHMS_ASSIGN_OR_RETURN(out.solution,
-                               solvers[i](data, skyline, bounds.k));
-      out.note = "fairness-unaware baseline; bounds only used for the "
-                 "violation report";
-      return out;
-    }
-  }
-  return Status::InvalidArgument(StrFormat(
-      "unknown --algo '%s' (intcov, bigreedy, bigreedy+, fair_greedy, "
-      "g_greedy, g_dmm, g_sphere, g_hs, rdp_greedy, dmm, sphere, hs)",
-      algo.c_str()));
+  return names;
 }
 
 int Run(int argc, char** argv) {
@@ -287,11 +242,22 @@ int Run(int argc, char** argv) {
     std::fputs(kUsage, stdout);
     return argc <= 1 ? 1 : 0;
   }
+  if (flags.Has("list_algos")) return ListAlgos();
 
   Stopwatch total;
+  // Resolve the algorithm up front (fail fast before a long dataset load);
+  // the unknown-name message comes straight from the registry.
   const std::string algo = flags.GetString("algo", "");
   if (algo.empty()) {
-    return Fail(Status::InvalidArgument("--algo is required (--help)"));
+    return Fail(Status::InvalidArgument(StrFormat(
+        "--algo is required (one of: %s; see --list_algos or --help)",
+        AlgorithmRegistry::Instance().NamesForError().c_str())));
+  }
+  const AlgorithmInfo* info = AlgorithmRegistry::Instance().Find(algo);
+  if (info == nullptr) {
+    return Fail(Status::InvalidArgument(
+        StrFormat("unknown --algo '%s' (valid: %s)", algo.c_str(),
+                  AlgorithmRegistry::Instance().NamesForError().c_str())));
   }
   const int k = static_cast<int>(flags.GetInt("k", 10));
   if (k < 1) return Fail(Status::InvalidArgument("--k must be >= 1"));
@@ -337,25 +303,31 @@ int Run(int argc, char** argv) {
 
   auto bounds = MakeBounds(flags, k, *grouping);
   if (!bounds.ok()) return Fail(bounds.status());
-  if (Status st = bounds->Validate(grouping->Counts()); !st.ok()) {
+
+  SolverRequest request;
+  request.data = &data;
+  request.grouping = &*grouping;
+  request.bounds = std::move(*bounds);
+  request.algorithm = algo;
+  request.seed = static_cast<uint64_t>(seed_raw);
+  request.threads = static_cast<int>(threads_raw);
+  if (Status st = FillParamsFromFlags(flags, *info, &request.params);
+      !st.ok()) {
     return Fail(st);
   }
   // Refuse to solve with defaults substituted for malformed numeric flags.
   if (Status st = flags.ParseError(); !st.ok()) return Fail(st);
 
-  const auto skyline = ComputeSkyline(data);
-  auto run = Dispatch(algo, flags, data, *grouping, *bounds, skyline);
+  auto run = Solver::Solve(request);
   if (!run.ok()) return Fail(run.status());
-  // Algorithm-specific numeric flags (--eps, --net_size, ...) are parsed
-  // inside Dispatch; check those too before reporting success.
-  if (Status st = flags.ParseError(); !st.ok()) return Fail(st);
   const Solution& sol = run->solution;
 
   // Reference evaluation against the global skyline (exact 2D / exact LP /
-  // high-resolution net, picked automatically).
+  // high-resolution net, picked automatically), reusing the facade's
+  // skyline when it computed one.
+  const std::vector<int> skyline =
+      run->skyline.empty() ? ComputeSkyline(data) : std::move(run->skyline);
   const double mhr = EvaluateMhr(data, skyline, sol.rows);
-  const auto counts = SolutionGroupCounts(sol.rows, *grouping);
-  const int violations = CountViolations(sol.rows, *grouping, *bounds);
 
   cli::Report report;
   report.AddString("algo", sol.algorithm.empty() ? algo : sol.algorithm);
@@ -371,34 +343,35 @@ int Run(int argc, char** argv) {
   report.AddInt("solution_size", static_cast<int64_t>(sol.rows.size()));
   report.AddDouble("happiness_ratio", mhr);
   report.AddDouble("algo_mhr_estimate", sol.mhr);
-  report.AddInt("violations", violations);
+  report.AddInt("violations", run->violations);
   for (int c = 0; c < grouping->num_groups; ++c) {
     const auto& name = grouping->names[static_cast<size_t>(c)];
     report.AddString(
         StrFormat("group_%s", name.c_str()),
-        StrFormat("%d of bounds [%d, %d]", counts[static_cast<size_t>(c)],
-                  bounds->lower[static_cast<size_t>(c)],
-                  bounds->upper[static_cast<size_t>(c)]));
+        StrFormat("%d of bounds [%d, %d]",
+                  run->group_counts[static_cast<size_t>(c)],
+                  run->bounds.lower[static_cast<size_t>(c)],
+                  run->bounds.upper[static_cast<size_t>(c)]));
   }
   std::vector<std::string> rows;
   for (int r : sol.rows) rows.push_back(StrFormat("%d", r));
   report.AddString("rows", Join(rows, " "));
   if (!run->note.empty()) report.AddString("note", run->note);
-  report.AddDouble("solve_ms", sol.elapsed_ms);
+  report.AddDouble("solve_ms", run->solve_ms);
   report.AddDouble("total_ms", total.ElapsedMillis());
 
   auto rendered = report.Render(format);
   if (!rendered.ok()) return Fail(rendered.status());
-  // Flags never looked up on the taken code path: a documented flag is
+  // Flags never looked up on the taken code path: a documented flag (the
+  // driver flags below plus any algorithm parameter in the registry) is
   // merely unused with the chosen options, anything else is a likely typo.
-  static const std::set<std::string> kDocumented = {
-      "csv",    "numeric",   "categorical", "synthetic", "n",
-      "dim",    "seed",      "normalize",   "groups",    "group_by",
-      "k",      "bounds",    "alpha",       "lower",     "upper",
-      "algo",   "net_size",  "eps",         "lambda",    "max_net_size",
-      "format", "threads",   "help"};
+  std::set<std::string> documented = AllRegisteredParamNames();
+  documented.insert({"csv", "numeric", "categorical", "synthetic", "n",
+                     "dim", "seed", "normalize", "groups", "group_by", "k",
+                     "bounds", "alpha", "lower", "upper", "algo", "format",
+                     "threads", "list_algos", "help"});
   for (const auto& key : flags.Unknown()) {
-    if (kDocumented.count(key)) {
+    if (documented.count(key)) {
       std::fprintf(stderr,
                    "fairhms_cli: warning: --%s has no effect with the "
                    "chosen options; ignored\n",
