@@ -29,7 +29,8 @@ void Panel(const DatasetCase& c, int k) {
   schemes.push_back(
       {"proportional", GroupBounds::Proportional(k, c.grouping.Counts(), 0.1)});
   schemes.push_back(
-      {"balanced", GroupBounds::Balanced(k, c.grouping.num_groups, 0.1)});
+      {"balanced",
+       GroupBounds::Balanced(k, c.grouping.num_groups, 0.1).value()});
   schemes.push_back(
       {"exact-quota", GroupBounds::Proportional(k, c.grouping.Counts(), 0.0)});
 

@@ -1,0 +1,30 @@
+# CTest smoke for the session-amortization pipeline: run the cold/warm
+# bench on a tiny grid, feed its CSV through bench_to_json, and require the
+# JSON report. The checksum gate inside bench_to_json makes this a
+# warm-vs-cold bit-identity check (speedup is not gated at smoke size —
+# CI's bench job gates the full grid at >= 2x).
+# Expects -DBENCH=..., -DEMIT=..., -DOUT_DIR=... .
+
+execute_process(
+  COMMAND ${BENCH} --n=500 --dim=3 --groups=2 --algos=bigreedy,intcov
+          --ks=4,6 --alphas=0.2 --ref_net=1000
+  OUTPUT_FILE ${OUT_DIR}/bench_session_smoke.csv
+  RESULT_VARIABLE bench_rc)
+if(NOT bench_rc EQUAL 0)
+  message(FATAL_ERROR "bench_session_amortization failed (rc=${bench_rc})")
+endif()
+
+execute_process(
+  COMMAND ${EMIT} --in=${OUT_DIR}/bench_session_smoke.csv
+          --out=${OUT_DIR}/BENCH_session_smoke.json
+          --min_speedup=batch:2:0.0
+  RESULT_VARIABLE emit_rc)
+if(NOT emit_rc EQUAL 0)
+  message(FATAL_ERROR "bench_to_json failed (rc=${emit_rc}); a non-zero "
+          "exit here means the warm path diverged from the cold path "
+          "(checksum gate) or the report could not be written")
+endif()
+
+if(NOT EXISTS ${OUT_DIR}/BENCH_session_smoke.json)
+  message(FATAL_ERROR "bench_to_json exited 0 but wrote no JSON report")
+endif()

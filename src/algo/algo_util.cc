@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "common/string_util.h"
+#include "core/artifact_cache.h"
 #include "geom/vec.h"
 #include "skyline/skyline.h"
 
@@ -13,7 +14,8 @@ StatusOr<ProblemInput> PrepareProblem(const Dataset& data,
                                       const Grouping& grouping,
                                       const GroupBounds& bounds,
                                       std::vector<int> pool_override,
-                                      std::vector<int> db_override) {
+                                      std::vector<int> db_override,
+                                      ArtifactCache* cache) {
   if (grouping.group_of.size() != data.size()) {
     return Status::InvalidArgument("grouping does not match dataset size");
   }
@@ -28,10 +30,18 @@ StatusOr<ProblemInput> PrepareProblem(const Dataset& data,
   input.data = &data;
   input.grouping = &grouping;
   input.bounds = bounds;
-  input.pool = pool_override.empty() ? ComputeFairCandidatePool(data, grouping)
-                                     : std::move(pool_override);
-  input.db_rows =
-      db_override.empty() ? ComputeSkyline(data) : std::move(db_override);
+  if (pool_override.empty()) {
+    input.pool = cache != nullptr ? cache->FairPool(data, grouping)
+                                  : ComputeFairCandidatePool(data, grouping);
+  } else {
+    input.pool = std::move(pool_override);
+  }
+  if (db_override.empty()) {
+    input.db_rows = cache != nullptr ? cache->Skyline(data)
+                                     : ComputeSkyline(data);
+  } else {
+    input.db_rows = std::move(db_override);
+  }
   input.pool_by_group.assign(static_cast<size_t>(grouping.num_groups), {});
   for (int row : input.pool) {
     if (row < 0 || static_cast<size_t>(row) >= data.size()) {

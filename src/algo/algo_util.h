@@ -12,6 +12,8 @@
 
 namespace fairhms {
 
+class ArtifactCache;  // core/artifact_cache.h
+
 /// Preprocessed FairHMS instance shared by all algorithms.
 struct ProblemInput {
   const Dataset* data = nullptr;
@@ -26,12 +28,15 @@ struct ProblemInput {
 };
 
 /// Validates the instance and fills defaults. `pool_override` /
-/// `db_override` may be empty to request the defaults.
+/// `db_override` may be empty to request the defaults; a non-null `cache`
+/// memoizes the default pool/skyline across queries (bit-identical either
+/// way).
 StatusOr<ProblemInput> PrepareProblem(const Dataset& data,
                                       const Grouping& grouping,
                                       const GroupBounds& bounds,
                                       std::vector<int> pool_override = {},
-                                      std::vector<int> db_override = {});
+                                      std::vector<int> db_override = {},
+                                      ArtifactCache* cache = nullptr);
 
 /// Extends `solution` (deduplicated) to exactly bounds.k rows satisfying the
 /// group bounds, drawing first from the pool and then from any group member.

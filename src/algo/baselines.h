@@ -35,6 +35,8 @@
 
 namespace fairhms {
 
+class ArtifactCache;  // core/artifact_cache.h
+
 /// Options for RdpGreedy.
 struct RdpGreedyOptions {
   /// Stop early when the max regret drops below this (remaining slots are
@@ -77,6 +79,9 @@ struct SphereOptions {
   /// Evaluation lanes (0 = DefaultThreads(), 1 = exact serial path); output
   /// is bit-identical across thread counts.
   int threads = 0;
+  /// Cross-query memoization of nets / evaluators (not owned; null = build
+  /// per call). Results are bit-identical either way.
+  ArtifactCache* cache = nullptr;
 };
 
 /// Sphere. Fails with InvalidArgument when k < d (as the original does).
@@ -95,6 +100,9 @@ struct HittingSetOptions {
   /// Evaluation lanes (0 = DefaultThreads(), 1 = exact serial path); output
   /// is bit-identical across thread counts.
   int threads = 0;
+  /// Cross-query memoization of nets / denominator precomputes (not owned;
+  /// null = build per call). Results are bit-identical either way.
+  ArtifactCache* cache = nullptr;
 };
 
 /// HS (lazy hitting set).

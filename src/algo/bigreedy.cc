@@ -9,6 +9,7 @@
 
 #include "common/random.h"
 #include "common/stopwatch.h"
+#include "core/artifact_cache.h"
 #include "fairness/matroid.h"
 #include "geom/vec.h"
 
@@ -34,7 +35,7 @@ struct LazyEntry {
 /// the solution: the single-round set in strict mode, the multi-round union
 /// otherwise. In strict mode a failing first round aborts immediately
 /// (multi-round unions would be infeasible anyway).
-bool MrGreedy(const ProblemInput& input, NetEvaluator* eval, double tau,
+bool MrGreedy(const ProblemInput& input, const NetEvaluator* eval, double tau,
               int gamma, double eps, bool strict, bool lazy,
               std::vector<int>* out_rows, int* rounds_used) {
   const Grouping& grouping = *input.grouping;
@@ -109,7 +110,8 @@ bool MrGreedy(const ProblemInput& input, NetEvaluator* eval, double tau,
 
 /// Fallback when no capped value certifies (degenerate nets / tiny pools):
 /// a single matroid-greedy fill on the untruncated average happiness.
-std::vector<int> GreedyFill(const ProblemInput& input, NetEvaluator* eval) {
+std::vector<int> GreedyFill(const ProblemInput& input,
+                            const NetEvaluator* eval) {
   const FairnessMatroid matroid(input.bounds);
   FairSelection sel(&matroid, input.grouping);
   TruncatedMhrState state(eval);
@@ -144,7 +146,8 @@ size_t DefaultNetSize(const BiGreedyOptions& opts, int k, int d) {
 
 }  // namespace
 
-StatusOr<Solution> BiGreedyOnNet(const ProblemInput& input, NetEvaluator* eval,
+StatusOr<Solution> BiGreedyOnNet(const ProblemInput& input,
+                                 const NetEvaluator* eval,
                                  const BiGreedyOptions& opts,
                                  BiGreedyRunInfo* info) {
   Stopwatch timer;
@@ -236,14 +239,16 @@ StatusOr<Solution> BiGreedy(const Dataset& data, const Grouping& grouping,
   Stopwatch timer;
   FAIRHMS_ASSIGN_OR_RETURN(
       ProblemInput input,
-      PrepareProblem(data, grouping, bounds, opts.pool, opts.db_rows));
+      PrepareProblem(data, grouping, bounds, opts.pool, opts.db_rows,
+                     opts.cache));
   const size_t m = DefaultNetSize(opts, bounds.k, data.dim());
   Rng rng(opts.seed);
-  const UtilityNet net = UtilityNet::SampleRandom(data.dim(), m, &rng);
-  NetEvaluator eval(&data, &net, input.db_rows, opts.threads);
-  eval.CacheCandidates(input.pool);
+  const std::shared_ptr<const UtilityNet> net =
+      GetOrSampleNet(opts.cache, data.dim(), m, &rng);
+  const std::shared_ptr<const NetEvaluator> eval = GetOrBuildEvaluator(
+      opts.cache, data, net, input.db_rows, input.pool, opts.threads);
   FAIRHMS_ASSIGN_OR_RETURN(Solution out,
-                           BiGreedyOnNet(input, &eval, opts, info));
+                           BiGreedyOnNet(input, eval.get(), opts, info));
   out.elapsed_ms = timer.ElapsedMillis();  // Include net construction.
   return out;
 }
@@ -256,7 +261,7 @@ StatusOr<Solution> BiGreedyPlus(const Dataset& data, const Grouping& grouping,
   FAIRHMS_ASSIGN_OR_RETURN(
       ProblemInput input,
       PrepareProblem(data, grouping, bounds, opts.base.pool,
-                     opts.base.db_rows));
+                     opts.base.db_rows, opts.base.cache));
   const int d = data.dim();
   const size_t cap =
       opts.max_net_size > 0
@@ -272,10 +277,11 @@ StatusOr<Solution> BiGreedyPlus(const Dataset& data, const Grouping& grouping,
 
   // Shared evaluation net for the final argmax across rounds.
   Rng eval_rng = rng.Fork();
-  const UtilityNet eval_net = UtilityNet::SampleRandom(
-      d, std::max<size_t>(2 * cap, 2000), &eval_rng);
-  const NetEvaluator final_eval(&data, &eval_net, input.db_rows,
-                                opts.base.threads);
+  const std::shared_ptr<const UtilityNet> eval_net = GetOrSampleNet(
+      opts.base.cache, d, std::max<size_t>(2 * cap, 2000), &eval_rng);
+  const std::shared_ptr<const NetEvaluator> final_eval =
+      GetOrBuildEvaluator(opts.base.cache, data, eval_net, input.db_rows, {},
+                          opts.base.threads);
 
   Solution best;
   double best_quality = -1.0;
@@ -284,13 +290,15 @@ StatusOr<Solution> BiGreedyPlus(const Dataset& data, const Grouping& grouping,
 
   for (int round = 0;; ++round) {
     Rng net_rng = rng.Fork();
-    const UtilityNet net = UtilityNet::SampleRandom(d, m, &net_rng);
-    NetEvaluator eval(&data, &net, input.db_rows, opts.base.threads);
-    eval.CacheCandidates(input.pool);
+    const std::shared_ptr<const UtilityNet> net =
+        GetOrSampleNet(opts.base.cache, d, m, &net_rng);
+    const std::shared_ptr<const NetEvaluator> eval =
+        GetOrBuildEvaluator(opts.base.cache, data, net, input.db_rows,
+                            input.pool, opts.base.threads);
     BiGreedyRunInfo run;
-    FAIRHMS_ASSIGN_OR_RETURN(Solution sol,
-                             BiGreedyOnNet(input, &eval, opts.base, &run));
-    const double quality = final_eval.Mhr(sol.rows);
+    FAIRHMS_ASSIGN_OR_RETURN(
+        Solution sol, BiGreedyOnNet(input, eval.get(), opts.base, &run));
+    const double quality = final_eval->Mhr(sol.rows);
     if (quality > best_quality) {
       best_quality = quality;
       best = std::move(sol);
@@ -325,6 +333,7 @@ BiGreedyOptions BiGreedyOptionsFromContext(const SolveContext& ctx) {
   opts.lazy = ctx.params->BoolOr("lazy", opts.lazy);
   opts.seed = ctx.seed;
   opts.threads = ctx.threads;
+  opts.cache = ctx.cache;
   return opts;
 }
 

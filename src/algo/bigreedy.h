@@ -66,6 +66,9 @@ struct BiGreedyOptions {
   /// Candidate pool / denominator overrides (default: fair pool / skyline).
   std::vector<int> pool;
   std::vector<int> db_rows;
+  /// Cross-query memoization of nets / evaluators / pools (not owned; null
+  /// = build per call). Results are bit-identical either way.
+  ArtifactCache* cache = nullptr;
 };
 
 /// Options specific to BiGreedy+.
@@ -94,9 +97,10 @@ StatusOr<Solution> BiGreedy(const Dataset& data, const Grouping& grouping,
                             BiGreedyRunInfo* info = nullptr);
 
 /// Runs BiGreedy on a caller-supplied evaluator/net (shared machinery for
-/// BiGreedy+, ablations and tests).
+/// BiGreedy+, ablations and tests). The evaluator is only read — it may be
+/// a shared cross-query artifact.
 StatusOr<Solution> BiGreedyOnNet(const ProblemInput& input,
-                                 NetEvaluator* eval,
+                                 const NetEvaluator* eval,
                                  const BiGreedyOptions& opts,
                                  BiGreedyRunInfo* info = nullptr);
 

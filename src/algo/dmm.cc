@@ -256,6 +256,7 @@ const AlgorithmRegistrar g_dmm_registrar([] {
     const DmmOptions opts = DmmOptionsFromContext(ctx);
     GroupAdapterOptions adapter_opts;
     adapter_opts.threads = ctx.threads;
+    adapter_opts.cache = ctx.cache;
     return GroupAdapt(
         [opts](const Dataset& d, const std::vector<int>& rows, int k) {
           return Dmm(d, rows, k, opts);

@@ -19,7 +19,8 @@ StatusOr<Solution> FairGreedy(const Dataset& data, const Grouping& grouping,
   Stopwatch timer;
   FAIRHMS_ASSIGN_OR_RETURN(
       ProblemInput input,
-      PrepareProblem(data, grouping, bounds, opts.pool, opts.db_rows));
+      PrepareProblem(data, grouping, bounds, opts.pool, opts.db_rows,
+                     opts.cache));
   if (input.pool.empty()) return Status::InvalidArgument("empty pool");
 
   const FairnessMatroid matroid(bounds);
@@ -96,6 +97,7 @@ const AlgorithmRegistrar fair_greedy_registrar([] {
     opts.regret_tolerance =
         ctx.params->DoubleOr("regret_tolerance", opts.regret_tolerance);
     opts.threads = ctx.threads;
+    opts.cache = ctx.cache;
     return FairGreedy(*ctx.data, *ctx.grouping, *ctx.bounds, opts);
   };
   return info;

@@ -23,6 +23,8 @@
 
 namespace fairhms {
 
+class ArtifactCache;  // core/artifact_cache.h
+
 /// Options for FairGreedy.
 struct FairGreedyOptions {
   std::vector<int> pool;     ///< Default: union of per-group skylines.
@@ -31,6 +33,9 @@ struct FairGreedyOptions {
   /// Witness-LP lanes (0 = DefaultThreads(), 1 = exact serial path); output
   /// is bit-identical across thread counts.
   int threads = 0;
+  /// Cross-query memoization of the default pool/skyline (not owned; null =
+  /// compute per call). Results are bit-identical either way.
+  ArtifactCache* cache = nullptr;
 };
 
 /// Runs F-Greedy; the result is always fair and of size k.

@@ -4,6 +4,7 @@
 
 #include "common/stopwatch.h"
 #include "common/string_util.h"
+#include "core/artifact_cache.h"
 #include "core/evaluate.h"
 #include "skyline/skyline.h"
 
@@ -21,7 +22,9 @@ StatusOr<Solution> GroupAdapt(const BaseSolver& solver,
     return Status::InvalidArgument("bounds/grouping group count mismatch");
   }
   Stopwatch timer;
-  const std::vector<int> group_counts = grouping.Counts();
+  const std::vector<int> group_counts = opts.cache != nullptr
+                                            ? opts.cache->GroupCounts(grouping)
+                                            : grouping.Counts();
   FAIRHMS_RETURN_IF_ERROR(bounds.Validate(group_counts));
 
   // Quotas proportional to group sizes, capped by what each group holds.
@@ -29,9 +32,17 @@ StatusOr<Solution> GroupAdapt(const BaseSolver& solver,
   FAIRHMS_ASSIGN_OR_RETURN(std::vector<int> quotas,
                            AllocateQuotas(bounds, weights, group_counts));
 
-  const std::vector<std::vector<int>> group_skylines =
-      ComputeGroupSkylines(data, grouping);
-  const std::vector<std::vector<int>> members = grouping.Members();
+  // Group tables and skylines are pure functions of (data, grouping);
+  // borrow the session's copies when a cache is attached.
+  std::vector<std::vector<int>> local_group_skylines;
+  std::vector<std::vector<int>> local_members;
+  const std::vector<std::vector<int>>& group_skylines =
+      opts.cache != nullptr
+          ? opts.cache->GroupSkylines(data, grouping)
+          : (local_group_skylines = ComputeGroupSkylines(data, grouping));
+  const std::vector<std::vector<int>>& members =
+      opts.cache != nullptr ? opts.cache->GroupMembers(grouping)
+                            : (local_members = grouping.Members());
 
   Solution out;
   for (int c = 0; c < grouping.num_groups; ++c) {
@@ -53,10 +64,16 @@ StatusOr<Solution> GroupAdapt(const BaseSolver& solver,
   }
 
   std::sort(out.rows.begin(), out.rows.end());
-  const std::vector<int> db_rows =
-      opts.db_rows.empty() ? ComputeSkyline(data) : opts.db_rows;
+  std::vector<int> local_db_rows;
+  const std::vector<int>& db_rows =
+      !opts.db_rows.empty()
+          ? opts.db_rows
+          : (opts.cache != nullptr
+                 ? opts.cache->Skyline(data)
+                 : (local_db_rows = ComputeSkyline(data)));
   EvalOptions eval_opts;
   eval_opts.threads = opts.threads;
+  eval_opts.cache = opts.cache;
   out.mhr = EvaluateMhr(data, db_rows, out.rows, eval_opts);
   out.elapsed_ms = timer.ElapsedMillis();
   out.algorithm = "G-" + name;

@@ -27,6 +27,8 @@
 
 namespace fairhms {
 
+class ArtifactCache;  // core/artifact_cache.h
+
 /// A fairness-unaware HMS solver: (data, candidate rows, k) -> Solution.
 using BaseSolver = std::function<StatusOr<Solution>(
     const Dataset&, const std::vector<int>&, int)>;
@@ -39,6 +41,10 @@ struct GroupAdapterOptions {
   /// Lanes for the final MHR evaluation (0 = DefaultThreads(), 1 = exact
   /// serial path). The per-group solvers carry their own threads knobs.
   int threads = 0;
+  /// Cross-query memoization of group tables / skylines and the final
+  /// evaluation net (not owned; null = compute per call). Results are
+  /// bit-identical either way.
+  ArtifactCache* cache = nullptr;
 };
 
 /// Runs `solver` once per group with quota k_c and unions the solutions.

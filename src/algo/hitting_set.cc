@@ -7,25 +7,13 @@
 #include "api/registry.h"
 #include "common/random.h"
 #include "common/stopwatch.h"
-#include "common/thread_pool.h"
+#include "core/artifact_cache.h"
 #include "core/exact_evaluator.h"
+#include "core/net_evaluator.h"
 #include "geom/vec.h"
 #include "utility/utility_net.h"
 
 namespace fairhms {
-
-namespace {
-
-/// Happiness of `row` under direction j of `net`, denominators from `best`.
-inline double Happiness(const Dataset& data, const UtilityNet& net,
-                        const std::vector<double>& best, size_t j, int row) {
-  if (best[j] <= 1e-12) return 1.0;
-  const double s = Dot(net.vec(j), data.point(static_cast<size_t>(row)),
-                       static_cast<size_t>(data.dim()));
-  return std::min(1.0, s / best[j]);
-}
-
-}  // namespace
 
 StatusOr<Solution> HittingSet(const Dataset& data,
                               const std::vector<int>& rows, int k,
@@ -39,19 +27,13 @@ StatusOr<Solution> HittingSet(const Dataset& data,
                            ? opts.validation_net_size
                            : static_cast<size_t>(20) * k * d;
   Rng rng(opts.seed);
-  const UtilityNet net = UtilityNet::SampleRandom(d, m_val, &rng);
-
-  // Denominators over the sub-database; lanes own disjoint direction
-  // blocks (max is exact, so any lane count gives identical values).
-  std::vector<double> best(m_val, 0.0);
-  ParallelFor(opts.threads, m_val, [&](size_t j_begin, size_t j_end) {
-    for (int r : rows) {
-      const double* p = data.point(static_cast<size_t>(r));
-      for (size_t j = j_begin; j < j_end; ++j) {
-        best[j] = std::max(best[j], Dot(net.vec(j), p, static_cast<size_t>(d)));
-      }
-    }
-  });
+  // Denominators over the sub-database come from the (possibly shared)
+  // evaluator; its precompute is bit-identical across thread counts.
+  const std::shared_ptr<const UtilityNet> net =
+      GetOrSampleNet(opts.cache, d, m_val, &rng);
+  const std::shared_ptr<const NetEvaluator> eval_ptr =
+      GetOrBuildEvaluator(opts.cache, data, net, rows, {}, opts.threads);
+  const NetEvaluator& eval = *eval_ptr;
 
   // Greedy cover of the working direction set at threshold tau; empty result
   // = more than k points needed.
@@ -68,7 +50,7 @@ StatusOr<Solution> HittingSet(const Dataset& data,
         }
         size_t cnt = 0;
         for (int j : uncovered) {
-          if (Happiness(data, net, best, static_cast<size_t>(j), r) >= tau) {
+          if (eval.PointHappiness(static_cast<size_t>(j), r) >= tau) {
             ++cnt;
           }
         }
@@ -81,8 +63,7 @@ StatusOr<Solution> HittingSet(const Dataset& data,
       picked.push_back(best_row);
       size_t w = 0;
       for (int j : uncovered) {
-        if (Happiness(data, net, best, static_cast<size_t>(j), best_row) <
-            tau) {
+        if (eval.PointHappiness(static_cast<size_t>(j), best_row) < tau) {
           uncovered[w++] = j;
         }
       }
@@ -111,7 +92,7 @@ StatusOr<Solution> HittingSet(const Dataset& data,
         if (in_working[j]) continue;
         double best_h = 0.0;
         for (int r : picked) {
-          best_h = std::max(best_h, Happiness(data, net, best, j, r));
+          best_h = std::max(best_h, eval.PointHappiness(j, r));
           if (best_h >= tau) break;
         }
         if (best_h < tau) {
@@ -190,6 +171,7 @@ HittingSetOptions HittingSetOptionsFromContext(const SolveContext& ctx) {
       ctx.params->IntOr("max_rounds", opts.max_rounds));
   opts.seed = ctx.seed;
   opts.threads = ctx.threads;
+  opts.cache = ctx.cache;
   return opts;
 }
 
@@ -231,6 +213,7 @@ const AlgorithmRegistrar g_hs_registrar([] {
     const HittingSetOptions opts = HittingSetOptionsFromContext(ctx);
     GroupAdapterOptions adapter_opts;
     adapter_opts.threads = ctx.threads;
+    adapter_opts.cache = ctx.cache;
     return GroupAdapt(
         [opts](const Dataset& d, const std::vector<int>& rows, int k) {
           return HittingSet(d, rows, k, opts);

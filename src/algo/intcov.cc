@@ -26,7 +26,8 @@ StatusOr<Solution> IntCov(const Dataset& data, const Grouping& grouping,
   Stopwatch timer;
   FAIRHMS_ASSIGN_OR_RETURN(
       ProblemInput input,
-      PrepareProblem(data, grouping, bounds, opts.pool, opts.db_rows));
+      PrepareProblem(data, grouping, bounds, opts.pool, opts.db_rows,
+                     opts.cache));
   if (input.pool.empty()) return Status::InvalidArgument("empty pool");
 
   const int c_num = grouping.num_groups;
@@ -173,6 +174,7 @@ IntCovOptions IntCovOptionsFromContext(const SolveContext& ctx) {
       "max_pair_candidates", static_cast<int64_t>(opts.max_pair_candidates)));
   opts.tolerance = ctx.params->DoubleOr("tolerance", opts.tolerance);
   opts.threads = ctx.threads;
+  opts.cache = ctx.cache;
   return opts;
 }
 

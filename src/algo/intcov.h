@@ -28,6 +28,8 @@
 
 namespace fairhms {
 
+class ArtifactCache;  // core/artifact_cache.h
+
 /// Tuning knobs for IntCov.
 struct IntCovOptions {
   /// Candidate pool override (default: union of per-group skylines).
@@ -48,6 +50,9 @@ struct IntCovOptions {
   /// candidate set is sorted and deduplicated, so the selected rows and mhr
   /// are bit-identical across thread counts.
   int threads = 0;
+  /// Cross-query memoization of the default pool/skyline (not owned; null =
+  /// compute per call). Results are bit-identical either way.
+  ArtifactCache* cache = nullptr;
 };
 
 /// Runs IntCov. Requires data.dim() == 2. Returns the optimal fair set (its

@@ -114,6 +114,7 @@ const AlgorithmRegistrar g_greedy_registrar([] {
     const RdpGreedyOptions opts = RdpGreedyOptionsFromContext(ctx);
     GroupAdapterOptions adapter_opts;
     adapter_opts.threads = ctx.threads;
+    adapter_opts.cache = ctx.cache;
     return GroupAdapt(
         [opts](const Dataset& d, const std::vector<int>& rows, int k) {
           return RdpGreedy(d, rows, k, opts);

@@ -7,6 +7,7 @@
 #include "common/random.h"
 #include "common/stopwatch.h"
 #include "common/string_util.h"
+#include "core/artifact_cache.h"
 #include "core/exact_evaluator.h"
 #include "core/net_evaluator.h"
 #include "geom/vec.h"
@@ -48,8 +49,11 @@ StatusOr<Solution> SphereAlgo(const Dataset& data,
                        ? opts.net_size
                        : static_cast<size_t>(10) * k * d;
   Rng rng(opts.seed);
-  const UtilityNet net = UtilityNet::SampleRandom(d, m, &rng);
-  const NetEvaluator eval(&data, &net, rows, opts.threads);
+  const std::shared_ptr<const UtilityNet> net =
+      GetOrSampleNet(opts.cache, d, m, &rng);
+  const std::shared_ptr<const NetEvaluator> eval_ptr =
+      GetOrBuildEvaluator(opts.cache, data, net, rows, {}, opts.threads);
+  const NetEvaluator& eval = *eval_ptr;
 
   std::vector<double> cur(m, 0.0);
   for (int r : solution) {
@@ -111,6 +115,7 @@ SphereOptions SphereOptionsFromContext(const SolveContext& ctx) {
       ctx.params->IntOr("net_size", static_cast<int64_t>(opts.net_size)));
   opts.seed = ctx.seed;
   opts.threads = ctx.threads;
+  opts.cache = ctx.cache;
   return opts;
 }
 
@@ -151,6 +156,7 @@ const AlgorithmRegistrar g_sphere_registrar([] {
     const SphereOptions opts = SphereOptionsFromContext(ctx);
     GroupAdapterOptions adapter_opts;
     adapter_opts.threads = ctx.threads;
+    adapter_opts.cache = ctx.cache;
     return GroupAdapt(
         [opts](const Dataset& d, const std::vector<int>& rows, int k) {
           return SphereAlgo(d, rows, k, opts);

@@ -27,6 +27,8 @@
 
 namespace fairhms {
 
+class ArtifactCache;  // core/artifact_cache.h
+
 /// What an algorithm can do / needs. Drives facade behavior (2D projection,
 /// skyline preparation) and the --list_algos capability column.
 struct AlgoCapabilities {
@@ -60,6 +62,10 @@ struct SolveContext {
   uint64_t seed = 42;
   int threads = 0;
   const AlgoParams* params = nullptr;
+  /// Cross-query artifact memoization, set when the solve runs inside a
+  /// SolverSession (api/session.h); null on the one-shot cold path.
+  /// Algorithms must produce bit-identical results either way.
+  ArtifactCache* cache = nullptr;
 };
 
 /// An algorithm's entry point: builds its Options from the context's params

@@ -1,0 +1,193 @@
+#include "api/session.h"
+
+#include <utility>
+
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "skyline/skyline.h"
+
+namespace fairhms {
+
+namespace internal {
+
+Status ValidateRequestShape(const SolverRequest& req,
+                            const AlgorithmInfo** info_out,
+                            ArtifactCache* cache) {
+  if (req.data == nullptr) {
+    return Status::InvalidArgument("request.data must not be null");
+  }
+  if (req.grouping == nullptr) {
+    return Status::InvalidArgument("request.grouping must not be null");
+  }
+  if (req.data->size() == 0) {
+    return Status::InvalidArgument("request.data must not be empty");
+  }
+  if (req.grouping->group_of.size() != req.data->size()) {
+    return Status::InvalidArgument(
+        StrFormat("grouping covers %zu rows but the dataset has %zu",
+                  req.grouping->group_of.size(), req.data->size()));
+  }
+  if (req.bounds.k <= 0) {
+    return Status::InvalidArgument(
+        StrFormat("k must be >= 1, got %d", req.bounds.k));
+  }
+  if (req.bounds.num_groups() != req.grouping->num_groups) {
+    return Status::InvalidArgument(
+        StrFormat("bounds list %d groups but the grouping has %d",
+                  req.bounds.num_groups(), req.grouping->num_groups));
+  }
+  if (req.threads < 0 || req.threads > 4096) {
+    return Status::InvalidArgument(StrFormat(
+        "threads must be in [0, 4096] (0 = all hardware threads), got %d",
+        req.threads));
+  }
+  const AlgorithmRegistry& registry = AlgorithmRegistry::Instance();
+  const AlgorithmInfo* info = registry.Find(req.algorithm);
+  if (info == nullptr) {
+    if (req.algorithm.empty()) {
+      return Status::InvalidArgument(StrFormat(
+          "no algorithm requested (valid: %s)",
+          registry.NamesForError().c_str()));
+    }
+    return Status::InvalidArgument(
+        StrFormat("unknown algorithm '%s' (valid: %s)", req.algorithm.c_str(),
+                  registry.NamesForError().c_str()));
+  }
+  if (info->caps.exact_2d && req.data->dim() < 2) {
+    return Status::InvalidArgument(StrFormat(
+        "%s needs at least 2 numeric attributes", info->name.c_str()));
+  }
+  FAIRHMS_RETURN_IF_ERROR(
+      ValidateParams(info->name, info->params, req.params));
+  FAIRHMS_RETURN_IF_ERROR(req.bounds.Validate(
+      cache != nullptr ? cache->GroupCounts(*req.grouping)
+                       : req.grouping->Counts()));
+  if (info_out != nullptr) *info_out = info;
+  return Status::OK();
+}
+
+}  // namespace internal
+
+SolverSession::SolverSession(const Dataset* data, const Grouping* grouping)
+    : data_(data),
+      grouping_(grouping),
+      cache_(new ArtifactCache()),
+      projection_mu_(new std::mutex()) {}
+
+StatusOr<SolverSession> SolverSession::Create(const Dataset* data,
+                                              const Grouping* grouping) {
+  if (data == nullptr) {
+    return Status::InvalidArgument("request.data must not be null");
+  }
+  if (grouping == nullptr) {
+    return Status::InvalidArgument("request.grouping must not be null");
+  }
+  if (data->size() == 0) {
+    return Status::InvalidArgument("request.data must not be empty");
+  }
+  if (grouping->group_of.size() != data->size()) {
+    return Status::InvalidArgument(
+        StrFormat("grouping covers %zu rows but the dataset has %zu",
+                  grouping->group_of.size(), data->size()));
+  }
+  return SolverSession(data, grouping);
+}
+
+const Dataset& SolverSession::Projection2D() {
+  std::lock_guard<std::mutex> lock(*projection_mu_);
+  const bool hit = projection2d_ != nullptr;
+  cache_->AccountProjection(hit, data_->size() * 2 * sizeof(double));
+  if (!hit) {
+    auto proj = std::make_unique<Dataset>(std::vector<std::string>{
+        data_->attr_names()[0], data_->attr_names()[1]});
+    proj->Reserve(data_->size());
+    for (size_t i = 0; i < data_->size(); ++i) {
+      proj->AddPoint({data_->at(i, 0), data_->at(i, 1)});
+    }
+    projection2d_ = std::move(proj);
+  }
+  return *projection2d_;
+}
+
+StatusOr<SolverResult> SolverSession::Solve(const SolverRequest& request) {
+  Stopwatch total;
+  SolverRequest req = request;
+  if (req.data == nullptr) req.data = data_;
+  if (req.grouping == nullptr) req.grouping = grouping_;
+  if (req.data != data_) {
+    return Status::InvalidArgument(
+        "request.data does not match the session's pinned dataset");
+  }
+  if (req.grouping != grouping_) {
+    return Status::InvalidArgument(
+        "request.grouping does not match the session's pinned grouping");
+  }
+
+  const AlgorithmInfo* info = nullptr;
+  FAIRHMS_RETURN_IF_ERROR(
+      internal::ValidateRequestShape(req, &info, cache_.get()));
+
+  SolverResult result;
+  result.algorithm = info->name;
+  result.bounds = req.bounds;
+
+  // Exact-2D fallback, applied uniformly for every algorithm that declares
+  // the capability: select on the first-two-attribute projection, note it.
+  // The projection is prepared once per session. (dim >= 2 was already
+  // enforced by ValidateRequestShape.)
+  const Dataset* solve_data = req.data;
+  if (info->caps.exact_2d && req.data->dim() > 2) {
+    solve_data = &Projection2D();
+    result.note = StrFormat(
+        "%s is exact-2D; selected on the (%s, %s) projection, evaluated in "
+        "full %dD",
+        info->name.c_str(), req.data->attr_names()[0].c_str(),
+        req.data->attr_names()[1].c_str(), req.data->dim());
+  }
+
+  // Unconstrained baselines run on the global skyline (memoized per
+  // projection key); the bounds are only used for the violation report.
+  static const std::vector<int> kNoSkyline;
+  const std::vector<int>* skyline = &kNoSkyline;
+  if (!info->caps.fairness_aware) {
+    skyline = &cache_->Skyline(*solve_data);
+    if (result.note.empty()) {
+      result.note =
+          "fairness-unaware baseline; bounds only used for the violation "
+          "report";
+    }
+  }
+
+  SolveContext ctx;
+  ctx.data = solve_data;
+  ctx.grouping = req.grouping;
+  ctx.bounds = &req.bounds;
+  ctx.skyline = skyline;
+  ctx.seed = req.seed;
+  ctx.threads = req.threads;
+  ctx.params = &req.params;
+  ctx.cache = cache_.get();
+
+  FAIRHMS_ASSIGN_OR_RETURN(result.solution, info->solve(ctx));
+  if (result.solution.algorithm.empty()) {
+    result.solution.algorithm = info->display_name;
+  }
+  // Hand the skyline back so callers need not recompute it — but only when
+  // it belongs to the caller's dataset (not a 2D projection).
+  if (solve_data == req.data) result.skyline = *skyline;
+  result.group_counts =
+      SolutionGroupCounts(result.solution.rows, *req.grouping);
+  result.violations =
+      CountViolations(result.solution.rows, *req.grouping, req.bounds);
+  result.solve_ms = result.solution.elapsed_ms;
+  result.total_ms = total.ElapsedMillis();
+  return result;
+}
+
+void SolverSession::ClearCache() {
+  cache_->Clear();
+  std::lock_guard<std::mutex> lock(*projection_mu_);
+  projection2d_.reset();
+}
+
+}  // namespace fairhms

@@ -1,0 +1,107 @@
+// SolverSession: the multi-query engine of the FairHMS library.
+//
+// The paper's experimental workload — and any serving deployment — is a
+// sweep: many (algorithm, k, bounds, params, seed) queries against one
+// fixed dataset. A SolverSession pins a Dataset + Grouping once and serves
+// every SolverRequest through the same AlgorithmRegistry path as
+// Solver::Solve, but memoizes the shared artifacts across queries in an
+// ArtifactCache (core/artifact_cache.h): global skylines per projection
+// key, prepared 2D projections, sampled utility nets and NetEvaluator
+// denominator/candidate precomputes, fair candidate pools and group
+// tables.
+//
+//   SolverSession session = SolverSession::Create(&data, &groups).value();
+//   SolverRequest req;                  // data/grouping may stay null —
+//   req.algorithm = "bigreedy";         // the session fills its pinned
+//   req.bounds = bounds;                // objects in.
+//   auto first = session.Solve(req);    // cold: builds artifacts
+//   auto again = session.Solve(req);    // warm: cache hits
+//   session.cache_stats();              // hits / misses / bytes
+//
+// Guarantee: a warm solve is bit-identical to a cold one — the cache only
+// memoizes pure functions of the pinned objects and restores RNG streams
+// on hits, so Solver::Solve(req) (the one-shot special case, which runs a
+// throwaway session) and session.Solve(req) return identical results.
+//
+// Solve is safe for concurrent callers once registration has finished; the
+// cache serializes artifact construction internally. ClearCache must not
+// race in-flight solves.
+
+#ifndef FAIRHMS_API_SESSION_H_
+#define FAIRHMS_API_SESSION_H_
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "api/solver.h"
+#include "common/statusor.h"
+#include "core/artifact_cache.h"
+#include "data/dataset.h"
+#include "data/grouping.h"
+
+namespace fairhms {
+
+class SolverSession {
+ public:
+  /// Pins `data` + `grouping` (not owned; both must outlive the session and
+  /// must not be mutated while it lives). Fails with InvalidArgument on a
+  /// null/empty dataset or a grouping that does not cover it.
+  static StatusOr<SolverSession> Create(const Dataset* data,
+                                        const Grouping* grouping);
+
+  SolverSession(SolverSession&&) = default;
+  SolverSession& operator=(SolverSession&&) = default;
+
+  /// Serves one query. request.data / request.grouping may be null (the
+  /// pinned objects are filled in) or must equal the pinned pointers —
+  /// anything else is an InvalidArgument (pin another session for another
+  /// dataset).
+  StatusOr<SolverResult> Solve(const SolverRequest& request);
+
+  const Dataset& data() const { return *data_; }
+  const Grouping& grouping() const { return *grouping_; }
+
+  /// Pinned per-group row counts (memoized).
+  const std::vector<int>& group_counts() { return cache_->GroupCounts(*grouping_); }
+
+  /// Hit/miss/byte report across every artifact class.
+  CacheStats cache_stats() const { return cache_->stats(); }
+
+  /// The session's cache, for callers that evaluate results against the
+  /// same pinned dataset (e.g. the batch driver's reference mhr).
+  ArtifactCache* cache() { return cache_.get(); }
+
+  /// Drops every memoized artifact (hit/miss history survives). Must not
+  /// race in-flight solves.
+  void ClearCache();
+
+ private:
+  SolverSession(const Dataset* data, const Grouping* grouping);
+
+  /// The pinned dataset projected to its first two attributes, built on
+  /// first use (exact-2D algorithms on dim > 2 data).
+  const Dataset& Projection2D();
+
+  const Dataset* data_;
+  const Grouping* grouping_;
+  std::unique_ptr<ArtifactCache> cache_;
+  std::unique_ptr<std::mutex> projection_mu_;
+  std::unique_ptr<Dataset> projection2d_;
+};
+
+namespace internal {
+
+/// Request-shape + parameter-schema validation shared by Solver::Validate,
+/// Solver::Solve and SolverSession::Solve. On success *info_out (when
+/// non-null) points at the resolved registry entry. A non-null `cache`
+/// memoizes the group counts used by the bounds-feasibility check.
+Status ValidateRequestShape(const SolverRequest& request,
+                            const AlgorithmInfo** info_out,
+                            ArtifactCache* cache = nullptr);
+
+}  // namespace internal
+
+}  // namespace fairhms
+
+#endif  // FAIRHMS_API_SESSION_H_

@@ -1,143 +1,23 @@
 #include "api/solver.h"
 
-#include <utility>
-
-#include "common/stopwatch.h"
-#include "common/string_util.h"
-#include "skyline/skyline.h"
+#include "api/session.h"
 
 namespace fairhms {
-namespace {
-
-/// Copies the first two numeric attributes (exact-2D algorithms select on
-/// this projection; evaluation downstream stays full-dimensional).
-Dataset ProjectTo2D(const Dataset& data) {
-  Dataset proj(std::vector<std::string>{data.attr_names()[0],
-                                        data.attr_names()[1]});
-  proj.Reserve(data.size());
-  for (size_t i = 0; i < data.size(); ++i) {
-    proj.AddPoint({data.at(i, 0), data.at(i, 1)});
-  }
-  return proj;
-}
-
-Status ValidateShape(const SolverRequest& req, const AlgorithmInfo** info_out) {
-  if (req.data == nullptr) {
-    return Status::InvalidArgument("request.data must not be null");
-  }
-  if (req.grouping == nullptr) {
-    return Status::InvalidArgument("request.grouping must not be null");
-  }
-  if (req.data->size() == 0) {
-    return Status::InvalidArgument("request.data must not be empty");
-  }
-  if (req.grouping->group_of.size() != req.data->size()) {
-    return Status::InvalidArgument(
-        StrFormat("grouping covers %zu rows but the dataset has %zu",
-                  req.grouping->group_of.size(), req.data->size()));
-  }
-  if (req.bounds.k <= 0) {
-    return Status::InvalidArgument(
-        StrFormat("k must be >= 1, got %d", req.bounds.k));
-  }
-  if (req.bounds.num_groups() != req.grouping->num_groups) {
-    return Status::InvalidArgument(
-        StrFormat("bounds list %d groups but the grouping has %d",
-                  req.bounds.num_groups(), req.grouping->num_groups));
-  }
-  if (req.threads < 0 || req.threads > 4096) {
-    return Status::InvalidArgument(StrFormat(
-        "threads must be in [0, 4096] (0 = all hardware threads), got %d",
-        req.threads));
-  }
-  const AlgorithmRegistry& registry = AlgorithmRegistry::Instance();
-  const AlgorithmInfo* info = registry.Find(req.algorithm);
-  if (info == nullptr) {
-    if (req.algorithm.empty()) {
-      return Status::InvalidArgument(StrFormat(
-          "no algorithm requested (valid: %s)",
-          registry.NamesForError().c_str()));
-    }
-    return Status::InvalidArgument(
-        StrFormat("unknown algorithm '%s' (valid: %s)", req.algorithm.c_str(),
-                  registry.NamesForError().c_str()));
-  }
-  if (info->caps.exact_2d && req.data->dim() < 2) {
-    return Status::InvalidArgument(StrFormat(
-        "%s needs at least 2 numeric attributes", info->name.c_str()));
-  }
-  FAIRHMS_RETURN_IF_ERROR(
-      ValidateParams(info->name, info->params, req.params));
-  FAIRHMS_RETURN_IF_ERROR(req.bounds.Validate(req.grouping->Counts()));
-  if (info_out != nullptr) *info_out = info;
-  return Status::OK();
-}
-
-}  // namespace
 
 Status Solver::Validate(const SolverRequest& request) {
-  return ValidateShape(request, nullptr);
+  return internal::ValidateRequestShape(request, nullptr);
 }
 
 StatusOr<SolverResult> Solver::Solve(const SolverRequest& request) {
-  Stopwatch total;
-  const AlgorithmInfo* info = nullptr;
-  FAIRHMS_RETURN_IF_ERROR(ValidateShape(request, &info));
-
-  SolverResult result;
-  result.algorithm = info->name;
-  result.bounds = request.bounds;
-
-  // Exact-2D fallback, applied uniformly for every algorithm that declares
-  // the capability: select on the first-two-attribute projection, note it.
-  // (dim >= 2 was already enforced by ValidateShape.)
-  Dataset projected(1);
-  const Dataset* solve_data = request.data;
-  if (info->caps.exact_2d && request.data->dim() > 2) {
-    projected = ProjectTo2D(*request.data);
-    solve_data = &projected;
-    result.note = StrFormat(
-        "%s is exact-2D; selected on the (%s, %s) projection, evaluated in "
-        "full %dD",
-        info->name.c_str(), request.data->attr_names()[0].c_str(),
-        request.data->attr_names()[1].c_str(), request.data->dim());
-  }
-
-  // Unconstrained baselines run on the global skyline; the bounds are only
-  // used for the violation report below.
-  std::vector<int> skyline;
-  if (!info->caps.fairness_aware) {
-    skyline = ComputeSkyline(*solve_data);
-    if (result.note.empty()) {
-      result.note =
-          "fairness-unaware baseline; bounds only used for the violation "
-          "report";
-    }
-  }
-
-  SolveContext ctx;
-  ctx.data = solve_data;
-  ctx.grouping = request.grouping;
-  ctx.bounds = &request.bounds;
-  ctx.skyline = &skyline;
-  ctx.seed = request.seed;
-  ctx.threads = request.threads;
-  ctx.params = &request.params;
-
-  FAIRHMS_ASSIGN_OR_RETURN(result.solution, info->solve(ctx));
-  if (result.solution.algorithm.empty()) {
-    result.solution.algorithm = info->display_name;
-  }
-  // Hand the skyline back so callers need not recompute it — but only when
-  // it belongs to the caller's dataset (not a 2D projection).
-  if (solve_data == request.data) result.skyline = std::move(skyline);
-  result.group_counts =
-      SolutionGroupCounts(result.solution.rows, *request.grouping);
-  result.violations =
-      CountViolations(result.solution.rows, *request.grouping, request.bounds);
-  result.solve_ms = result.solution.elapsed_ms;
-  result.total_ms = total.ElapsedMillis();
-  return result;
+  // One-shot solves are the single-query special case of a session: a
+  // throwaway session runs the query cold. Create and Solve emit the same
+  // uniform validation messages ValidateRequestShape produces, so no
+  // pre-validation pass is needed here. Sweep workloads should hold a
+  // SolverSession (api/session.h) instead and reuse its artifact cache.
+  FAIRHMS_ASSIGN_OR_RETURN(
+      SolverSession session,
+      SolverSession::Create(request.data, request.grouping));
+  return session.Solve(request);
 }
 
 }  // namespace fairhms

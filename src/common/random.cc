@@ -1,6 +1,7 @@
 #include "common/random.h"
 
 #include <cassert>
+#include <cstring>
 
 namespace fairhms {
 
@@ -100,5 +101,14 @@ size_t Rng::Categorical(const std::vector<double>& weights) {
 }
 
 Rng Rng::Fork() { return Rng(Next64() ^ 0xA5A5A5A5DEADBEEFull); }
+
+std::array<uint64_t, 6> Rng::StateKey() const {
+  uint64_t normal_bits = 0;
+  static_assert(sizeof(normal_bits) == sizeof(cached_normal_), "size");
+  std::memcpy(&normal_bits, &cached_normal_, sizeof(normal_bits));
+  return {state_[0], state_[1], state_[2], state_[3],
+          have_cached_normal_ ? 1ull : 0ull,
+          have_cached_normal_ ? normal_bits : 0ull};
+}
 
 }  // namespace fairhms

@@ -7,6 +7,7 @@
 #ifndef FAIRHMS_COMMON_RANDOM_H_
 #define FAIRHMS_COMMON_RANDOM_H_
 
+#include <array>
 #include <cmath>
 #include <cstdint>
 #include <vector>
@@ -67,6 +68,11 @@ class Rng {
   /// Derives an independent child generator; used to give each subsystem its
   /// own stream so adding draws in one place does not perturb another.
   Rng Fork();
+
+  /// Opaque serialization of the full generator state (the xoshiro words
+  /// plus the Box-Muller carry). Two generators with equal keys produce
+  /// identical streams — used as a memoization key for sampled artifacts.
+  std::array<uint64_t, 6> StateKey() const;
 
  private:
   uint64_t state_[4];

@@ -1,0 +1,256 @@
+#include "core/artifact_cache.h"
+
+#include <tuple>
+#include <utility>
+
+#include "common/string_util.h"
+#include "skyline/skyline.h"
+
+namespace fairhms {
+
+namespace {
+
+uint64_t VectorBytes(const std::vector<int>& v) {
+  return v.size() * sizeof(int);
+}
+
+uint64_t NestedVectorBytes(const std::vector<std::vector<int>>& v) {
+  uint64_t bytes = 0;
+  for (const auto& inner : v) bytes += VectorBytes(inner);
+  return bytes;
+}
+
+std::string CounterLine(const char* name, const CacheStats::Counter& c) {
+  return StrFormat("%s: %llu hits, %llu misses, %.1f KiB",
+                   name, static_cast<unsigned long long>(c.hits),
+                   static_cast<unsigned long long>(c.misses),
+                   static_cast<double>(c.bytes) / 1024.0);
+}
+
+}  // namespace
+
+uint64_t CacheStats::TotalHits() const {
+  return nets.hits + evaluators.hits + skylines.hits + group_skylines.hits +
+         pools.hits + groups.hits + projections.hits;
+}
+
+uint64_t CacheStats::TotalMisses() const {
+  return nets.misses + evaluators.misses + skylines.misses +
+         group_skylines.misses + pools.misses + groups.misses +
+         projections.misses;
+}
+
+uint64_t CacheStats::TotalBytes() const {
+  return nets.bytes + evaluators.bytes + skylines.bytes +
+         group_skylines.bytes + pools.bytes + groups.bytes +
+         projections.bytes;
+}
+
+std::string CacheStats::ToString() const {
+  std::string out = CounterLine("nets", nets);
+  out += "; " + CounterLine("evaluators", evaluators);
+  out += "; " + CounterLine("skylines", skylines);
+  out += "; " + CounterLine("group_skylines", group_skylines);
+  out += "; " + CounterLine("pools", pools);
+  out += "; " + CounterLine("groups", groups);
+  out += "; " + CounterLine("projections", projections);
+  return out;
+}
+
+bool ArtifactCache::NetKey::operator<(const NetKey& o) const {
+  return std::tie(d, m, rng_state) < std::tie(o.d, o.m, o.rng_state);
+}
+
+bool ArtifactCache::EvalKey::operator<(const EvalKey& o) const {
+  return std::tie(data, net, threads, db_rows, cache_rows) <
+         std::tie(o.data, o.net, o.threads, o.db_rows, o.cache_rows);
+}
+
+std::shared_ptr<const UtilityNet> ArtifactCache::Net(int d, size_t m,
+                                                     Rng* rng) {
+  NetKey key{d, static_cast<uint64_t>(m), rng->StateKey()};
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = nets_.find(key);
+  if (it != nets_.end()) {
+    ++stats_.nets.hits;
+    *rng = it->second.post_state;  // Continue the stream past the sample.
+    return it->second.net;
+  }
+  ++stats_.nets.misses;
+  auto net = std::make_shared<const UtilityNet>(
+      UtilityNet::SampleRandom(d, m, rng));
+  stats_.nets.bytes += m * static_cast<uint64_t>(d) * sizeof(double);
+  nets_.emplace(std::move(key), NetEntry{net, *rng});
+  return net;
+}
+
+std::shared_ptr<const NetEvaluator> ArtifactCache::Evaluator(
+    const Dataset& data, std::shared_ptr<const UtilityNet> net,
+    const std::vector<int>& db_rows, const std::vector<int>& cache_rows,
+    int threads) {
+  EvalKey key{&data, net.get(), db_rows, cache_rows, threads};
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = evaluators_.find(key);
+  if (it != evaluators_.end()) {
+    ++stats_.evaluators.hits;
+    return it->second.evaluator;
+  }
+  ++stats_.evaluators.misses;
+  auto eval = std::make_shared<NetEvaluator>(&data, net.get(), db_rows,
+                                             threads);
+  if (!cache_rows.empty()) eval->CacheCandidates(cache_rows);
+  // CandidateCacheBytes reports what CacheCandidates actually allocated
+  // (it declines oversized pools), so the stats never overstate memory.
+  stats_.evaluators.bytes +=
+      net->size() * sizeof(double) + eval->CandidateCacheBytes();
+  std::shared_ptr<const NetEvaluator> stored = std::move(eval);
+  evaluators_.emplace(std::move(key), EvalEntry{stored, std::move(net)});
+  return stored;
+}
+
+const std::vector<int>& ArtifactCache::Skyline(const Dataset& data) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = skylines_.find(&data);
+  if (it != skylines_.end()) {
+    ++stats_.skylines.hits;
+    return it->second;
+  }
+  ++stats_.skylines.misses;
+  auto [pos, inserted] = skylines_.emplace(&data, ComputeSkyline(data));
+  (void)inserted;
+  stats_.skylines.bytes += VectorBytes(pos->second);
+  return pos->second;
+}
+
+const std::vector<std::vector<int>>& ArtifactCache::GroupSkylines(
+    const Dataset& data, const Grouping& grouping) {
+  const DataGroupKey key{&data, &grouping};
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = group_skylines_.find(key);
+  if (it != group_skylines_.end()) {
+    ++stats_.group_skylines.hits;
+    return it->second;
+  }
+  ++stats_.group_skylines.misses;
+  auto [pos, inserted] =
+      group_skylines_.emplace(key, ComputeGroupSkylines(data, grouping));
+  (void)inserted;
+  stats_.group_skylines.bytes += NestedVectorBytes(pos->second);
+  return pos->second;
+}
+
+const std::vector<int>& ArtifactCache::FairPool(const Dataset& data,
+                                                const Grouping& grouping) {
+  const DataGroupKey key{&data, &grouping};
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = pools_.find(key);
+  if (it != pools_.end()) {
+    ++stats_.pools.hits;
+    return it->second;
+  }
+  ++stats_.pools.misses;
+  auto [pos, inserted] =
+      pools_.emplace(key, ComputeFairCandidatePool(data, grouping));
+  (void)inserted;
+  stats_.pools.bytes += VectorBytes(pos->second);
+  return pos->second;
+}
+
+const std::vector<int>& ArtifactCache::GroupCounts(const Grouping& grouping) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = group_counts_.find(&grouping);
+  if (it != group_counts_.end()) {
+    ++stats_.groups.hits;
+    return it->second;
+  }
+  ++stats_.groups.misses;
+  auto [pos, inserted] = group_counts_.emplace(&grouping, grouping.Counts());
+  (void)inserted;
+  stats_.groups.bytes += VectorBytes(pos->second);
+  return pos->second;
+}
+
+const std::vector<std::vector<int>>& ArtifactCache::GroupMembers(
+    const Grouping& grouping) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = group_members_.find(&grouping);
+  if (it != group_members_.end()) {
+    ++stats_.groups.hits;
+    return it->second;
+  }
+  ++stats_.groups.misses;
+  auto [pos, inserted] = group_members_.emplace(&grouping, grouping.Members());
+  (void)inserted;
+  stats_.groups.bytes += NestedVectorBytes(pos->second);
+  return pos->second;
+}
+
+CacheStats ArtifactCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void ArtifactCache::AccountProjection(bool hit, uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (hit) {
+    ++stats_.projections.hits;
+  } else {
+    ++stats_.projections.misses;
+    stats_.projections.bytes += bytes;
+  }
+}
+
+void ArtifactCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  nets_.clear();
+  evaluators_.clear();
+  skylines_.clear();
+  group_skylines_.clear();
+  pools_.clear();
+  group_counts_.clear();
+  group_members_.clear();
+  stats_.nets.bytes = 0;
+  stats_.evaluators.bytes = 0;
+  stats_.skylines.bytes = 0;
+  stats_.group_skylines.bytes = 0;
+  stats_.pools.bytes = 0;
+  stats_.groups.bytes = 0;
+  stats_.projections.bytes = 0;
+}
+
+std::shared_ptr<const UtilityNet> GetOrSampleNet(ArtifactCache* cache, int d,
+                                                 size_t m, Rng* rng) {
+  if (cache != nullptr) return cache->Net(d, m, rng);
+  return std::make_shared<const UtilityNet>(
+      UtilityNet::SampleRandom(d, m, rng));
+}
+
+namespace {
+
+/// Transient evaluator bundled with the net it points into (NetEvaluator
+/// holds a raw net pointer).
+struct EvalWithNet {
+  std::shared_ptr<const UtilityNet> net;
+  NetEvaluator eval;
+  EvalWithNet(std::shared_ptr<const UtilityNet> n, const Dataset& data,
+              const std::vector<int>& db_rows, int threads)
+      : net(std::move(n)), eval(&data, net.get(), db_rows, threads) {}
+};
+
+}  // namespace
+
+std::shared_ptr<const NetEvaluator> GetOrBuildEvaluator(
+    ArtifactCache* cache, const Dataset& data,
+    std::shared_ptr<const UtilityNet> net, const std::vector<int>& db_rows,
+    const std::vector<int>& cache_rows, int threads) {
+  if (cache != nullptr) {
+    return cache->Evaluator(data, std::move(net), db_rows, cache_rows,
+                            threads);
+  }
+  auto holder =
+      std::make_shared<EvalWithNet>(std::move(net), data, db_rows, threads);
+  if (!cache_rows.empty()) holder->eval.CacheCandidates(cache_rows);
+  return std::shared_ptr<const NetEvaluator>(holder, &holder->eval);
+}
+
+}  // namespace fairhms

@@ -1,0 +1,165 @@
+// ArtifactCache: cross-query memoization of the expensive, immutable
+// artifacts FairHMS solves keep rebuilding — sampled utility nets, the
+// NetEvaluator denominator/candidate precomputes, global and per-group
+// skylines, fair candidate pools and group tables.
+//
+// A SolverSession (api/session.h) owns one cache and pins it to a dataset +
+// grouping; algorithms reach it through SolveContext::cache (or their
+// Options struct) and fall back to building artifacts locally when it is
+// null, so the cold path and the cached path run the exact same code and
+// produce bit-identical results:
+//
+//   * nets are keyed by (dim, size, full RNG state) and a cache hit
+//     restores the generator to its post-sample state, so the caller's
+//     stream continues exactly as if it had sampled;
+//   * evaluators are keyed by (net identity, denominator rows, cached
+//     candidate rows, thread lanes) and their precomputes are already
+//     bit-identical across thread counts (PR 2 contract);
+//   * skylines / pools / group tables are pure functions of the pinned
+//     dataset and grouping, which the cache identifies by address — every
+//     keyed object must outlive the cache.
+//
+// All lookups are mutex-guarded and safe for concurrent queries; Clear()
+// must not race in-flight solves (returned references/shared_ptrs stay
+// valid only while their entry lives).
+
+#ifndef FAIRHMS_CORE_ARTIFACT_CACHE_H_
+#define FAIRHMS_CORE_ARTIFACT_CACHE_H_
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "core/net_evaluator.h"
+#include "data/dataset.h"
+#include "data/grouping.h"
+#include "utility/utility_net.h"
+
+namespace fairhms {
+
+/// Hit/miss/byte accounting per artifact class, reported by
+/// SolverSession::cache_stats() and the --queries batch driver.
+struct CacheStats {
+  struct Counter {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t bytes = 0;  ///< Resident payload bytes of live entries.
+  };
+  Counter nets;            ///< Sampled utility nets.
+  Counter evaluators;      ///< NetEvaluator denominator + candidate caches.
+  Counter skylines;        ///< Global skylines (one per projection key).
+  Counter group_skylines;  ///< Per-group skylines.
+  Counter pools;           ///< Fair candidate pools.
+  Counter groups;          ///< Group counts + member tables.
+  Counter projections;     ///< Prepared 2D projections (session-owned).
+
+  uint64_t TotalHits() const;
+  uint64_t TotalMisses() const;
+  uint64_t TotalBytes() const;
+
+  /// One line per artifact class, e.g. "nets: 5 hits, 3 misses, 1.2 MiB".
+  std::string ToString() const;
+};
+
+class ArtifactCache {
+ public:
+  ArtifactCache() = default;
+  ArtifactCache(const ArtifactCache&) = delete;
+  ArtifactCache& operator=(const ArtifactCache&) = delete;
+
+  /// The net `UtilityNet::SampleRandom(d, m, rng)` would produce, memoized
+  /// on (d, m, rng->StateKey()). On a hit `*rng` is fast-forwarded to its
+  /// post-sample state, so callers that keep drawing see no difference.
+  std::shared_ptr<const UtilityNet> Net(int d, size_t m, Rng* rng);
+
+  /// A NetEvaluator over (data, net, db_rows) with `cache_rows` candidate
+  /// happiness rows pre-filled (skipped when empty), memoized on the net's
+  /// identity + row sets + thread lanes. `net` must stay alive through the
+  /// shared_ptr (pass the pointer returned by Net()).
+  std::shared_ptr<const NetEvaluator> Evaluator(
+      const Dataset& data, std::shared_ptr<const UtilityNet> net,
+      const std::vector<int>& db_rows, const std::vector<int>& cache_rows,
+      int threads);
+
+  /// Global skyline of `data`, memoized per dataset address.
+  const std::vector<int>& Skyline(const Dataset& data);
+
+  /// Per-group skylines, memoized per (dataset, grouping) address pair.
+  const std::vector<std::vector<int>>& GroupSkylines(const Dataset& data,
+                                                     const Grouping& grouping);
+
+  /// Union of per-group skylines (the fair candidate pool), memoized per
+  /// (dataset, grouping) address pair.
+  const std::vector<int>& FairPool(const Dataset& data,
+                                   const Grouping& grouping);
+
+  /// grouping.Counts(), memoized per grouping address.
+  const std::vector<int>& GroupCounts(const Grouping& grouping);
+
+  /// grouping.Members(), memoized per grouping address.
+  const std::vector<std::vector<int>>& GroupMembers(const Grouping& grouping);
+
+  /// Snapshot of the counters (copied under the lock).
+  CacheStats stats() const;
+
+  /// Accounts a session-owned artifact lookup (the prepared 2D projection)
+  /// under the cache lock; `bytes` is added on a miss.
+  void AccountProjection(bool hit, uint64_t bytes);
+
+  /// Drops every entry (stats counters keep their hit/miss history; bytes
+  /// reset). Callers must ensure no solve is in flight.
+  void Clear();
+
+ private:
+  struct NetKey {
+    int d;
+    uint64_t m;
+    std::array<uint64_t, 6> rng_state;
+    bool operator<(const NetKey& o) const;
+  };
+  struct NetEntry {
+    std::shared_ptr<const UtilityNet> net;
+    Rng post_state;  ///< Generator state right after sampling.
+  };
+  struct EvalKey {
+    const void* data;
+    const UtilityNet* net;
+    std::vector<int> db_rows;
+    std::vector<int> cache_rows;
+    int threads;
+    bool operator<(const EvalKey& o) const;
+  };
+  struct EvalEntry {
+    std::shared_ptr<const NetEvaluator> evaluator;
+    std::shared_ptr<const UtilityNet> net;  ///< Keeps the raw key pointer live.
+  };
+  using DataGroupKey = std::pair<const void*, const void*>;
+
+  mutable std::mutex mu_;
+  CacheStats stats_;
+  std::map<NetKey, NetEntry> nets_;
+  std::map<EvalKey, EvalEntry> evaluators_;
+  std::map<const void*, std::vector<int>> skylines_;
+  std::map<DataGroupKey, std::vector<std::vector<int>>> group_skylines_;
+  std::map<DataGroupKey, std::vector<int>> pools_;
+  std::map<const void*, std::vector<int>> group_counts_;
+  std::map<const void*, std::vector<std::vector<int>>> group_members_;
+};
+
+/// Cache-optional conveniences: with a cache they memoize, without one they
+/// build a transient artifact — either way the bits are identical.
+std::shared_ptr<const UtilityNet> GetOrSampleNet(ArtifactCache* cache, int d,
+                                                 size_t m, Rng* rng);
+std::shared_ptr<const NetEvaluator> GetOrBuildEvaluator(
+    ArtifactCache* cache, const Dataset& data,
+    std::shared_ptr<const UtilityNet> net, const std::vector<int>& db_rows,
+    const std::vector<int>& cache_rows, int threads);
+
+}  // namespace fairhms
+
+#endif  // FAIRHMS_CORE_ARTIFACT_CACHE_H_

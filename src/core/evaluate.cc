@@ -1,6 +1,7 @@
 #include "core/evaluate.h"
 
 #include "common/random.h"
+#include "core/artifact_cache.h"
 #include "core/exact_evaluator.h"
 #include "core/net_evaluator.h"
 #include "utility/utility_net.h"
@@ -27,10 +28,11 @@ double EvaluateMhr(const Dataset& data, const std::vector<int>& db_rows,
       return MhrExactLp(data, db_rows, solution, opts.threads);
     case MhrMethod::kNet: {
       Rng rng(opts.seed);
-      const UtilityNet net =
-          UtilityNet::SampleRandom(data.dim(), opts.net_size, &rng);
-      const NetEvaluator eval(&data, &net, db_rows, opts.threads);
-      return eval.Mhr(solution);
+      const std::shared_ptr<const UtilityNet> net =
+          GetOrSampleNet(opts.cache, data.dim(), opts.net_size, &rng);
+      const std::shared_ptr<const NetEvaluator> eval = GetOrBuildEvaluator(
+          opts.cache, data, net, db_rows, {}, opts.threads);
+      return eval->Mhr(solution);
     }
     case MhrMethod::kAuto:
       break;  // Unreachable.

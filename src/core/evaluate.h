@@ -10,6 +10,8 @@
 
 namespace fairhms {
 
+class ArtifactCache;  // core/artifact_cache.h
+
 /// How to measure mhr(S).
 enum class MhrMethod {
   kAuto,     ///< Exact2D for d = 2; ExactLp for small skylines; Net otherwise.
@@ -29,6 +31,10 @@ struct EvalOptions {
   /// Evaluation lanes (0 = DefaultThreads(), 1 = exact serial path). The
   /// result is bit-identical across thread counts.
   int threads = 0;
+  /// Cross-query memoization of the MhrMethod::kNet net + denominators
+  /// (not owned; null = build per call). Results are bit-identical either
+  /// way.
+  ArtifactCache* cache = nullptr;
 };
 
 /// Evaluates mhr(S) against the database represented by `db_rows` (pass the

@@ -61,6 +61,13 @@ class NetEvaluator {
     return off < 0 ? nullptr : &cache_[static_cast<size_t>(off)];
   }
 
+  /// Resident bytes of the candidate cache (0 when CacheCandidates was
+  /// never called or declined because of its entry budget).
+  size_t CandidateCacheBytes() const {
+    return cache_.size() * sizeof(double) +
+           cache_offset_.size() * sizeof(int64_t);
+  }
+
  private:
   const Dataset* data_;
   const UtilityNet* net_;

@@ -1,5 +1,6 @@
 #include "data/csv.h"
 
+#include <cctype>
 #include <fstream>
 #include <map>
 
@@ -7,21 +8,147 @@
 
 namespace fairhms {
 
+namespace {
+
+/// One parsed CSV record: decoded fields plus, per field, whether it was
+/// quoted in the file. Quoted fields are taken verbatim; unquoted fields
+/// keep the raw text and are trimmed (or numerically parsed) by the caller,
+/// matching the reader's historical whitespace tolerance.
+struct CsvRecord {
+  std::vector<std::string> fields;
+  std::vector<bool> quoted;
+  size_t first_line = 0;  ///< 1-based line the record starts on.
+};
+
+/// Reads the next record, RFC-4180 style: fields separated by `delim`,
+/// records ended by LF / CRLF / CR / EOF, and a field starting with '"'
+/// runs — delimiters and newlines included — until its closing quote, with
+/// "" decoding to one literal quote. Returns false at end of input with no
+/// record; an unterminated quote is an error.
+StatusOr<bool> ReadCsvRecord(std::istream& in, char delim, size_t* line_no,
+                             CsvRecord* rec) {
+  rec->fields.clear();
+  rec->quoted.clear();
+  rec->first_line = *line_no + 1;
+
+  int ch = in.get();
+  if (ch == EOF) return false;
+  ++*line_no;
+
+  std::string field;
+  bool field_quoted = false;
+  bool in_quotes = false;
+  auto end_field = [&] {
+    rec->fields.push_back(std::move(field));
+    rec->quoted.push_back(field_quoted);
+    field.clear();
+    field_quoted = false;
+  };
+
+  for (;; ch = in.get()) {
+    if (in_quotes) {
+      if (ch == EOF) {
+        return Status::IOError(StrFormat(
+            "unterminated quoted field in record starting on line %zu",
+            rec->first_line));
+      }
+      if (ch == '"') {
+        if (in.peek() == '"') {
+          field.push_back('"');
+          in.get();
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        if (ch == '\n') ++*line_no;
+        field.push_back(static_cast<char>(ch));
+      }
+      continue;
+    }
+    if (ch == EOF) break;
+    if (ch == '"' && field.empty() && !field_quoted) {
+      in_quotes = true;
+      field_quoted = true;
+      continue;
+    }
+    if (ch == delim) {
+      end_field();
+      continue;
+    }
+    if (ch == '\r') {
+      if (in.peek() == '\n') in.get();
+      break;
+    }
+    if (ch == '\n') break;
+    field.push_back(static_cast<char>(ch));
+  }
+  end_field();
+  return true;
+}
+
+/// A record whose only field is unquoted whitespace is a blank line.
+bool IsBlankRecord(const CsvRecord& rec) {
+  return rec.fields.size() == 1 && !rec.quoted[0] &&
+         Trim(rec.fields[0]).empty();
+}
+
+/// The decoded cell text: quoted fields verbatim, unquoted fields trimmed.
+std::string CellText(const CsvRecord& rec, size_t c) {
+  return rec.quoted[c] ? rec.fields[c] : std::string(Trim(rec.fields[c]));
+}
+
+/// True when `field` must be quoted to survive a write/read round trip:
+/// it contains the delimiter, a quote or a line break, carries leading or
+/// trailing whitespace (the reader trims unquoted cells), or is empty (an
+/// unquoted empty cell is indistinguishable from whitespace).
+bool NeedsQuoting(const std::string& field, char delim) {
+  if (field.empty()) return true;
+  if (std::isspace(static_cast<unsigned char>(field.front())) ||
+      std::isspace(static_cast<unsigned char>(field.back()))) {
+    return true;
+  }
+  for (char c : field) {
+    if (c == delim || c == '"' || c == '\n' || c == '\r') return true;
+  }
+  return false;
+}
+
+/// Writes `field`, quoting and doubling quotes when required.
+void WriteField(std::ostream& out, const std::string& field, char delim) {
+  if (!NeedsQuoting(field, delim)) {
+    out << field;
+    return;
+  }
+  out << '"';
+  for (char c : field) {
+    if (c == '"') out << '"';
+    out << c;
+  }
+  out << '"';
+}
+
+}  // namespace
+
 StatusOr<Dataset> ReadCsv(const std::string& path,
                           const CsvReadOptions& opts) {
   if (opts.numeric_columns.empty()) {
     return Status::InvalidArgument("numeric_columns must not be empty");
   }
-  std::ifstream in(path);
+  std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IOError("cannot open '" + path + "'");
 
-  std::string line;
-  if (!std::getline(in, line)) return Status::IOError("empty file: " + path);
-  const std::vector<std::string> header = Split(line, opts.delimiter);
+  size_t line_no = 0;
+  CsvRecord header;
+  {
+    FAIRHMS_ASSIGN_OR_RETURN(const bool got,
+                             ReadCsvRecord(in, opts.delimiter, &line_no,
+                                           &header));
+    if (!got) return Status::IOError("empty file: " + path);
+  }
 
   auto find_col = [&](const std::string& name) -> int {
-    for (size_t i = 0; i < header.size(); ++i) {
-      if (std::string(Trim(header[i])) == name) return static_cast<int>(i);
+    for (size_t i = 0; i < header.fields.size(); ++i) {
+      if (CellText(header, i) == name) return static_cast<int>(i);
     }
     return -1;
   };
@@ -39,86 +166,92 @@ StatusOr<Dataset> ReadCsv(const std::string& path,
     cat_idx.push_back(idx);
   }
 
+  // Single-pass build: rows stream straight into the final dataset, with
+  // labels registered lazily in first-seen order as they appear.
   Dataset data(opts.numeric_columns);
   std::vector<std::map<std::string, int>> label_maps(cat_idx.size());
   for (const auto& name : opts.categorical_columns) {
     data.AddCategoricalColumn(name, {});
   }
 
-  // Labels are registered lazily; collect codes and labels, then rebuild.
-  std::vector<std::vector<std::string>> labels(cat_idx.size());
   std::vector<double> coords(num_idx.size());
+  std::vector<std::string> cells(cat_idx.size());
   std::vector<int> codes(cat_idx.size());
-  size_t line_no = 1;
-  while (std::getline(in, line)) {
-    ++line_no;
-    if (Trim(line).empty()) continue;
-    const std::vector<std::string> cells = Split(line, opts.delimiter);
+  CsvRecord rec;
+  for (;;) {
+    FAIRHMS_ASSIGN_OR_RETURN(const bool got,
+                             ReadCsvRecord(in, opts.delimiter, &line_no,
+                                           &rec));
+    if (!got) break;
+    if (IsBlankRecord(rec)) continue;
+    // Validate every cell of the row before mutating any label table, so a
+    // row rejected (or skipped) late cannot leave a half-registered label.
     bool ok = true;
-    for (size_t j = 0; j < num_idx.size(); ++j) {
+    for (size_t j = 0; ok && j < num_idx.size(); ++j) {
       const size_t c = static_cast<size_t>(num_idx[j]);
-      if (c >= cells.size() || !ParseDouble(cells[c], &coords[j])) {
+      if (c >= rec.fields.size() ||
+          !ParseDouble(rec.fields[c], &coords[j])) {
         ok = false;
-        break;
       }
     }
     if (!ok) {
       if (opts.skip_bad_rows) continue;
       return Status::IOError(
-          StrFormat("unparsable numeric cell on line %zu of %s", line_no,
-                    path.c_str()));
+          StrFormat("unparsable numeric cell on line %zu of %s",
+                    rec.first_line, path.c_str()));
+    }
+    for (size_t j = 0; ok && j < cat_idx.size(); ++j) {
+      const size_t c = static_cast<size_t>(cat_idx[j]);
+      if (c >= rec.fields.size()) {
+        ok = false;
+        break;
+      }
+      cells[j] = CellText(rec, c);
+    }
+    if (!ok) {
+      // A row too short to carry the categorical cell follows the same
+      // policy as an unparsable numeric cell (no silent placeholder group).
+      if (opts.skip_bad_rows) continue;
+      return Status::IOError(
+          StrFormat("missing categorical cell on line %zu of %s",
+                    rec.first_line, path.c_str()));
     }
     for (size_t j = 0; j < cat_idx.size(); ++j) {
-      const size_t c = static_cast<size_t>(cat_idx[j]);
-      const std::string cell =
-          c < cells.size() ? std::string(Trim(cells[c])) : std::string("?");
-      auto [it, inserted] =
-          label_maps[j].emplace(cell, static_cast<int>(label_maps[j].size()));
-      if (inserted) labels[j].push_back(cell);
+      auto [it, inserted] = label_maps[j].emplace(
+          cells[j], static_cast<int>(label_maps[j].size()));
+      if (inserted) data.AddCategoricalLabel(static_cast<int>(j), cells[j]);
       codes[j] = it->second;
     }
     data.AddRow(coords, codes);
   }
-
-  // Install collected labels. AddRow stored the codes already; rebuild the
-  // categorical columns with proper label tables.
-  Dataset out(opts.numeric_columns);
-  for (size_t j = 0; j < cat_idx.size(); ++j) {
-    out.AddCategoricalColumn(opts.categorical_columns[j], labels[j]);
-  }
-  out.Reserve(data.size());
-  std::vector<int> row_codes(cat_idx.size());
-  for (size_t i = 0; i < data.size(); ++i) {
-    std::vector<double> c(data.point(i), data.point(i) + data.dim());
-    for (size_t j = 0; j < cat_idx.size(); ++j) {
-      row_codes[j] = data.categorical(static_cast<int>(j)).codes[i];
-    }
-    out.AddRow(c, row_codes);
-  }
-  return out;
+  return data;
 }
 
 Status WriteCsv(const Dataset& data, const std::string& path, char delimiter) {
-  std::ofstream outf(path);
+  std::ofstream outf(path, std::ios::binary);
   if (!outf) return Status::IOError("cannot open '" + path + "' for writing");
   // Header.
   for (int j = 0; j < data.dim(); ++j) {
     if (j > 0) outf << delimiter;
-    outf << data.attr_names()[static_cast<size_t>(j)];
+    WriteField(outf, data.attr_names()[static_cast<size_t>(j)], delimiter);
   }
   for (int c = 0; c < data.num_categorical(); ++c) {
-    outf << delimiter << data.categorical(c).name;
+    outf << delimiter;
+    WriteField(outf, data.categorical(c).name, delimiter);
   }
   outf << '\n';
-  // Rows.
+  // Rows. Coordinates print with 17 significant digits so every double
+  // round-trips bit-exactly through ReadCsv.
   for (size_t i = 0; i < data.size(); ++i) {
     for (int j = 0; j < data.dim(); ++j) {
       if (j > 0) outf << delimiter;
-      outf << data.at(i, j);
+      outf << StrFormat("%.17g", data.at(i, j));
     }
     for (int c = 0; c < data.num_categorical(); ++c) {
       const auto& col = data.categorical(c);
-      outf << delimiter << col.labels[static_cast<size_t>(col.codes[i])];
+      outf << delimiter;
+      WriteField(outf, col.labels[static_cast<size_t>(col.codes[i])],
+                 delimiter);
     }
     outf << '\n';
   }

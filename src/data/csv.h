@@ -24,15 +24,23 @@ struct CsvReadOptions {
   /// Header names of the columns to load as categorical columns. Distinct
   /// cell strings become labels in first-seen order.
   std::vector<std::string> categorical_columns;
-  /// Rows with unparsable numeric cells are skipped when true (otherwise the
-  /// read fails).
+  /// Rows with unparsable numeric cells or missing (too-short-row)
+  /// categorical cells are skipped when true (otherwise the read fails).
   bool skip_bad_rows = false;
 };
 
-/// Reads a headered CSV file into a Dataset.
+/// Reads a headered CSV file into a Dataset, streaming rows in one pass.
+///
+/// Quoting follows RFC 4180: a field starting with '"' runs to its closing
+/// quote — embedded delimiters, quotes ("" decodes to one quote) and line
+/// breaks included — and is taken verbatim; unquoted cells are trimmed.
+/// Records end at LF, CRLF, CR or EOF.
 StatusOr<Dataset> ReadCsv(const std::string& path, const CsvReadOptions& opts);
 
 /// Writes the dataset (numeric and categorical columns) as a headered CSV.
+/// Labels and column names containing the delimiter, quotes, line breaks or
+/// boundary whitespace are RFC-4180 quoted, and coordinates print with 17
+/// significant digits, so the file re-reads to an identical dataset.
 Status WriteCsv(const Dataset& data, const std::string& path,
                 char delimiter = ',');
 

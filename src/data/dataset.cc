@@ -54,6 +54,12 @@ int Dataset::AddCategoricalColumn(std::string name,
   return static_cast<int>(cats_.size()) - 1;
 }
 
+int Dataset::AddCategoricalLabel(int c, std::string label) {
+  auto& labels = cats_[static_cast<size_t>(c)].labels;
+  labels.push_back(std::move(label));
+  return static_cast<int>(labels.size()) - 1;
+}
+
 StatusOr<int> Dataset::FindCategorical(const std::string& name) const {
   for (size_t c = 0; c < cats_.size(); ++c) {
     if (cats_[c].name == name) return static_cast<int>(c);

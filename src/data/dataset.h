@@ -50,6 +50,11 @@ class Dataset {
   /// Returns the column's index.
   int AddCategoricalColumn(std::string name, std::vector<std::string> labels);
 
+  /// Appends a label to categorical column `c` and returns its code. The
+  /// caller is responsible for not duplicating an existing label (lazy
+  /// label registration for streaming readers).
+  int AddCategoricalLabel(int c, std::string label);
+
   size_t size() const { return n_; }
   int dim() const { return dim_; }
 

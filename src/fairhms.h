@@ -12,6 +12,7 @@
 #include "algo/intcov.h"
 #include "api/params.h"
 #include "api/registry.h"
+#include "api/session.h"
 #include "api/solver.h"
 #include "common/random.h"
 #include "common/status.h"
@@ -19,6 +20,7 @@
 #include "common/stopwatch.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
+#include "core/artifact_cache.h"
 #include "core/evaluate.h"
 #include "core/exact_evaluator.h"
 #include "core/net_evaluator.h"

@@ -98,13 +98,28 @@ GroupBounds GroupBounds::Proportional(int k,
   return b;
 }
 
-GroupBounds GroupBounds::Balanced(int k, int num_groups, double alpha) {
+StatusOr<GroupBounds> GroupBounds::Balanced(int k, int num_groups,
+                                            double alpha) {
+  if (k < 1) {
+    return Status::InvalidArgument(StrFormat("k must be >= 1, got %d", k));
+  }
+  if (num_groups < 1) {
+    return Status::InvalidArgument(
+        StrFormat("num_groups must be >= 1, got %d", num_groups));
+  }
+  if (alpha < 0.0) {
+    return Status::InvalidArgument(
+        StrFormat("alpha must be >= 0, got %g", alpha));
+  }
   GroupBounds b;
   b.k = k;
   const double share = static_cast<double>(k) / num_groups;
   int lo = static_cast<int>(std::floor((1.0 - alpha) * share));
   int hi = static_cast<int>(std::ceil((1.0 + alpha) * share));
   lo = std::max(0, lo);
+  // No single group may exceed k; hi >= ceil(k/C) still holds (alpha >= 0),
+  // so the upper bounds always sum to at least k.
+  hi = std::min(hi, k);
   hi = std::max(hi, lo);
   b.lower.assign(static_cast<size_t>(num_groups), lo);
   b.upper.assign(static_cast<size_t>(num_groups), hi);

@@ -31,8 +31,9 @@ struct GroupBounds {
                                   double alpha);
 
   /// Balanced representation:
-  ///   l_c = floor((1-alpha) * k / C),  h_c = ceil((1+alpha) * k / C).
-  static GroupBounds Balanced(int k, int num_groups, double alpha);
+  ///   l_c = floor((1-alpha) * k / C),  h_c = min(ceil((1+alpha) * k / C), k).
+  /// Fails with InvalidArgument on k < 1, num_groups < 1 or alpha < 0.
+  static StatusOr<GroupBounds> Balanced(int k, int num_groups, double alpha);
 
   /// Checks internal consistency and feasibility against the group sizes
   /// (`group_counts[c]` = number of available tuples in group c).

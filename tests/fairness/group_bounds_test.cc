@@ -67,11 +67,41 @@ TEST(GroupBoundsTest, ProportionalRepairRaisesUppersWhenShort) {
 }
 
 TEST(GroupBoundsTest, BalancedFollowsFormula) {
-  const GroupBounds b = GroupBounds::Balanced(10, 4, 0.2);
+  const auto b = GroupBounds::Balanced(10, 4, 0.2);
+  ASSERT_TRUE(b.ok()) << b.status();
   for (int c = 0; c < 4; ++c) {
-    EXPECT_EQ(b.lower[static_cast<size_t>(c)], 2);  // floor(0.8 * 2.5).
-    EXPECT_EQ(b.upper[static_cast<size_t>(c)], 3);  // ceil(1.2 * 2.5).
+    EXPECT_EQ(b->lower[static_cast<size_t>(c)], 2);  // floor(0.8 * 2.5).
+    EXPECT_EQ(b->upper[static_cast<size_t>(c)], 3);  // ceil(1.2 * 2.5).
   }
+}
+
+TEST(GroupBoundsTest, BalancedRejectsNonPositiveGroupCount) {
+  // Regression: num_groups <= 0 used to divide by zero and return empty
+  // bounds with no error.
+  EXPECT_EQ(GroupBounds::Balanced(10, 0, 0.1).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(GroupBounds::Balanced(10, -3, 0.1).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(GroupBounds::Balanced(0, 4, 0.1).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(GroupBounds::Balanced(10, 4, -0.5).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(GroupBoundsTest, BalancedCapsUpperAtK) {
+  // One group with a huge alpha: ceil((1+alpha) * k) would exceed k.
+  const auto b = GroupBounds::Balanced(5, 1, 3.0);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b->upper[0], 5);
+  EXPECT_LE(b->lower[0], b->upper[0]);
+
+  // Many groups, large alpha: every hi capped at k, still feasible.
+  const auto wide = GroupBounds::Balanced(6, 3, 10.0);
+  ASSERT_TRUE(wide.ok());
+  for (int c = 0; c < 3; ++c) {
+    EXPECT_EQ(wide->upper[static_cast<size_t>(c)], 6);
+  }
+  EXPECT_TRUE(wide->Validate({10, 10, 10}).ok());
 }
 
 TEST(GroupBoundsTest, ValidateDetectsSmallGroups) {

@@ -3,12 +3,17 @@
 // bit-identical mhr at threads = 1 and threads = 8. This is the contract
 // that makes --threads a pure performance knob, now tested on the exact
 // path the CLI and library users take.
+//
+// The same suite also pins the SolverSession warm-path contract: serving a
+// query through a session (cold cache, then fully warm cache) must be
+// bit-identical to an independent Solver::Solve, for every algorithm.
 
 #include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "api/session.h"
 #include "api/solver.h"
 #include "common/random.h"
 #include "data/generators.h"
@@ -75,6 +80,38 @@ TEST_P(FacadeDeterminismTest, SerialMatchesParallel) {
 
 INSTANTIATE_TEST_SUITE_P(AllAlgorithms, FacadeDeterminismTest,
                          ::testing::ValuesIn(kAlgorithms));
+
+TEST_P(FacadeDeterminismTest, SessionWarmMatchesCold) {
+  const std::string algo = GetParam();
+  const Instance inst = MakeInstance(/*seed=*/101);
+
+  SolverRequest request;
+  request.data = &inst.data;
+  request.grouping = &inst.grouping;
+  request.bounds = inst.bounds;
+  request.algorithm = algo;
+
+  auto cold = Solver::Solve(request);
+  ASSERT_TRUE(cold.ok()) << algo << ": " << cold.status().ToString();
+
+  auto session = SolverSession::Create(&inst.data, &inst.grouping);
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+  auto first = session->Solve(request);   // Cold cache inside the session.
+  auto second = session->Solve(request);  // Every artifact warm.
+  ASSERT_TRUE(first.ok()) << algo << ": " << first.status().ToString();
+  ASSERT_TRUE(second.ok()) << algo << ": " << second.status().ToString();
+
+  for (const auto* warm : {&*first, &*second}) {
+    EXPECT_EQ(cold->solution.rows, warm->solution.rows) << algo;
+    EXPECT_EQ(cold->solution.mhr, warm->solution.mhr) << algo;
+    EXPECT_EQ(cold->group_counts, warm->group_counts) << algo;
+    EXPECT_EQ(cold->violations, warm->violations) << algo;
+    EXPECT_EQ(cold->skyline, warm->skyline) << algo;
+    EXPECT_EQ(cold->note, warm->note) << algo;
+  }
+  // The warm pass really was served from the cache.
+  EXPECT_GT(session->cache_stats().TotalHits(), 0u) << algo;
+}
 
 TEST(FacadeDeterminismTest, RegistryCoversDeterminismSuite) {
   std::vector<std::string> expected(std::begin(kAlgorithms),

@@ -37,7 +37,7 @@ TEST(EndToEndTest, LawschsGenderPipeline) {
   // Unconstrained optimum (price of fairness reference).
   const Grouping single = SingleGroup(data.size());
   auto unconstrained =
-      IntCov(data, single, GroupBounds::Balanced(k, 1, 0.0));
+      IntCov(data, single, GroupBounds::Balanced(k, 1, 0.0).value());
   ASSERT_TRUE(unconstrained.ok());
   EXPECT_LE(exact->mhr, unconstrained->mhr + 1e-9);
   // Price of fairness is small on Lawschs (paper Fig. 4: within ~0.02).

@@ -1,0 +1,51 @@
+# CTest smoke for the --queries batch driver: serve a small JSONL batch
+# (including one bad line) through a single SolverSession and check that
+# every good query produced an ok line while the bad one failed without
+# stopping the stream. Expects -DCLI=..., -DOUT_DIR=... .
+
+set(queries ${OUT_DIR}/smoke_queries.jsonl)
+file(WRITE ${queries}
+  "{\"algorithm\": \"bigreedy\", \"k\": 6, \"alpha\": 0.2, \"params\": {\"net_size\": 120}}\n"
+  "{\"algorithm\": \"bigreedy\", \"k\": 6, \"alpha\": 0.2, \"params\": {\"net_size\": 120}}\n"
+  "{\"algorithm\": \"intcov\", \"k\": 4, \"bounds\": \"balanced\", \"alpha\": 0.5, \"id\": \"smoke\"}\n"
+  "{\"algorithm\": \"no_such_algo\", \"k\": 4}\n"
+  "{\"algorithm\": \"rdp_greedy\", \"k\": 4}\n")
+
+execute_process(
+  COMMAND ${CLI} --synthetic=independent --n=400 --dim=3 --groups=2
+          --queries=${queries}
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err
+  RESULT_VARIABLE rc)
+
+# Exit 3 = batch completed with failed lines (the bad algorithm), which is
+# exactly what this stream must produce.
+if(NOT rc EQUAL 3)
+  message(FATAL_ERROR "expected exit 3 (one failed line), got rc=${rc}\n"
+          "stdout:\n${out}\nstderr:\n${err}")
+endif()
+
+string(REGEX MATCHALL "\"ok\": true" ok_lines "${out}")
+list(LENGTH ok_lines ok_count)
+if(NOT ok_count EQUAL 4)
+  message(FATAL_ERROR "expected 4 ok lines, got ${ok_count}\n${out}")
+endif()
+
+if(NOT out MATCHES "\"id\": \"smoke\"")
+  message(FATAL_ERROR "query ids are not echoed:\n${out}")
+endif()
+if(NOT out MATCHES "\"ok\": false")
+  message(FATAL_ERROR "the bad line did not produce an error record:\n${out}")
+endif()
+if(NOT err MATCHES "cache:")
+  message(FATAL_ERROR "no cache report on stderr:\n${err}")
+endif()
+
+# The two identical bigreedy queries must serve bit-identical rows.
+string(REGEX MATCHALL "\"rows\": \\[[^]]*\\]" row_lists "${out}")
+list(GET row_lists 0 first_rows)
+list(GET row_lists 1 second_rows)
+if(NOT first_rows STREQUAL second_rows)
+  message(FATAL_ERROR "warm repeat diverged from first serve:\n"
+          "${first_rows}\nvs\n${second_rows}")
+endif()

@@ -133,8 +133,13 @@ int Run(int argc, char** argv) {
     return e.ms > 0.0 ? baseline_ms[s.op] / e.ms : 0.0;
   };
 
+  // The bench names itself via the "# bench=..." config key; default kept
+  // for CSVs from older harness versions.
+  const std::string bench_name =
+      config.count("bench") ? config.at("bench") : "parallel_eval";
   std::ostringstream json;
-  json << "{\n  \"bench\": \"parallel_eval\",\n  \"config\": {";
+  json << "{\n  \"bench\": \"" << cli::JsonEscape(bench_name)
+       << "\",\n  \"config\": {";
   bool first = true;
   for (const auto& [key, value] : config) {
     json << (first ? "" : ", ") << '"' << cli::JsonEscape(key) << "\": \""

@@ -9,8 +9,11 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "common/statusor.h"
@@ -75,6 +78,53 @@ class Report {
 /// Escapes a string for embedding in a JSON document (no surrounding
 /// quotes added).
 std::string JsonEscape(const std::string& s);
+
+/// Minimal JSON value tree for the --queries batch driver: objects,
+/// arrays, strings, numbers, booleans and null. Object member order is
+/// preserved; duplicate keys keep the last occurrence (Find returns it).
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;  // null
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool bool_value() const { return bool_; }
+  double number_value() const { return number_; }
+  const std::string& string_value() const { return string_; }
+  const std::vector<JsonValue>& items() const { return items_; }
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+
+  /// Object member by key (last occurrence), or nullptr when absent or not
+  /// an object.
+  const JsonValue* Find(const std::string& key) const;
+
+  /// The value as a whole-number int64 — error when not a number or not
+  /// integral (e.g. 2.5 where a count is expected).
+  StatusOr<int64_t> AsInt64() const;
+
+ private:
+  friend class JsonParser;
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/// Parses one JSON document (the whole input; trailing garbage is an
+/// error). Supports the JSON core: no comments, no NaN/Infinity literals.
+StatusOr<JsonValue> ParseJson(std::string_view text);
 
 /// Escapes a CSV cell (quotes when it contains delimiter/quote/newline).
 std::string CsvEscape(const std::string& s);

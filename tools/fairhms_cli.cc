@@ -17,10 +17,13 @@
 //       --categorical=region --group_by=region --k=8
 
 #include <cstdio>
+#include <fstream>
+#include <iostream>
 #include <set>
 #include <string>
 #include <vector>
 
+#include "api/session.h"
 #include "api/solver.h"
 #include "cli_util.h"
 #include "common/random.h"
@@ -79,6 +82,27 @@ Algorithm:
 
 Output:
   --format=F               plain (default) | csv | json
+
+Batch serving (many queries over one pinned dataset):
+  --queries=FILE           JSONL file ('-' = stdin): one request object per
+                           line, served through a single SolverSession with
+                           cross-query artifact caching. Per line:
+                             {"algorithm": "bigreedy", "k": 10,
+                              "bounds": "proportional|balanced|explicit",
+                              "alpha": 0.1, "lower": [..], "upper": [..],
+                              "seed": 42, "threads": 0, "id": any,
+                              "params": {"net_size": 500, ...}}
+                           k and algorithm are required; seed/threads
+                           default to the --seed/--threads flags; bounds
+                           defaults to proportional. One result JSON is
+                           streamed to stdout per line (errors become
+                           {"ok": false, "error": ...} lines without
+                           stopping the batch); the cache report goes to
+                           stderr. --algo/--k/--bounds/--format and
+                           algorithm-parameter flags are ignored here.
+  --cache_budget_mb=N      drop the artifact cache when it exceeds N MiB
+                           (default 1024; 0 = unbounded). Results are
+                           bit-identical regardless.
 )";
 
 int Fail(const Status& status) {
@@ -236,6 +260,329 @@ std::set<std::string> AllRegisteredParamNames() {
   return names;
 }
 
+/// Warns on flags never looked up on the taken code path: a documented
+/// flag (the driver flags plus any algorithm parameter in the registry) is
+/// merely unused with the chosen options, anything else is a likely typo.
+/// Both serving modes run this so a typo never silently changes a run.
+void WarnUnusedFlags(const cli::Flags& flags) {
+  std::set<std::string> documented = AllRegisteredParamNames();
+  documented.insert({"csv", "numeric", "categorical", "synthetic", "n",
+                     "dim", "seed", "normalize", "groups", "group_by", "k",
+                     "bounds", "alpha", "lower", "upper", "algo", "format",
+                     "threads", "list_algos", "queries", "cache_budget_mb",
+                     "help"});
+  for (const auto& key : flags.Unknown()) {
+    if (documented.count(key)) {
+      std::fprintf(stderr,
+                   "fairhms_cli: warning: --%s has no effect with the "
+                   "chosen options; ignored\n",
+                   key.c_str());
+    } else {
+      std::fprintf(stderr, "fairhms_cli: warning: unknown flag --%s ignored\n",
+                   key.c_str());
+    }
+  }
+}
+
+/// Applies --normalize to a freshly loaded dataset.
+StatusOr<Dataset> NormalizeDataset(const cli::Flags& flags, Dataset raw) {
+  const std::string norm = flags.GetString("normalize", "minmax");
+  if (norm == "minmax") return raw.NormalizedMinMax();
+  if (norm == "max") return raw.ScaledByMax();
+  if (norm == "none") return raw;
+  return Status::InvalidArgument(
+      StrFormat("unknown --normalize '%s'", norm.c_str()));
+}
+
+/// Builds the GroupBounds of one batch query (default: proportional 0.1).
+StatusOr<GroupBounds> BoundsFromQuery(const cli::JsonValue& query, int k,
+                                      SolverSession* session) {
+  std::string kind = "proportional";
+  if (const cli::JsonValue* b = query.Find("bounds"); b != nullptr) {
+    if (!b->is_string()) {
+      return Status::InvalidArgument("\"bounds\" must be a string");
+    }
+    kind = b->string_value();
+  }
+  double alpha = 0.1;
+  if (const cli::JsonValue* a = query.Find("alpha"); a != nullptr) {
+    if (!a->is_number()) {
+      return Status::InvalidArgument("\"alpha\" must be a number");
+    }
+    alpha = a->number_value();
+  }
+  if (kind == "proportional") {
+    return GroupBounds::Proportional(k, session->group_counts(), alpha);
+  }
+  if (kind == "balanced") {
+    return GroupBounds::Balanced(k, session->grouping().num_groups, alpha);
+  }
+  if (kind == "explicit") {
+    auto int_list = [&](const char* key) -> StatusOr<std::vector<int>> {
+      const cli::JsonValue* v = query.Find(key);
+      if (v == nullptr || !v->is_array()) {
+        return Status::InvalidArgument(StrFormat(
+            "explicit bounds need an integer array \"%s\"", key));
+      }
+      std::vector<int> out;
+      for (const cli::JsonValue& item : v->items()) {
+        FAIRHMS_ASSIGN_OR_RETURN(const int64_t value, item.AsInt64());
+        out.push_back(static_cast<int>(value));
+      }
+      return out;
+    };
+    FAIRHMS_ASSIGN_OR_RETURN(std::vector<int> lower, int_list("lower"));
+    FAIRHMS_ASSIGN_OR_RETURN(std::vector<int> upper, int_list("upper"));
+    return GroupBounds::Explicit(k, std::move(lower), std::move(upper));
+  }
+  return Status::InvalidArgument(
+      StrFormat("unknown \"bounds\" kind '%s' (want proportional, balanced "
+                "or explicit)", kind.c_str()));
+}
+
+/// Fills AlgoParams from the query's "params" object, using the algorithm's
+/// schema for int/double disambiguation; keys or types the schema does not
+/// know are set by their JSON type so Solver validation reports them with
+/// the uniform messages.
+Status ParamsFromQuery(const cli::JsonValue& params, const AlgorithmInfo* info,
+                       AlgoParams* out) {
+  if (!params.is_object()) {
+    return Status::InvalidArgument("\"params\" must be an object");
+  }
+  for (const auto& [name, value] : params.members()) {
+    const ParamSpec* spec = nullptr;
+    if (info != nullptr) {
+      for (const ParamSpec& candidate : info->params) {
+        if (candidate.name == name) spec = &candidate;
+      }
+    }
+    if (spec != nullptr && value.is_number()) {
+      if (spec->type == ParamType::kInt) {
+        FAIRHMS_ASSIGN_OR_RETURN(const int64_t v, value.AsInt64());
+        out->SetInt(name, v);
+      } else {
+        out->SetDouble(name, value.number_value());
+      }
+      continue;
+    }
+    switch (value.kind()) {
+      case cli::JsonValue::Kind::kBool:
+        out->SetBool(name, value.bool_value());
+        break;
+      case cli::JsonValue::Kind::kString:
+        out->SetString(name, value.string_value());
+        break;
+      case cli::JsonValue::Kind::kNumber: {
+        const auto as_int = value.AsInt64();
+        if (as_int.ok()) {
+          out->SetInt(name, *as_int);
+        } else {
+          out->SetDouble(name, value.number_value());
+        }
+        break;
+      }
+      default:
+        return Status::InvalidArgument(StrFormat(
+            "parameter '%s' must be a number, boolean or string",
+            name.c_str()));
+    }
+  }
+  return Status::OK();
+}
+
+/// Serves one parsed batch query; the returned string is the one-line JSON
+/// body (without the id/ok envelope, which the caller emits).
+StatusOr<std::string> ServeQuery(const cli::JsonValue& query,
+                                 SolverSession* session, uint64_t default_seed,
+                                 int default_threads) {
+  const cli::JsonValue* algo = query.Find("algorithm");
+  if (algo == nullptr) algo = query.Find("algo");
+  if (algo == nullptr || !algo->is_string()) {
+    return Status::InvalidArgument(
+        "each query needs a string \"algorithm\" field");
+  }
+  const cli::JsonValue* k_field = query.Find("k");
+  if (k_field == nullptr) {
+    return Status::InvalidArgument("each query needs an integer \"k\" field");
+  }
+  FAIRHMS_ASSIGN_OR_RETURN(const int64_t k64, k_field->AsInt64());
+  if (k64 < 1 || k64 > 1'000'000) {
+    return Status::InvalidArgument(
+        StrFormat("k must be in [1, 1000000], got %lld",
+                  static_cast<long long>(k64)));
+  }
+  const int k = static_cast<int>(k64);
+
+  SolverRequest request;  // data/grouping stay null: the session pins them.
+  request.algorithm = algo->string_value();
+  request.seed = default_seed;
+  request.threads = default_threads;
+  if (const cli::JsonValue* s = query.Find("seed"); s != nullptr) {
+    FAIRHMS_ASSIGN_OR_RETURN(const int64_t seed, s->AsInt64());
+    if (seed < 0) return Status::InvalidArgument("\"seed\" must be >= 0");
+    request.seed = static_cast<uint64_t>(seed);
+  }
+  if (const cli::JsonValue* t = query.Find("threads"); t != nullptr) {
+    FAIRHMS_ASSIGN_OR_RETURN(const int64_t threads, t->AsInt64());
+    // Range-check before narrowing so huge values fail like the flag does
+    // instead of wrapping into the valid range.
+    if (threads < 0 || threads > 4096) {
+      return Status::InvalidArgument(StrFormat(
+          "\"threads\" must be in [0, 4096] (0 = all hardware threads), "
+          "got %lld", static_cast<long long>(threads)));
+    }
+    request.threads = static_cast<int>(threads);
+  }
+  FAIRHMS_ASSIGN_OR_RETURN(request.bounds,
+                           BoundsFromQuery(query, k, session));
+  if (const cli::JsonValue* params = query.Find("params"); params != nullptr) {
+    FAIRHMS_RETURN_IF_ERROR(ParamsFromQuery(
+        *params, AlgorithmRegistry::Instance().Find(request.algorithm),
+        &request.params));
+  }
+
+  FAIRHMS_ASSIGN_OR_RETURN(SolverResult run, session->Solve(request));
+
+  // Reference evaluation against the pinned dataset's global skyline —
+  // both the skyline and any evaluation net come from the session cache.
+  const Dataset& data = session->data();
+  EvalOptions eval_opts;
+  eval_opts.threads = request.threads;
+  eval_opts.cache = session->cache();
+  const double mhr = EvaluateMhr(data, session->cache()->Skyline(data),
+                                 run.solution.rows, eval_opts);
+
+  std::string out = StrFormat(
+      "\"algorithm\": \"%s\", \"k\": %d, \"seed\": %llu, \"threads\": %d, "
+      "\"solution_size\": %zu, \"rows\": [",
+      cli::JsonEscape(run.algorithm).c_str(), k,
+      static_cast<unsigned long long>(request.seed), request.threads,
+      run.solution.rows.size());
+  for (size_t i = 0; i < run.solution.rows.size(); ++i) {
+    out += StrFormat("%s%d", i == 0 ? "" : ", ", run.solution.rows[i]);
+  }
+  out += StrFormat(
+      "], \"happiness_ratio\": %.17g, \"algo_mhr_estimate\": %.17g, "
+      "\"violations\": %d, \"group_counts\": [",
+      mhr, run.solution.mhr, run.violations);
+  for (size_t c = 0; c < run.group_counts.size(); ++c) {
+    out += StrFormat("%s%d", c == 0 ? "" : ", ", run.group_counts[c]);
+  }
+  out += "]";
+  if (!run.note.empty()) {
+    out += StrFormat(", \"note\": \"%s\"", cli::JsonEscape(run.note).c_str());
+  }
+  out += StrFormat(", \"solve_ms\": %.3f, \"total_ms\": %.3f", run.solve_ms,
+                   run.total_ms);
+  return out;
+}
+
+/// The --queries batch driver: pin the dataset + grouping in one
+/// SolverSession, stream one result JSON per request line.
+int RunBatch(const cli::Flags& flags, uint64_t seed, int threads) {
+  Stopwatch total;
+  // Bound on resident cache bytes: an unbounded seed/k sweep would pin a
+  // fresh net + evaluator per line forever. Crossing the budget drops the
+  // whole cache (results are bit-identical either way); 0 disables.
+  const int64_t budget_mb = flags.GetInt("cache_budget_mb", 1024);
+  if (budget_mb < 0) {
+    return Fail(Status::InvalidArgument("--cache_budget_mb must be >= 0"));
+  }
+  const uint64_t budget_bytes =
+      static_cast<uint64_t>(budget_mb) * 1024 * 1024;
+  Rng rng(seed);
+  auto raw = LoadDataset(flags, &rng);
+  if (!raw.ok()) return Fail(raw.status());
+  auto data = NormalizeDataset(flags, std::move(*raw));
+  if (!data.ok()) return Fail(data.status());
+
+  auto grouping = MakeGrouping(flags, *data);
+  if (!grouping.ok()) return Fail(grouping.status());
+
+  auto session = SolverSession::Create(&*data, &*grouping);
+  if (!session.ok()) return Fail(session.status());
+
+  const std::string path = flags.GetString("queries", "");
+  std::ifstream file;
+  if (path != "-") {
+    file.open(path);
+    if (!file) {
+      return Fail(Status::IOError("cannot open --queries=" + path));
+    }
+  }
+  std::istream& in = path == "-" ? std::cin : file;
+  if (Status st = flags.ParseError(); !st.ok()) return Fail(st);
+  // Every driver flag has been looked up by now; surface typos before the
+  // batch streams (a misspelled --groups must not silently serve the whole
+  // sweep against the default grouping).
+  WarnUnusedFlags(flags);
+
+  size_t line_no = 0;
+  size_t served = 0;
+  size_t failed = 0;
+  size_t cache_drops = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (Trim(line).empty()) continue;
+    if (budget_bytes > 0 &&
+        session->cache_stats().TotalBytes() > budget_bytes) {
+      session->ClearCache();
+      ++cache_drops;
+    }
+    // The line's own "id" (echoed verbatim when scalar) falls back to the
+    // 1-based line number.
+    std::string id = StrFormat("%zu", line_no);
+    Status status = Status::OK();
+    std::string body;
+    auto parsed = cli::ParseJson(line);
+    if (!parsed.ok()) {
+      status = parsed.status();
+    } else if (!parsed->is_object()) {
+      status = Status::InvalidArgument("each query line must be an object");
+    } else {
+      if (const cli::JsonValue* id_field = parsed->Find("id");
+          id_field != nullptr) {
+        if (id_field->is_string()) {
+          id = "\"" + cli::JsonEscape(id_field->string_value()) + "\"";
+        } else if (id_field->is_number()) {
+          id = StrFormat("%.17g", id_field->number_value());
+        }
+      }
+      auto result = ServeQuery(*parsed, &*session, seed, threads);
+      if (result.ok()) {
+        body = std::move(*result);
+      } else {
+        status = result.status();
+      }
+    }
+    if (status.ok()) {
+      ++served;
+      std::printf("{\"id\": %s, \"ok\": true, %s}\n", id.c_str(),
+                  body.c_str());
+    } else {
+      ++failed;
+      std::printf("{\"id\": %s, \"ok\": false, \"error\": \"%s\"}\n",
+                  id.c_str(), cli::JsonEscape(status.ToString()).c_str());
+    }
+    std::fflush(stdout);
+  }
+
+  const CacheStats stats = session->cache_stats();
+  std::fprintf(stderr,
+               "fairhms_cli: served %zu queries (%zu failed) in %.1f ms; "
+               "cache: %llu hits, %llu misses, %.1f KiB resident, "
+               "%zu budget drops\n",
+               served, failed, total.ElapsedMillis(),
+               static_cast<unsigned long long>(stats.TotalHits()),
+               static_cast<unsigned long long>(stats.TotalMisses()),
+               static_cast<double>(stats.TotalBytes()) / 1024.0,
+               cache_drops);
+  std::fprintf(stderr, "fairhms_cli: cache detail: %s\n",
+               stats.ToString().c_str());
+  return failed == 0 ? 0 : 3;
+}
+
 int Run(int argc, char** argv) {
   const cli::Flags flags(argc, argv);
   if (flags.Has("help") || argc <= 1) {
@@ -243,6 +590,26 @@ int Run(int argc, char** argv) {
     return argc <= 1 ? 1 : 0;
   }
   if (flags.Has("list_algos")) return ListAlgos();
+
+  // --seed and --threads apply to every dataset source, algorithm and
+  // serving mode; validate them up front so no path accepts garbage
+  // silently.
+  const int64_t seed_raw = flags.GetInt("seed", 42);
+  if (seed_raw < 0) {
+    return Fail(Status::InvalidArgument("--seed must be >= 0"));
+  }
+  const int64_t threads_raw = flags.GetInt("threads", 0);
+  if (threads_raw < 0 || threads_raw > 4096) {
+    return Fail(Status::InvalidArgument(
+        "--threads must be in [0, 4096] (0 = all hardware threads)"));
+  }
+  SetDefaultThreads(static_cast<int>(threads_raw));
+  const int threads = DefaultThreads();
+
+  if (flags.Has("queries")) {
+    return RunBatch(flags, static_cast<uint64_t>(seed_raw),
+                    static_cast<int>(threads_raw));
+  }
 
   Stopwatch total;
   // Resolve the algorithm up front (fail fast before a long dataset load);
@@ -261,19 +628,6 @@ int Run(int argc, char** argv) {
   }
   const int k = static_cast<int>(flags.GetInt("k", 10));
   if (k < 1) return Fail(Status::InvalidArgument("--k must be >= 1"));
-  // --seed and --threads apply to every dataset source and algorithm;
-  // validate them up front so no path accepts garbage silently.
-  const int64_t seed_raw = flags.GetInt("seed", 42);
-  if (seed_raw < 0) {
-    return Fail(Status::InvalidArgument("--seed must be >= 0"));
-  }
-  const int64_t threads_raw = flags.GetInt("threads", 0);
-  if (threads_raw < 0 || threads_raw > 4096) {
-    return Fail(Status::InvalidArgument(
-        "--threads must be in [0, 4096] (0 = all hardware threads)"));
-  }
-  SetDefaultThreads(static_cast<int>(threads_raw));
-  const int threads = DefaultThreads();
   // Reject a bad --format up front: a typo must not discard a long solve.
   const std::string format = flags.GetString("format", "plain");
   if (format != "plain" && format != "csv" && format != "json") {
@@ -285,18 +639,9 @@ int Run(int argc, char** argv) {
   auto raw = LoadDataset(flags, &rng);
   if (!raw.ok()) return Fail(raw.status());
 
-  const std::string norm = flags.GetString("normalize", "minmax");
-  Dataset data(1);
-  if (norm == "minmax") {
-    data = raw->NormalizedMinMax();
-  } else if (norm == "max") {
-    data = raw->ScaledByMax();
-  } else if (norm == "none") {
-    data = std::move(*raw);
-  } else {
-    return Fail(Status::InvalidArgument(
-        StrFormat("unknown --normalize '%s'", norm.c_str())));
-  }
+  auto normalized = NormalizeDataset(flags, std::move(*raw));
+  if (!normalized.ok()) return Fail(normalized.status());
+  Dataset data = std::move(*normalized);
 
   auto grouping = MakeGrouping(flags, data);
   if (!grouping.ok()) return Fail(grouping.status());
@@ -362,25 +707,7 @@ int Run(int argc, char** argv) {
 
   auto rendered = report.Render(format);
   if (!rendered.ok()) return Fail(rendered.status());
-  // Flags never looked up on the taken code path: a documented flag (the
-  // driver flags below plus any algorithm parameter in the registry) is
-  // merely unused with the chosen options, anything else is a likely typo.
-  std::set<std::string> documented = AllRegisteredParamNames();
-  documented.insert({"csv", "numeric", "categorical", "synthetic", "n",
-                     "dim", "seed", "normalize", "groups", "group_by", "k",
-                     "bounds", "alpha", "lower", "upper", "algo", "format",
-                     "threads", "list_algos", "help"});
-  for (const auto& key : flags.Unknown()) {
-    if (documented.count(key)) {
-      std::fprintf(stderr,
-                   "fairhms_cli: warning: --%s has no effect with the "
-                   "chosen options; ignored\n",
-                   key.c_str());
-    } else {
-      std::fprintf(stderr, "fairhms_cli: warning: unknown flag --%s ignored\n",
-                   key.c_str());
-    }
-  }
+  WarnUnusedFlags(flags);
   std::fputs(rendered->c_str(), stdout);
   return 0;
 }
