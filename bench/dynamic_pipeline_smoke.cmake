@@ -1,0 +1,32 @@
+# CTest smoke for the dynamic-updates pipeline: run the rebuild-vs-
+# incremental bench on a tiny grid, feed its CSV through bench_to_json,
+# and require the JSON report. The checksum gate inside bench_to_json
+# makes this an incremental-vs-recompute bit-identity check — every query
+# result and the final skyline state must match across passes (speedup is
+# not gated at smoke size; CI's bench-dynamic job gates the 10k grid at
+# >= 5x). Expects -DBENCH=..., -DEMIT=..., -DOUT_DIR=... .
+
+execute_process(
+  COMMAND ${BENCH} --n=500 --dim=3 --groups=2 --updates=6 --ks=4,6
+          --algos=intcov,g_greedy --ref_net=1000
+  OUTPUT_FILE ${OUT_DIR}/bench_dynamic_smoke.csv
+  RESULT_VARIABLE bench_rc)
+if(NOT bench_rc EQUAL 0)
+  message(FATAL_ERROR "bench_dynamic_updates failed (rc=${bench_rc})")
+endif()
+
+execute_process(
+  COMMAND ${EMIT} --in=${OUT_DIR}/bench_dynamic_smoke.csv
+          --out=${OUT_DIR}/BENCH_dynamic_smoke.json
+          --min_speedup=update_query:2:0.0
+  RESULT_VARIABLE emit_rc)
+if(NOT emit_rc EQUAL 0)
+  message(FATAL_ERROR "bench_to_json failed (rc=${emit_rc}); a non-zero "
+          "exit here means the incremental path diverged from full "
+          "recomputation (checksum gate) or the report could not be "
+          "written")
+endif()
+
+if(NOT EXISTS ${OUT_DIR}/BENCH_dynamic_smoke.json)
+  message(FATAL_ERROR "bench_to_json exited 0 but wrote no JSON report")
+endif()

@@ -24,7 +24,8 @@ StatusOr<ProblemInput> PrepareProblem(const Dataset& data,
         StrFormat("bounds cover %d groups but grouping has %d",
                   bounds.num_groups(), grouping.num_groups));
   }
-  FAIRHMS_RETURN_IF_ERROR(bounds.Validate(grouping.Counts()));
+  FAIRHMS_RETURN_IF_ERROR(
+      bounds.Validate(grouping.LiveCounts(data), &grouping.names));
 
   ProblemInput input;
   input.data = &data;
@@ -82,7 +83,8 @@ Status PadSolution(const ProblemInput& input, std::vector<int>* solution) {
   }
 
   // Target counts: start from max(count, lower), then distribute the rest.
-  const std::vector<std::vector<int>> members = grouping.Members();
+  // Live members only: padding must never resurrect an erased row.
+  const std::vector<std::vector<int>> members = grouping.MembersLive(data);
   std::vector<int> target(static_cast<size_t>(c_num));
   long long total = 0;
   for (int c = 0; c < c_num; ++c) {

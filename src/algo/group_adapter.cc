@@ -22,10 +22,10 @@ StatusOr<Solution> GroupAdapt(const BaseSolver& solver,
     return Status::InvalidArgument("bounds/grouping group count mismatch");
   }
   Stopwatch timer;
-  const std::vector<int> group_counts = opts.cache != nullptr
-                                            ? opts.cache->GroupCounts(grouping)
-                                            : grouping.Counts();
-  FAIRHMS_RETURN_IF_ERROR(bounds.Validate(group_counts));
+  const std::vector<int> group_counts =
+      opts.cache != nullptr ? opts.cache->GroupCounts(data, grouping)
+                            : grouping.LiveCounts(data);
+  FAIRHMS_RETURN_IF_ERROR(bounds.Validate(group_counts, &grouping.names));
 
   // Quotas proportional to group sizes, capped by what each group holds.
   std::vector<double> weights(group_counts.begin(), group_counts.end());
@@ -41,8 +41,8 @@ StatusOr<Solution> GroupAdapt(const BaseSolver& solver,
           ? opts.cache->GroupSkylines(data, grouping)
           : (local_group_skylines = ComputeGroupSkylines(data, grouping));
   const std::vector<std::vector<int>>& members =
-      opts.cache != nullptr ? opts.cache->GroupMembers(grouping)
-                            : (local_members = grouping.Members());
+      opts.cache != nullptr ? opts.cache->GroupMembers(data, grouping)
+                            : (local_members = grouping.MembersLive(data));
 
   Solution out;
   for (int c = 0; c < grouping.num_groups; ++c) {

@@ -22,6 +22,10 @@ Status ValidateRequestShape(const SolverRequest& req,
   if (req.data->size() == 0) {
     return Status::InvalidArgument("request.data must not be empty");
   }
+  if (req.data->live_size() == 0) {
+    return Status::InvalidArgument(
+        "request.data has no live rows (everything was erased)");
+  }
   if (req.grouping->group_of.size() != req.data->size()) {
     return Status::InvalidArgument(
         StrFormat("grouping covers %zu rows but the dataset has %zu",
@@ -60,8 +64,9 @@ Status ValidateRequestShape(const SolverRequest& req,
   FAIRHMS_RETURN_IF_ERROR(
       ValidateParams(info->name, info->params, req.params));
   FAIRHMS_RETURN_IF_ERROR(req.bounds.Validate(
-      cache != nullptr ? cache->GroupCounts(*req.grouping)
-                       : req.grouping->Counts()));
+      cache != nullptr ? cache->GroupCounts(*req.data, *req.grouping)
+                       : req.grouping->LiveCounts(*req.data),
+      &req.grouping->names));
   if (info_out != nullptr) *info_out = info;
   return Status::OK();
 }
@@ -93,11 +98,181 @@ StatusOr<SolverSession> SolverSession::Create(const Dataset* data,
   return SolverSession(data, grouping);
 }
 
+StatusOr<SolverSession> SolverSession::CreateDynamic(
+    Dataset* data, Grouping* grouping,
+    const std::vector<std::string>& group_columns) {
+  FAIRHMS_ASSIGN_OR_RETURN(SolverSession session, Create(data, grouping));
+  session.mutable_data_ = data;
+  session.mutable_grouping_ = grouping;
+  for (const std::string& name : group_columns) {
+    FAIRHMS_ASSIGN_OR_RETURN(int col, data->FindCategorical(name));
+    session.group_cols_.push_back(col);
+  }
+  session.publish_mu_ = std::make_unique<std::mutex>();
+  // The combo table and SkylineIndex are built lazily on the first actual
+  // mutation (EnsureDynamicState): an update-free dynamic session costs
+  // exactly what a static one does.
+  return session;
+}
+
+Status SolverSession::EnsureDynamicState() {
+  if (index_ != nullptr) return Status::OK();
+  // Replay the pinned rows through the column mapping: existing rows both
+  // seed the combination table and prove the grouping really is the one
+  // the columns induce (a sum-rank grouping with --group_by columns would
+  // silently misroute every insert).
+  if (!group_cols_.empty()) {
+    std::vector<int> combo(group_cols_.size());
+    for (size_t i = 0; i < data_->size(); ++i) {
+      for (size_t c = 0; c < group_cols_.size(); ++c) {
+        combo[c] = data_->categorical(group_cols_[c]).codes[i];
+      }
+      const int g = grouping_->group_of[i];
+      auto [it, inserted] = combo_to_group_.emplace(combo, g);
+      if (!inserted && it->second != g) {
+        combo_to_group_.clear();
+        return Status::InvalidArgument(StrFormat(
+            "grouping does not match the given group columns: row %zu maps "
+            "to group %d but its column values map to group %d",
+            i, g, it->second));
+      }
+    }
+  }
+  index_ = std::make_unique<SkylineIndex>(data_, grouping_);
+  return Status::OK();
+}
+
+void SolverSession::PublishIndexIfStale() {
+  // Nothing to publish before the first mutation builds the index; the
+  // cache computes (version-keyed) artifacts on miss just like a static
+  // session's.
+  if (!dynamic() || index_ == nullptr) return;
+  std::lock_guard<std::mutex> lock(*publish_mu_);
+  if (published_data_version_ == data_->version() &&
+      published_grouping_version_ == grouping_->version) {
+    return;
+  }
+  cache_->PutSkyline(*data_, index_->skyline());
+  cache_->PutGroupArtifacts(*data_, *grouping_, index_->group_skylines(),
+                            index_->fair_pool(), index_->live_counts(),
+                            index_->live_members());
+  published_data_version_ = data_->version();
+  published_grouping_version_ = grouping_->version;
+}
+
+const std::vector<int>& SolverSession::group_counts() {
+  PublishIndexIfStale();
+  return cache_->GroupCounts(*data_, *grouping_);
+}
+
+StatusOr<int> SolverSession::ResolveInsertGroup(
+    const std::vector<int>& codes, int group) {
+  if (!dynamic()) {
+    return Status::FailedPrecondition(
+        "session is read-only; create it with SolverSession::CreateDynamic "
+        "to accept updates");
+  }
+  FAIRHMS_RETURN_IF_ERROR(EnsureDynamicState());
+  // With pinned group columns the combination is always consulted — an
+  // explicit id that contradicts it would break the columns-induce-the-
+  // grouping invariant for every later derived insert.
+  int combo_group = -1;  // The group the column values map to, if known.
+  if (!group_cols_.empty()) {
+    if (codes.size() != static_cast<size_t>(data_->num_categorical())) {
+      return Status::InvalidArgument(StrFormat(
+          "row has %zu categorical codes but the dataset has %d columns",
+          codes.size(), data_->num_categorical()));
+    }
+    std::vector<int> combo;
+    for (int col : group_cols_) combo.push_back(codes[static_cast<size_t>(col)]);
+    auto it = combo_to_group_.find(combo);
+    if (it != combo_to_group_.end()) combo_group = it->second;
+  }
+  if (group < 0) {
+    if (!group_cols_.empty()) return combo_group;  // -1 = new group.
+    if (grouping_->num_groups == 1) return 0;
+    return Status::InvalidArgument(
+        "the pinned grouping has no categorical provenance; pass an "
+        "explicit group id");
+  }
+  if (group >= grouping_->num_groups) {
+    return Status::InvalidArgument(
+        StrFormat("group %d out of range (the grouping has %d groups)", group,
+                  grouping_->num_groups));
+  }
+  if (combo_group >= 0 && combo_group != group) {
+    return Status::InvalidArgument(StrFormat(
+        "explicit group %d contradicts the pinned group columns, whose "
+        "values map to group %d ('%s')",
+        group, combo_group,
+        grouping_->names[static_cast<size_t>(combo_group)].c_str()));
+  }
+  return group;
+}
+
+StatusOr<int> SolverSession::Insert(const std::vector<double>& coords,
+                                    const std::vector<int>& codes,
+                                    int group) {
+  if (!dynamic()) {
+    return Status::FailedPrecondition(
+        "session is read-only; create it with SolverSession::CreateDynamic "
+        "to accept updates");
+  }
+  // Resolve the target group before touching the table so a bad request
+  // mutates nothing; -1 from the resolver means "new group from an unseen
+  // combination", registered only after the append validates the row.
+  FAIRHMS_ASSIGN_OR_RETURN(int g, ResolveInsertGroup(codes, group));
+  std::vector<int> combo;
+  for (int col : group_cols_) combo.push_back(codes[static_cast<size_t>(col)]);
+  FAIRHMS_ASSIGN_OR_RETURN(const int first,
+                           mutable_data_->AppendRows({coords}, {codes}));
+  if (g < 0) {
+    std::vector<std::string> parts;
+    for (int col : group_cols_) {
+      const CategoricalColumn& column = data_->categorical(col);
+      parts.push_back(
+          column.labels[static_cast<size_t>(codes[static_cast<size_t>(col)])]);
+    }
+    g = mutable_grouping_->AddGroup(Join(parts, "+"));
+    combo_to_group_.emplace(std::move(combo), g);
+  } else if (!group_cols_.empty() && combo_to_group_.count(combo) == 0) {
+    // Explicit id for an unseen combination: record it so later derived
+    // inserts of the same values stay consistent.
+    combo_to_group_.emplace(std::move(combo), g);
+  }
+  mutable_grouping_->AppendRow(g);
+  FAIRHMS_RETURN_IF_ERROR(index_->OnAppend(static_cast<size_t>(first),
+                                           data_->size()));
+  return first;
+}
+
+Status SolverSession::Erase(const std::vector<int>& rows) {
+  if (!dynamic()) {
+    return Status::FailedPrecondition(
+        "session is read-only; create it with SolverSession::CreateDynamic "
+        "to accept updates");
+  }
+  // Build the index before tombstoning: built after, it would no longer
+  // contain the rows this batch is erasing.
+  FAIRHMS_RETURN_IF_ERROR(EnsureDynamicState());
+  FAIRHMS_RETURN_IF_ERROR(mutable_data_->ErasePoints(rows));
+  FAIRHMS_RETURN_IF_ERROR(index_->OnErase(rows));
+  return Status::OK();
+}
+
 const Dataset& SolverSession::Projection2D() {
   std::lock_guard<std::mutex> lock(*projection_mu_);
-  const bool hit = projection2d_ != nullptr;
-  cache_->AccountProjection(hit, data_->size() * 2 * sizeof(double));
-  if (!hit) {
+  const bool hit = projection2d_ != nullptr &&
+                   projection_synced_version_ == data_->version();
+  // Account only the rows added by this (re)build: the projection is one
+  // growing buffer, so a resync after a mutation must not re-count what
+  // is already resident (inflated stats would trip --cache_budget_mb).
+  const uint64_t resident_before =
+      projection2d_ == nullptr ? 0 : projection2d_->size() * 2 * sizeof(double);
+  cache_->AccountProjection(hit,
+                            data_->size() * 2 * sizeof(double) -
+                                resident_before);
+  if (projection2d_ == nullptr) {
     auto proj = std::make_unique<Dataset>(std::vector<std::string>{
         data_->attr_names()[0], data_->attr_names()[1]});
     proj->Reserve(data_->size());
@@ -105,6 +280,29 @@ const Dataset& SolverSession::Projection2D() {
       proj->AddPoint({data_->at(i, 0), data_->at(i, 1)});
     }
     projection2d_ = std::move(proj);
+  } else if (!hit) {
+    // Mutated since the last sync: rows only ever append, so extend
+    // one-to-one...
+    for (size_t i = projection2d_->size(); i < data_->size(); ++i) {
+      projection2d_->AddPoint({data_->at(i, 0), data_->at(i, 1)});
+    }
+  }
+  if (!hit) {
+    // ...and mirror tombstones so the projection's live view matches the
+    // pinned table row for row (a fresh build can also need this: erased
+    // rows are copied to keep indices aligned).
+    std::vector<int> newly_dead;
+    for (size_t i = 0; i < data_->size(); ++i) {
+      if (!data_->live(i) && projection2d_->live(i)) {
+        newly_dead.push_back(static_cast<int>(i));
+      }
+    }
+    if (!newly_dead.empty()) {
+      // Rows validated live above; ErasePoints cannot fail.
+      const Status st = projection2d_->ErasePoints(newly_dead);
+      (void)st;
+    }
+    projection_synced_version_ = data_->version();
   }
   return *projection2d_;
 }
@@ -122,6 +320,10 @@ StatusOr<SolverResult> SolverSession::Solve(const SolverRequest& request) {
     return Status::InvalidArgument(
         "request.grouping does not match the session's pinned grouping");
   }
+
+  // Mutations since the last query publish their incrementally maintained
+  // artifacts now, so the cache lookups below hit instead of recomputing.
+  PublishIndexIfStale();
 
   const AlgorithmInfo* info = nullptr;
   FAIRHMS_RETURN_IF_ERROR(
@@ -186,6 +388,14 @@ StatusOr<SolverResult> SolverSession::Solve(const SolverRequest& request) {
 
 void SolverSession::ClearCache() {
   cache_->Clear();
+  if (publish_mu_ != nullptr) {
+    // The drop also removed the published SkylineIndex artifacts: reset
+    // the sentinels so the next query republishes them instead of paying
+    // a cold recompute.
+    std::lock_guard<std::mutex> lock(*publish_mu_);
+    published_data_version_ = ~uint64_t{0};
+    published_grouping_version_ = ~uint64_t{0};
+  }
   std::lock_guard<std::mutex> lock(*projection_mu_);
   projection2d_.reset();
 }

@@ -23,15 +23,29 @@
 // on hits, so Solver::Solve(req) (the one-shot special case, which runs a
 // throwaway session) and session.Solve(req) return identical results.
 //
+// Dynamic sessions (CreateDynamic) additionally accept mutations between
+// queries: Insert appends a row (deriving its fairness group from pinned
+// categorical columns, or taking an explicit id), Erase tombstones rows.
+// A SkylineIndex keeps the global/per-group skylines, fair pool and live
+// group tables current incrementally and republishes them into the cache
+// under the new dataset version, so an update only dirties what it must:
+// utility nets survive untouched, evaluator precomputes rebuild lazily
+// when the skyline rows under them change, and the 2D projection extends
+// in place. The warm-equals-cold guarantee extends across mutations —
+// after any update a session query is bit-identical to a cold
+// Solver::Solve against the mutated dataset.
+//
 // Solve is safe for concurrent callers once registration has finished; the
-// cache serializes artifact construction internally. ClearCache must not
-// race in-flight solves.
+// cache serializes artifact construction internally. ClearCache, Insert
+// and Erase must not race in-flight solves.
 
 #ifndef FAIRHMS_API_SESSION_H_
 #define FAIRHMS_API_SESSION_H_
 
+#include <map>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "api/solver.h"
@@ -39,6 +53,7 @@
 #include "core/artifact_cache.h"
 #include "data/dataset.h"
 #include "data/grouping.h"
+#include "skyline/incremental.h"
 
 namespace fairhms {
 
@@ -50,8 +65,47 @@ class SolverSession {
   static StatusOr<SolverSession> Create(const Dataset* data,
                                         const Grouping* grouping);
 
+  /// Pins a *mutable* dataset + grouping: the session serves Insert/Erase
+  /// updates between queries and maintains every derived artifact
+  /// incrementally (see the header comment). `group_columns` names
+  /// categorical columns whose value combination assigns each inserted
+  /// row's group (new combinations open a new group); without them,
+  /// inserts into a multi-group session need an explicit group id. The
+  /// given grouping must already agree with `group_columns` where given.
+  static StatusOr<SolverSession> CreateDynamic(
+      Dataset* data, Grouping* grouping,
+      const std::vector<std::string>& group_columns = {});
+
   SolverSession(SolverSession&&) = default;
   SolverSession& operator=(SolverSession&&) = default;
+
+  /// True when the session was created via CreateDynamic.
+  bool dynamic() const { return mutable_data_ != nullptr; }
+
+  /// Appends one row (`codes` must cover every categorical column of the
+  /// pinned dataset). `group` is an existing group id, or -1 to derive one
+  /// (single-group sessions and pinned group_columns only). Returns the
+  /// new row's index. Must not race in-flight solves.
+  StatusOr<int> Insert(const std::vector<double>& coords,
+                       const std::vector<int>& codes, int group = -1);
+
+  /// Tombstones the given live rows (they stay addressable; they leave
+  /// every skyline, pool and group table). Groups emptied by deletes stay
+  /// in the grouping and get [0, 0] proportional bounds. Must not race
+  /// in-flight solves.
+  Status Erase(const std::vector<int>& rows);
+
+  /// The group Insert would route a row with these codes to, without
+  /// mutating anything: an existing id, or -1 when a new group would be
+  /// created from an unseen column combination. Surfaces every Insert
+  /// routing error (no provenance, out-of-range or contradicting explicit
+  /// group), so callers can run side effects of their own between this
+  /// check and the Insert.
+  StatusOr<int> ResolveInsertGroup(const std::vector<int>& codes,
+                                   int group = -1);
+
+  /// The pinned dataset's current mutation version.
+  uint64_t version() const { return data_->version(); }
 
   /// Serves one query. request.data / request.grouping may be null (the
   /// pinned objects are filled in) or must equal the pinned pointers —
@@ -62,8 +116,8 @@ class SolverSession {
   const Dataset& data() const { return *data_; }
   const Grouping& grouping() const { return *grouping_; }
 
-  /// Pinned per-group row counts (memoized).
-  const std::vector<int>& group_counts() { return cache_->GroupCounts(*grouping_); }
+  /// Pinned per-group *live* row counts (memoized per version).
+  const std::vector<int>& group_counts();
 
   /// Hit/miss/byte report across every artifact class.
   CacheStats cache_stats() const { return cache_->stats(); }
@@ -80,14 +134,37 @@ class SolverSession {
   SolverSession(const Dataset* data, const Grouping* grouping);
 
   /// The pinned dataset projected to its first two attributes, built on
-  /// first use (exact-2D algorithms on dim > 2 data).
+  /// first use (exact-2D algorithms on dim > 2 data) and kept in sync
+  /// with mutations: appended rows extend it, tombstones are mirrored.
   const Dataset& Projection2D();
+
+  /// Builds the dynamic machinery (combo table + SkylineIndex) on the
+  /// first actual mutation, so update-free dynamic sessions cost exactly
+  /// what a static session does.
+  Status EnsureDynamicState();
+
+  /// Pushes the SkylineIndex's artifacts into the cache under the current
+  /// versions, once per version (dynamic sessions that have mutated only;
+  /// no-op otherwise). Updates themselves stay O(skyline): a burst of
+  /// mutations publishes lazily on the next query.
+  void PublishIndexIfStale();
 
   const Dataset* data_;
   const Grouping* grouping_;
   std::unique_ptr<ArtifactCache> cache_;
   std::unique_ptr<std::mutex> projection_mu_;
   std::unique_ptr<Dataset> projection2d_;
+  uint64_t projection_synced_version_ = 0;
+
+  // Dynamic-session state (null/empty for Create'd sessions).
+  Dataset* mutable_data_ = nullptr;
+  Grouping* mutable_grouping_ = nullptr;
+  std::vector<int> group_cols_;  ///< Categorical column indices.
+  std::map<std::vector<int>, int> combo_to_group_;
+  std::unique_ptr<SkylineIndex> index_;
+  std::unique_ptr<std::mutex> publish_mu_;
+  uint64_t published_data_version_ = ~uint64_t{0};
+  uint64_t published_grouping_version_ = ~uint64_t{0};
 };
 
 namespace internal {

@@ -93,38 +93,116 @@ std::shared_ptr<const NetEvaluator> ArtifactCache::Evaluator(
   auto it = evaluators_.find(key);
   if (it != evaluators_.end()) {
     ++stats_.evaluators.hits;
+    // Still valid at this version (coordinates are immutable, so a key
+    // match means identical precomputes): refresh the stamp so the entry
+    // survives the superseded-version sweep below.
+    it->second.data_version = data.version();
     return it->second.evaluator;
   }
   ++stats_.evaluators.misses;
+  // Evict this dataset's entries stranded at older versions: their row
+  // sets never recur once the table mutated, so under churn they would
+  // pile up one working set per version. Never-mutated datasets never
+  // evict — a static sweep keeps its full evaluator cache (in-flight
+  // solves must not race mutations, per the class contract, so nothing
+  // holds an evicted reference).
+  for (auto sweep = evaluators_.begin(); sweep != evaluators_.end();) {
+    if (sweep->first.data == &data &&
+        sweep->second.data_version < data.version()) {
+      stats_.evaluators.bytes -= sweep->second.bytes;
+      sweep = evaluators_.erase(sweep);
+    } else {
+      ++sweep;
+    }
+  }
   auto eval = std::make_shared<NetEvaluator>(&data, net.get(), db_rows,
                                              threads);
   if (!cache_rows.empty()) eval->CacheCandidates(cache_rows);
   // CandidateCacheBytes reports what CacheCandidates actually allocated
   // (it declines oversized pools), so the stats never overstate memory.
-  stats_.evaluators.bytes +=
+  const uint64_t entry_bytes =
       net->size() * sizeof(double) + eval->CandidateCacheBytes();
+  stats_.evaluators.bytes += entry_bytes;
   std::shared_ptr<const NetEvaluator> stored = std::move(eval);
-  evaluators_.emplace(std::move(key), EvalEntry{stored, std::move(net)});
+  evaluators_.emplace(std::move(key),
+                      EvalEntry{stored, std::move(net), entry_bytes,
+                                data.version()});
   return stored;
 }
 
+namespace {
+
+/// Byte size of a map value, for the pruning helper below.
+uint64_t EntryBytes(const std::vector<int>& v) { return VectorBytes(v); }
+uint64_t EntryBytes(const std::vector<std::vector<int>>& v) {
+  return NestedVectorBytes(v);
+}
+
+}  // namespace
+
+// Erases every entry of `map` whose key matches `same_object` — the
+// superseded versions of a mutated dataset/grouping, plus any entry the
+// caller is about to overwrite — refunding their bytes. Called under the
+// cache lock right before the store.
+template <class Map, class SameObject>
+static void PruneSuperseded(Map* map, const SameObject& same_object,
+                            uint64_t* bytes) {
+  for (auto it = map->begin(); it != map->end();) {
+    if (same_object(it->first)) {
+      *bytes -= EntryBytes(it->second);
+      it = map->erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
 const std::vector<int>& ArtifactCache::Skyline(const Dataset& data) {
+  const DataKey key{&data, data.version()};
   std::lock_guard<std::mutex> lock(mu_);
-  auto it = skylines_.find(&data);
+  auto it = skylines_.find(key);
   if (it != skylines_.end()) {
     ++stats_.skylines.hits;
     return it->second;
   }
   ++stats_.skylines.misses;
-  auto [pos, inserted] = skylines_.emplace(&data, ComputeSkyline(data));
+  PruneSuperseded(
+      &skylines_, [&](const DataKey& k) { return k.first == &data; },
+      &stats_.skylines.bytes);
+  auto [pos, inserted] = skylines_.emplace(key, ComputeSkyline(data));
   (void)inserted;
   stats_.skylines.bytes += VectorBytes(pos->second);
   return pos->second;
 }
 
+void ArtifactCache::PutSkyline(const Dataset& data, std::vector<int> skyline) {
+  const DataKey key{&data, data.version()};
+  std::lock_guard<std::mutex> lock(mu_);
+  PruneSuperseded(
+      &skylines_, [&](const DataKey& k) { return k.first == &data; },
+      &stats_.skylines.bytes);
+  auto [pos, inserted] = skylines_.insert_or_assign(key, std::move(skyline));
+  (void)inserted;
+  stats_.skylines.bytes += VectorBytes(pos->second);
+}
+
+namespace {
+
+/// True when a quad key references the same (dataset, grouping) objects.
+struct SamePair {
+  const void* data;
+  const void* grouping;
+  bool operator()(const std::tuple<const void*, const void*, uint64_t,
+                                   uint64_t>& k) const {
+    return std::get<0>(k) == data && std::get<1>(k) == grouping;
+  }
+};
+
+}  // namespace
+
 const std::vector<std::vector<int>>& ArtifactCache::GroupSkylines(
     const Dataset& data, const Grouping& grouping) {
-  const DataGroupKey key{&data, &grouping};
+  const DataGroupKey key{&data, &grouping, data.version(), grouping.version};
   std::lock_guard<std::mutex> lock(mu_);
   auto it = group_skylines_.find(key);
   if (it != group_skylines_.end()) {
@@ -132,6 +210,8 @@ const std::vector<std::vector<int>>& ArtifactCache::GroupSkylines(
     return it->second;
   }
   ++stats_.group_skylines.misses;
+  PruneSuperseded(&group_skylines_, SamePair{&data, &grouping},
+                  &stats_.group_skylines.bytes);
   auto [pos, inserted] =
       group_skylines_.emplace(key, ComputeGroupSkylines(data, grouping));
   (void)inserted;
@@ -141,7 +221,7 @@ const std::vector<std::vector<int>>& ArtifactCache::GroupSkylines(
 
 const std::vector<int>& ArtifactCache::FairPool(const Dataset& data,
                                                 const Grouping& grouping) {
-  const DataGroupKey key{&data, &grouping};
+  const DataGroupKey key{&data, &grouping, data.version(), grouping.version};
   std::lock_guard<std::mutex> lock(mu_);
   auto it = pools_.find(key);
   if (it != pools_.end()) {
@@ -149,6 +229,8 @@ const std::vector<int>& ArtifactCache::FairPool(const Dataset& data,
     return it->second;
   }
   ++stats_.pools.misses;
+  PruneSuperseded(&pools_, SamePair{&data, &grouping},
+                  &stats_.pools.bytes);
   auto [pos, inserted] =
       pools_.emplace(key, ComputeFairCandidatePool(data, grouping));
   (void)inserted;
@@ -156,33 +238,63 @@ const std::vector<int>& ArtifactCache::FairPool(const Dataset& data,
   return pos->second;
 }
 
-const std::vector<int>& ArtifactCache::GroupCounts(const Grouping& grouping) {
+const std::vector<int>& ArtifactCache::GroupCounts(const Dataset& data,
+                                                   const Grouping& grouping) {
+  const DataGroupKey key{&data, &grouping, data.version(), grouping.version};
   std::lock_guard<std::mutex> lock(mu_);
-  auto it = group_counts_.find(&grouping);
+  auto it = group_counts_.find(key);
   if (it != group_counts_.end()) {
     ++stats_.groups.hits;
     return it->second;
   }
   ++stats_.groups.misses;
-  auto [pos, inserted] = group_counts_.emplace(&grouping, grouping.Counts());
+  PruneSuperseded(&group_counts_, SamePair{&data, &grouping},
+                  &stats_.groups.bytes);
+  auto [pos, inserted] = group_counts_.emplace(key, grouping.LiveCounts(data));
   (void)inserted;
   stats_.groups.bytes += VectorBytes(pos->second);
   return pos->second;
 }
 
 const std::vector<std::vector<int>>& ArtifactCache::GroupMembers(
-    const Grouping& grouping) {
+    const Dataset& data, const Grouping& grouping) {
+  const DataGroupKey key{&data, &grouping, data.version(), grouping.version};
   std::lock_guard<std::mutex> lock(mu_);
-  auto it = group_members_.find(&grouping);
+  auto it = group_members_.find(key);
   if (it != group_members_.end()) {
     ++stats_.groups.hits;
     return it->second;
   }
   ++stats_.groups.misses;
-  auto [pos, inserted] = group_members_.emplace(&grouping, grouping.Members());
+  PruneSuperseded(&group_members_, SamePair{&data, &grouping},
+                  &stats_.groups.bytes);
+  auto [pos, inserted] =
+      group_members_.emplace(key, grouping.MembersLive(data));
   (void)inserted;
   stats_.groups.bytes += NestedVectorBytes(pos->second);
   return pos->second;
+}
+
+void ArtifactCache::PutGroupArtifacts(
+    const Dataset& data, const Grouping& grouping,
+    std::vector<std::vector<int>> group_skylines, std::vector<int> fair_pool,
+    std::vector<int> live_counts,
+    std::vector<std::vector<int>> live_members) {
+  const DataGroupKey key{&data, &grouping, data.version(), grouping.version};
+  const SamePair same{&data, &grouping};
+  std::lock_guard<std::mutex> lock(mu_);
+  PruneSuperseded(&group_skylines_, same, &stats_.group_skylines.bytes);
+  PruneSuperseded(&pools_, same, &stats_.pools.bytes);
+  PruneSuperseded(&group_counts_, same, &stats_.groups.bytes);
+  PruneSuperseded(&group_members_, same, &stats_.groups.bytes);
+  stats_.group_skylines.bytes += NestedVectorBytes(group_skylines);
+  group_skylines_.insert_or_assign(key, std::move(group_skylines));
+  stats_.pools.bytes += VectorBytes(fair_pool);
+  pools_.insert_or_assign(key, std::move(fair_pool));
+  stats_.groups.bytes += VectorBytes(live_counts);
+  group_counts_.insert_or_assign(key, std::move(live_counts));
+  stats_.groups.bytes += NestedVectorBytes(live_members);
+  group_members_.insert_or_assign(key, std::move(live_members));
 }
 
 CacheStats ArtifactCache::stats() const {

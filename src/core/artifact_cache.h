@@ -16,12 +16,22 @@
 //     candidate rows, thread lanes) and their precomputes are already
 //     bit-identical across thread counts (PR 2 contract);
 //   * skylines / pools / group tables are pure functions of the pinned
-//     dataset and grouping, which the cache identifies by address — every
-//     keyed object must outlive the cache.
+//     dataset and grouping, which the cache identifies by (address,
+//     version) — every keyed object must outlive the cache, and a mutation
+//     (Dataset::AppendRows/ErasePoints, Grouping::AppendRow/AddGroup)
+//     makes the stale entries unreachable. Storing a fresh version prunes
+//     the superseded one, so a churning dataset does not accumulate dead
+//     artifacts. Group tables are *live* views (erased rows excluded).
+//
+// Dynamic sessions avoid even the one recompute per version: SkylineIndex
+// maintains these artifacts incrementally and publishes them via the Put*
+// hooks; nets are version-free (they never read the dataset) and survive
+// every mutation, while evaluators are keyed by their exact row sets and
+// simply rebuild lazily when the skyline under them changes.
 //
 // All lookups are mutex-guarded and safe for concurrent queries; Clear()
-// must not race in-flight solves (returned references/shared_ptrs stay
-// valid only while their entry lives).
+// and the Put* publish hooks must not race in-flight solves (returned
+// references/shared_ptrs stay valid only while their entry lives).
 
 #ifndef FAIRHMS_CORE_ARTIFACT_CACHE_H_
 #define FAIRHMS_CORE_ARTIFACT_CACHE_H_
@@ -32,6 +42,8 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <tuple>
+#include <utility>
 #include <vector>
 
 #include "common/random.h"
@@ -86,23 +98,38 @@ class ArtifactCache {
       const std::vector<int>& db_rows, const std::vector<int>& cache_rows,
       int threads);
 
-  /// Global skyline of `data`, memoized per dataset address.
+  /// Global skyline of `data`'s live rows, memoized per (dataset address,
+  /// dataset version).
   const std::vector<int>& Skyline(const Dataset& data);
 
-  /// Per-group skylines, memoized per (dataset, grouping) address pair.
+  /// Per-group skylines over live rows, memoized per (dataset, grouping)
+  /// address/version quadruple.
   const std::vector<std::vector<int>>& GroupSkylines(const Dataset& data,
                                                      const Grouping& grouping);
 
-  /// Union of per-group skylines (the fair candidate pool), memoized per
-  /// (dataset, grouping) address pair.
+  /// Union of per-group skylines (the fair candidate pool), memoized like
+  /// GroupSkylines.
   const std::vector<int>& FairPool(const Dataset& data,
                                    const Grouping& grouping);
 
-  /// grouping.Counts(), memoized per grouping address.
-  const std::vector<int>& GroupCounts(const Grouping& grouping);
+  /// grouping.LiveCounts(data), memoized like GroupSkylines.
+  const std::vector<int>& GroupCounts(const Dataset& data,
+                                      const Grouping& grouping);
 
-  /// grouping.Members(), memoized per grouping address.
-  const std::vector<std::vector<int>>& GroupMembers(const Grouping& grouping);
+  /// grouping.MembersLive(data), memoized like GroupSkylines.
+  const std::vector<std::vector<int>>& GroupMembers(const Dataset& data,
+                                                    const Grouping& grouping);
+
+  /// Publish hooks for incrementally maintained artifacts (SkylineIndex):
+  /// store the value under the object's *current* version so the next
+  /// lookup hits instead of recomputing. Counted as neither hit nor miss;
+  /// superseded versions are pruned. Must not race in-flight solves.
+  void PutSkyline(const Dataset& data, std::vector<int> skyline);
+  void PutGroupArtifacts(const Dataset& data, const Grouping& grouping,
+                         std::vector<std::vector<int>> group_skylines,
+                         std::vector<int> fair_pool,
+                         std::vector<int> live_counts,
+                         std::vector<std::vector<int>> live_members);
 
   /// Snapshot of the counters (copied under the lock).
   CacheStats stats() const;
@@ -137,18 +164,27 @@ class ArtifactCache {
   struct EvalEntry {
     std::shared_ptr<const NetEvaluator> evaluator;
     std::shared_ptr<const UtilityNet> net;  ///< Keeps the raw key pointer live.
+    uint64_t bytes = 0;  ///< Accounted size, refunded on eviction.
+    /// Dataset version this entry was last built or hit under. An entry
+    /// whose row sets survive a mutation keeps hitting (coordinates are
+    /// immutable) and refreshes the stamp; entries left behind by older
+    /// versions are superseded and evicted on the next miss.
+    uint64_t data_version = 0;
   };
-  using DataGroupKey = std::pair<const void*, const void*>;
+  /// (address, version): a mutation makes the old entry unreachable and
+  /// the next store for the same address prunes it.
+  using DataKey = std::pair<const void*, uint64_t>;
+  using DataGroupKey = std::tuple<const void*, const void*, uint64_t, uint64_t>;
 
   mutable std::mutex mu_;
   CacheStats stats_;
   std::map<NetKey, NetEntry> nets_;
   std::map<EvalKey, EvalEntry> evaluators_;
-  std::map<const void*, std::vector<int>> skylines_;
+  std::map<DataKey, std::vector<int>> skylines_;
   std::map<DataGroupKey, std::vector<std::vector<int>>> group_skylines_;
   std::map<DataGroupKey, std::vector<int>> pools_;
-  std::map<const void*, std::vector<int>> group_counts_;
-  std::map<const void*, std::vector<std::vector<int>>> group_members_;
+  std::map<DataGroupKey, std::vector<int>> group_counts_;
+  std::map<DataGroupKey, std::vector<std::vector<int>>> group_members_;
 };
 
 /// Cache-optional conveniences: with a cache they memoize, without one they

@@ -32,7 +32,10 @@ void Dataset::AddPoint(const std::vector<double>& coords) {
   assert(static_cast<int>(coords.size()) == dim_);
   values_.insert(values_.end(), coords.begin(), coords.end());
   for (auto& c : cats_) c.codes.push_back(0);
+  if (!dead_.empty()) dead_.push_back(0);
   ++n_;
+  ++live_count_;
+  ++version_;
 }
 
 void Dataset::AddRow(const std::vector<double>& coords,
@@ -41,7 +44,10 @@ void Dataset::AddRow(const std::vector<double>& coords,
   assert(codes.size() == cats_.size());
   values_.insert(values_.end(), coords.begin(), coords.end());
   for (size_t c = 0; c < cats_.size(); ++c) cats_[c].codes.push_back(codes[c]);
+  if (!dead_.empty()) dead_.push_back(0);
   ++n_;
+  ++live_count_;
+  ++version_;
 }
 
 int Dataset::AddCategoricalColumn(std::string name,
@@ -51,13 +57,111 @@ int Dataset::AddCategoricalColumn(std::string name,
   col.labels = std::move(labels);
   col.codes.assign(n_, 0);
   cats_.push_back(std::move(col));
+  ++version_;
   return static_cast<int>(cats_.size()) - 1;
 }
 
 int Dataset::AddCategoricalLabel(int c, std::string label) {
   auto& labels = cats_[static_cast<size_t>(c)].labels;
   labels.push_back(std::move(label));
+  ++version_;
   return static_cast<int>(labels.size()) - 1;
+}
+
+StatusOr<int> Dataset::AppendRows(
+    const std::vector<std::vector<double>>& coords,
+    const std::vector<std::vector<int>>& codes) {
+  if (coords.empty()) {
+    return Status::InvalidArgument("AppendRows needs at least one row");
+  }
+  if (codes.size() != coords.size()) {
+    return Status::InvalidArgument(
+        StrFormat("AppendRows got %zu coordinate rows but %zu code rows",
+                  coords.size(), codes.size()));
+  }
+  // Validate everything up front so a bad row leaves the table untouched.
+  for (size_t r = 0; r < coords.size(); ++r) {
+    if (static_cast<int>(coords[r].size()) != dim_) {
+      return Status::InvalidArgument(
+          StrFormat("row %zu has %zu coordinates but the dataset is %d-d", r,
+                    coords[r].size(), dim_));
+    }
+    for (int j = 0; j < dim_; ++j) {
+      const double v = coords[r][static_cast<size_t>(j)];
+      if (!std::isfinite(v)) {
+        return Status::InvalidArgument(
+            StrFormat("non-finite value at appended row %zu attr %d", r, j));
+      }
+      if (v < 0.0) {
+        return Status::InvalidArgument(StrFormat(
+            "negative value %g at appended row %zu attr %d (FairHMS assumes "
+            "nonnegative attributes)",
+            v, r, j));
+      }
+    }
+    if (codes[r].size() != cats_.size()) {
+      return Status::InvalidArgument(
+          StrFormat("row %zu has %zu categorical codes but the dataset has "
+                    "%zu categorical columns",
+                    r, codes[r].size(), cats_.size()));
+    }
+    for (size_t c = 0; c < cats_.size(); ++c) {
+      const int code = codes[r][c];
+      if (code < 0 || static_cast<size_t>(code) >= cats_[c].labels.size()) {
+        return Status::InvalidArgument(
+            StrFormat("row %zu: code %d out of range for column '%s'", r,
+                      code, cats_[c].name.c_str()));
+      }
+    }
+  }
+  const int first = static_cast<int>(n_);
+  for (size_t r = 0; r < coords.size(); ++r) {
+    values_.insert(values_.end(), coords[r].begin(), coords[r].end());
+    for (size_t c = 0; c < cats_.size(); ++c) {
+      cats_[c].codes.push_back(codes[r][c]);
+    }
+    if (!dead_.empty()) dead_.push_back(0);
+  }
+  n_ += coords.size();
+  live_count_ += coords.size();
+  ++version_;
+  return first;
+}
+
+Status Dataset::ErasePoints(const std::vector<int>& rows) {
+  if (rows.empty()) {
+    return Status::InvalidArgument("ErasePoints needs at least one row");
+  }
+  std::vector<uint8_t> marked(n_, 0);
+  for (int r : rows) {
+    if (r < 0 || static_cast<size_t>(r) >= n_) {
+      return Status::OutOfRange(
+          StrFormat("cannot erase row %d of a %zu-row dataset", r, n_));
+    }
+    if (!live(static_cast<size_t>(r))) {
+      return Status::InvalidArgument(
+          StrFormat("row %d is already erased", r));
+    }
+    if (marked[static_cast<size_t>(r)]) {
+      return Status::InvalidArgument(
+          StrFormat("row %d listed twice in ErasePoints", r));
+    }
+    marked[static_cast<size_t>(r)] = 1;
+  }
+  if (dead_.empty()) dead_.assign(n_, 0);
+  for (int r : rows) dead_[static_cast<size_t>(r)] = 1;
+  live_count_ -= rows.size();
+  ++version_;
+  return Status::OK();
+}
+
+std::vector<int> Dataset::LiveRows() const {
+  std::vector<int> rows;
+  rows.reserve(live_count_);
+  for (size_t i = 0; i < n_; ++i) {
+    if (live(i)) rows.push_back(static_cast<int>(i));
+  }
+  return rows;
 }
 
 StatusOr<int> Dataset::FindCategorical(const std::string& name) const {
@@ -101,12 +205,17 @@ Status Dataset::Validate() const {
 Dataset Dataset::NormalizedMinMax() const {
   Dataset out = *this;
   for (int j = 0; j < dim_; ++j) {
+    // Column stats come from live rows only so erased outliers cannot skew
+    // the scaling; erased rows are rescaled with everything else (their
+    // values are never read, but stay finite).
     double lo = std::numeric_limits<double>::infinity();
     double hi = -std::numeric_limits<double>::infinity();
     for (size_t i = 0; i < n_; ++i) {
+      if (!live(i)) continue;
       lo = std::min(lo, at(i, j));
       hi = std::max(hi, at(i, j));
     }
+    if (live_count_ == 0) lo = hi = 0.0;
     const double span = hi - lo;
     for (size_t i = 0; i < n_; ++i) {
       double& v = out.values_[i * static_cast<size_t>(dim_) + static_cast<size_t>(j)];
@@ -120,7 +229,9 @@ Dataset Dataset::ScaledByMax() const {
   Dataset out = *this;
   for (int j = 0; j < dim_; ++j) {
     double hi = 0.0;
-    for (size_t i = 0; i < n_; ++i) hi = std::max(hi, at(i, j));
+    for (size_t i = 0; i < n_; ++i) {
+      if (live(i)) hi = std::max(hi, at(i, j));
+    }
     for (size_t i = 0; i < n_; ++i) {
       double& v = out.values_[i * static_cast<size_t>(dim_) + static_cast<size_t>(j)];
       v = hi > 0 ? v / hi : 0.0;

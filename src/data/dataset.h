@@ -4,11 +4,18 @@
 // Numeric attributes drive scoring; categorical columns define the fairness
 // groups (see data/grouping.h). Algorithms reference points by row index so
 // that solutions remain meaningful against the original table.
+//
+// Mutation model: storage is append-only. AppendRows adds rows at the end,
+// ErasePoints tombstones existing rows (coords stay addressable so solved
+// row indices keep their meaning; the rows just leave every live view).
+// Every mutation bumps version(), which artifact caches use to detect
+// staleness without comparing contents.
 
 #ifndef FAIRHMS_DATA_DATASET_H_
 #define FAIRHMS_DATA_DATASET_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -55,6 +62,34 @@ class Dataset {
   /// label registration for streaming readers).
   int AddCategoricalLabel(int c, std::string label);
 
+  /// Appends a batch of rows (each with codes for every categorical column)
+  /// after validating shape, finiteness/nonnegativity and code ranges.
+  /// Returns the index of the first appended row; on error nothing is
+  /// appended. One version bump per call.
+  StatusOr<int> AppendRows(const std::vector<std::vector<double>>& coords,
+                           const std::vector<std::vector<int>>& codes);
+
+  /// Tombstones the given live rows. Fails (appending nothing) when a row is
+  /// out of range, already erased, or listed twice. One version bump per
+  /// call. Erased rows keep their coordinates addressable — previously
+  /// returned solutions stay meaningful — but disappear from every live
+  /// view (LiveRows, skylines, group tables, happiness denominators).
+  Status ErasePoints(const std::vector<int>& rows);
+
+  /// True iff row i has not been erased.
+  bool live(size_t i) const { return dead_.empty() || dead_[i] == 0; }
+  /// True iff any row has ever been erased.
+  bool has_tombstones() const { return live_count_ < n_; }
+  /// Number of live (non-erased) rows.
+  size_t live_size() const { return live_count_; }
+  /// Ascending indices of every live row.
+  std::vector<int> LiveRows() const;
+
+  /// Monotonically increasing mutation counter (every AddPoint/AddRow/
+  /// AppendRows/ErasePoints/column change bumps it). Two reads returning
+  /// the same version saw the same table.
+  uint64_t version() const { return version_; }
+
   size_t size() const { return n_; }
   int dim() const { return dim_; }
 
@@ -90,7 +125,10 @@ class Dataset {
  private:
   int dim_;
   size_t n_ = 0;
+  size_t live_count_ = 0;
+  uint64_t version_ = 0;
   std::vector<double> values_;
+  std::vector<uint8_t> dead_;  ///< Tombstones; empty until the first erase.
   std::vector<std::string> attr_names_;
   std::vector<CategoricalColumn> cats_;
 };

@@ -24,6 +24,38 @@ std::vector<std::vector<int>> Grouping::Members() const {
   return members;
 }
 
+std::vector<int> Grouping::LiveCounts(const Dataset& data) const {
+  assert(group_of.size() == data.size());
+  std::vector<int> counts(static_cast<size_t>(num_groups), 0);
+  for (size_t i = 0; i < group_of.size(); ++i) {
+    if (data.live(i)) ++counts[static_cast<size_t>(group_of[i])];
+  }
+  return counts;
+}
+
+std::vector<std::vector<int>> Grouping::MembersLive(const Dataset& data) const {
+  assert(group_of.size() == data.size());
+  std::vector<std::vector<int>> members(static_cast<size_t>(num_groups));
+  for (size_t i = 0; i < group_of.size(); ++i) {
+    if (data.live(i)) {
+      members[static_cast<size_t>(group_of[i])].push_back(static_cast<int>(i));
+    }
+  }
+  return members;
+}
+
+void Grouping::AppendRow(int group) {
+  assert(group >= 0 && group < num_groups);
+  group_of.push_back(group);
+  ++version;
+}
+
+int Grouping::AddGroup(std::string name) {
+  names.push_back(std::move(name));
+  ++version;
+  return num_groups++;
+}
+
 Grouping SingleGroup(size_t n) {
   Grouping g;
   g.group_of.assign(n, 0);

@@ -16,12 +16,30 @@ struct Grouping {
   std::vector<int> group_of;       ///< Size n; group id per row.
   int num_groups = 0;
   std::vector<std::string> names;  ///< Size num_groups.
+  /// Monotonic mutation counter, bumped by AppendRow/AddGroup. Caches key
+  /// grouping-derived artifacts on (address, version).
+  uint64_t version = 0;
 
-  /// Number of rows in each group.
+  /// Number of rows in each group (including erased rows; constraint
+  /// building and feasibility checks should use LiveCounts).
   std::vector<int> Counts() const;
 
-  /// Row indices per group.
+  /// Row indices per group (including erased rows).
   std::vector<std::vector<int>> Members() const;
+
+  /// Number of live rows of `data` in each group. Identical to Counts()
+  /// while `data` has no tombstones.
+  std::vector<int> LiveCounts(const Dataset& data) const;
+
+  /// Live row indices of `data` per group, ascending. Identical to
+  /// Members() while `data` has no tombstones.
+  std::vector<std::vector<int>> MembersLive(const Dataset& data) const;
+
+  /// Extends the partition by one row in group `group` (must exist).
+  void AppendRow(int group);
+
+  /// Registers a new empty group; returns its id.
+  int AddGroup(std::string name);
 };
 
 /// Everything in one group (vanilla HMS as the C = 1 special case).

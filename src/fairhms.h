@@ -31,6 +31,7 @@
 #include "data/grouping.h"
 #include "fairness/group_bounds.h"
 #include "fairness/matroid.h"
+#include "skyline/incremental.h"
 #include "skyline/skyline.h"
 #include "utility/utility_net.h"
 

@@ -47,15 +47,28 @@ GroupBounds GroupBounds::Proportional(int k,
   const int c_num = static_cast<int>(group_counts.size());
   const double total = std::max<double>(
       1.0, std::accumulate(group_counts.begin(), group_counts.end(), 0.0));
+  // The paper's "at least 1 per group" floor and the k-C+1 cap both assume
+  // every group holds tuples. Empty groups — routine once data churns
+  // between queries — must contribute exactly 0 on both sides, and only
+  // the C' non-empty groups count against the k-C'+1 cap; otherwise the
+  // instance is infeasible by construction.
+  const int c_nonempty = static_cast<int>(
+      std::count_if(group_counts.begin(), group_counts.end(),
+                    [](int n) { return n > 0; }));
   GroupBounds b;
   b.k = k;
   for (int c = 0; c < c_num; ++c) {
+    if (group_counts[static_cast<size_t>(c)] == 0) {
+      b.lower.push_back(0);
+      b.upper.push_back(0);
+      continue;
+    }
     const double share = k * group_counts[static_cast<size_t>(c)] / total;
     int lo = static_cast<int>(std::floor((1.0 - alpha) * share));
     int hi = static_cast<int>(std::ceil((1.0 + alpha) * share));
     lo = std::max(lo, 1);                  // "or at least 1"
-    hi = std::min(hi, std::max(1, k - c_num + 1));  // "or at most k-C+1"
-    // The k-C+1 cap can undercut a dominant group's proportional lower
+    hi = std::min(hi, std::max(1, k - c_nonempty + 1));  // "or at most k-C'+1"
+    // The k-C'+1 cap can undercut a dominant group's proportional lower
     // bound (e.g. k=10, C=5, share 0.85); cap lo at hi so the constraint
     // stays self-consistent per group.
     lo = std::min(lo, hi);
@@ -126,24 +139,61 @@ StatusOr<GroupBounds> GroupBounds::Balanced(int k, int num_groups,
   return b;
 }
 
-Status GroupBounds::Validate(const std::vector<int>& group_counts) const {
+namespace {
+
+/// "group 2 ('F')" when a name is known, "group 2" otherwise.
+std::string GroupLabel(size_t c, const std::vector<std::string>* names) {
+  if (names != nullptr && c < names->size()) {
+    return StrFormat("group %zu ('%s')", c, (*names)[c].c_str());
+  }
+  return StrFormat("group %zu", c);
+}
+
+}  // namespace
+
+Status GroupBounds::Validate(const std::vector<int>& group_counts,
+                             const std::vector<std::string>* names) const {
   if (group_counts.size() != lower.size()) {
     return Status::InvalidArgument("group count size mismatch");
   }
   FAIRHMS_ASSIGN_OR_RETURN(GroupBounds checked, Explicit(k, lower, upper));
   (void)checked;
+  constexpr size_t kMaxListed = 16;
+  std::vector<std::string> offenders;
   long long reachable = 0;
   for (size_t c = 0; c < lower.size(); ++c) {
     if (lower[c] > group_counts[c]) {
-      return Status::Infeasible(
-          StrFormat("group %zu has %d tuples but lower bound %d", c,
-                    group_counts[c], lower[c]));
+      if (offenders.size() < kMaxListed) {
+        offenders.push_back(StrFormat(
+            "%s: bounds [%d, %d] but only %d candidates",
+            GroupLabel(c, names).c_str(), lower[c], upper[c],
+            group_counts[c]));
+      }
     }
     reachable += std::min(upper[c], group_counts[c]);
   }
+  if (!offenders.empty()) {
+    return Status::Infeasible(StrFormat(
+        "lower bounds exceed the available tuples in %s%s",
+        Join(offenders, "; ").c_str(),
+        offenders.size() == kMaxListed ? "; ..." : ""));
+  }
   if (reachable < k) {
-    return Status::Infeasible(
-        StrFormat("at most %lld tuples selectable but k=%d", reachable, k));
+    // Name the binding groups: everywhere availability (not the declared
+    // upper bound) is the limit, the data — not the constraint — ran dry.
+    std::vector<std::string> binding;
+    for (size_t c = 0; c < lower.size() && binding.size() < kMaxListed; ++c) {
+      if (group_counts[c] < upper[c]) {
+        binding.push_back(StrFormat(
+            "%s: bounds [%d, %d] but only %d candidates",
+            GroupLabel(c, names).c_str(), lower[c], upper[c],
+            group_counts[c]));
+      }
+    }
+    return Status::Infeasible(StrFormat(
+        "at most %lld tuples selectable but k=%d (%s%s)", reachable, k,
+        Join(binding, "; ").c_str(),
+        binding.size() == kMaxListed ? "; ..." : ""));
   }
   return Status::OK();
 }

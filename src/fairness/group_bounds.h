@@ -36,8 +36,12 @@ struct GroupBounds {
   static StatusOr<GroupBounds> Balanced(int k, int num_groups, double alpha);
 
   /// Checks internal consistency and feasibility against the group sizes
-  /// (`group_counts[c]` = number of available tuples in group c).
-  Status Validate(const std::vector<int>& group_counts) const;
+  /// (`group_counts[c]` = number of available tuples in group c). On
+  /// infeasibility the message names *every* offending group — id, display
+  /// name when `names` is given, its [lo, hi] and the available count — so
+  /// a failed line in a `--queries` batch stream is diagnosable on its own.
+  Status Validate(const std::vector<int>& group_counts,
+                  const std::vector<std::string>* names = nullptr) const;
 };
 
 /// Number of fairness violations of a solution (paper Eq. 3):

@@ -1,0 +1,288 @@
+#include "skyline/incremental.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/string_util.h"
+#include "geom/dominance.h"
+#include "geom/vec.h"
+
+namespace fairhms {
+
+namespace {
+
+/// Inserts `value` into sorted `v` (keeps ascending order).
+void InsertSorted(std::vector<int>* v, int value) {
+  v->insert(std::lower_bound(v->begin(), v->end(), value), value);
+}
+
+/// Removes `value` from sorted `v`; returns false when absent.
+bool RemoveSorted(std::vector<int>* v, int value) {
+  auto it = std::lower_bound(v->begin(), v->end(), value);
+  if (it == v->end() || *it != value) return false;
+  v->erase(it);
+  return true;
+}
+
+}  // namespace
+
+IncrementalSkyline::IncrementalSkyline(const Dataset* data,
+                                       IncrementalSkylineOptions opts)
+    : data_(data), opts_(opts) {
+  assert(data_ != nullptr);
+  assert(opts_.skyline.exact);
+}
+
+void IncrementalSkyline::Reset(const std::vector<int>& universe_rows) {
+  sky_ = ComputeSkyline(*data_, universe_rows, opts_.skyline);
+  dominator_.clear();
+  bucket_.clear();
+  const size_t d = static_cast<size_t>(data_->dim());
+  for (int r : universe_rows) {
+    // Tombstoned rows are not part of any universe (ComputeSkyline already
+    // excluded them from sky_).
+    if (!data_->live(static_cast<size_t>(r))) continue;
+    if (std::binary_search(sky_.begin(), sky_.end(), r)) continue;
+    // Every non-skyline member has a dominator; record the first found.
+    const double* p = data_->point(static_cast<size_t>(r));
+    int dom = -1;
+    for (int s : sky_) {
+      if (Dominates(data_->point(static_cast<size_t>(s)), p, d)) {
+        dom = s;
+        break;
+      }
+    }
+    assert(dom >= 0);
+    dominator_[r] = dom;
+    bucket_[dom].push_back(r);
+  }
+  ops_since_rebuild_ = 0;
+}
+
+int IncrementalSkyline::FindDominator(const double* p) const {
+  const size_t d = static_cast<size_t>(data_->dim());
+  for (int s : sky_) {
+    if (Dominates(data_->point(static_cast<size_t>(s)), p, d)) return s;
+  }
+  return -1;
+}
+
+void IncrementalSkyline::Insert(int row) {
+  const size_t d = static_cast<size_t>(data_->dim());
+  const double* p = data_->point(static_cast<size_t>(row));
+  // One sweep: either some skyline member dominates the new point (then no
+  // member can be dominated by it — both at once would put a dominance
+  // pair inside the skyline), or we collect everything it knocks out.
+  int dominator = -1;
+  std::vector<int> killed;
+  for (int s : sky_) {
+    const double* ps = data_->point(static_cast<size_t>(s));
+    if (Dominates(ps, p, d)) {
+      dominator = s;
+      break;
+    }
+    if (Dominates(p, ps, d)) killed.push_back(s);
+  }
+  if (dominator >= 0) {
+    dominator_[row] = dominator;
+    bucket_[dominator].push_back(row);
+  } else {
+    std::vector<int>& own = bucket_[row];
+    for (int s : killed) {
+      RemoveSorted(&sky_, s);
+      // p dominates s dominates m => p dominates m: the whole bucket moves.
+      if (auto it = bucket_.find(s); it != bucket_.end()) {
+        for (int m : it->second) {
+          dominator_[m] = row;
+          own.push_back(m);
+        }
+        bucket_.erase(it);
+      }
+      dominator_[s] = row;
+      own.push_back(s);
+    }
+    if (own.empty()) bucket_.erase(row);
+    InsertSorted(&sky_, row);
+  }
+  ++ops_since_rebuild_;
+  MaybeRebuild();
+}
+
+Status IncrementalSkyline::EraseBatch(const std::vector<int>& rows) {
+  for (int row : rows) {
+    FAIRHMS_RETURN_IF_ERROR(EraseOne(row));
+  }
+  ops_since_rebuild_ += rows.size();
+  MaybeRebuild();
+  return Status::OK();
+}
+
+Status IncrementalSkyline::EraseOne(int row) {
+  if (auto dit = dominator_.find(row); dit != dominator_.end()) {
+    std::vector<int>& b = bucket_[dit->second];
+    b.erase(std::find(b.begin(), b.end(), row));
+    if (b.empty()) bucket_.erase(dit->second);
+    dominator_.erase(dit);
+  } else if (std::binary_search(sky_.begin(), sky_.end(), row)) {
+    RemoveSorted(&sky_, row);
+    std::vector<int> orphans;
+    if (auto it = bucket_.find(row); it != bucket_.end()) {
+      orphans = std::move(it->second);
+      bucket_.erase(it);
+    }
+    for (int m : orphans) dominator_.erase(m);
+    // Re-promote in coordinate-sum order: a dominator has a strictly
+    // larger sum, so by the time an orphan is examined every point that
+    // could dominate it — surviving skyline member or earlier orphan — is
+    // already settled in sky_.
+    const size_t d = static_cast<size_t>(data_->dim());
+    std::sort(orphans.begin(), orphans.end(), [&](int a, int b) {
+      const double sa = SumCoords(data_->point(static_cast<size_t>(a)), d);
+      const double sb = SumCoords(data_->point(static_cast<size_t>(b)), d);
+      if (sa != sb) return sa > sb;
+      return a < b;
+    });
+    for (int m : orphans) {
+      const int dom = FindDominator(data_->point(static_cast<size_t>(m)));
+      if (dom >= 0) {
+        dominator_[m] = dom;
+        bucket_[dom].push_back(m);
+      } else {
+        InsertSorted(&sky_, m);
+      }
+    }
+  } else {
+    return Status::NotFound(
+        StrFormat("row %d is not in this skyline's universe", row));
+  }
+  return Status::OK();
+}
+
+void IncrementalSkyline::MaybeRebuild() {
+  if (opts_.churn_rebuild_factor <= 0.0) return;
+  const double threshold =
+      opts_.churn_rebuild_factor *
+      static_cast<double>(std::max<size_t>(universe_size(), 64));
+  if (static_cast<double>(ops_since_rebuild_) > threshold) Rebuild();
+}
+
+void IncrementalSkyline::Rebuild() {
+  std::vector<int> universe;
+  universe.reserve(universe_size());
+  universe.insert(universe.end(), sky_.begin(), sky_.end());
+  for (const auto& [row, dom] : dominator_) {
+    (void)dom;
+    universe.push_back(row);
+  }
+  std::sort(universe.begin(), universe.end());
+  Reset(universe);
+  ++rebuilds_;
+}
+
+SkylineIndex::SkylineIndex(const Dataset* data, const Grouping* grouping,
+                           IncrementalSkylineOptions opts)
+    : data_(data), grouping_(grouping), opts_(opts), global_(data, opts) {
+  assert(data_ != nullptr && grouping_ != nullptr);
+  assert(grouping_->group_of.size() == data_->size());
+  global_.Reset(data_->LiveRows());
+  live_counts_.assign(static_cast<size_t>(grouping_->num_groups), 0);
+  live_members_ = grouping_->MembersLive(*data_);
+  for (int c = 0; c < grouping_->num_groups; ++c) {
+    per_group_.emplace_back(data_, opts_);
+    per_group_.back().Reset(live_members_[static_cast<size_t>(c)]);
+    live_counts_[static_cast<size_t>(c)] =
+        static_cast<int>(live_members_[static_cast<size_t>(c)].size());
+  }
+  data_version_ = data_->version();
+  grouping_version_ = grouping_->version;
+}
+
+void SkylineIndex::SyncGroupCount() {
+  while (per_group_.size() < static_cast<size_t>(grouping_->num_groups)) {
+    per_group_.emplace_back(data_, opts_);
+    live_counts_.push_back(0);
+    live_members_.emplace_back();
+  }
+}
+
+Status SkylineIndex::OnAppend(size_t first, size_t end) {
+  if (end > data_->size() || end > grouping_->group_of.size()) {
+    return Status::InvalidArgument(
+        StrFormat("OnAppend range [%zu, %zu) exceeds the table", first, end));
+  }
+  SyncGroupCount();
+  for (size_t i = first; i < end; ++i) {
+    if (!data_->live(i)) continue;
+    const int g = grouping_->group_of[i];
+    if (g < 0 || static_cast<size_t>(g) >= per_group_.size()) {
+      return Status::Internal(
+          StrFormat("appended row %zu has group %d out of range", i, g));
+    }
+    const int row = static_cast<int>(i);
+    global_.Insert(row);
+    per_group_[static_cast<size_t>(g)].Insert(row);
+    // Appended rows carry the largest indices, so push_back keeps the
+    // member lists ascending.
+    live_members_[static_cast<size_t>(g)].push_back(row);
+    ++live_counts_[static_cast<size_t>(g)];
+  }
+  data_version_ = data_->version();
+  grouping_version_ = grouping_->version;
+  views_dirty_ = true;
+  return Status::OK();
+}
+
+Status SkylineIndex::OnErase(const std::vector<int>& rows) {
+  // Partition by group first, then erase whole batches: a churn-triggered
+  // rebuild inside a maintainer must never run while some of the batch's
+  // (already tombstoned) rows are still in its universe.
+  std::vector<std::vector<int>> by_group(per_group_.size());
+  for (int r : rows) {
+    if (r < 0 || static_cast<size_t>(r) >= grouping_->group_of.size()) {
+      return Status::OutOfRange(StrFormat("erased row %d out of range", r));
+    }
+    const int g = grouping_->group_of[static_cast<size_t>(r)];
+    by_group[static_cast<size_t>(g)].push_back(r);
+  }
+  FAIRHMS_RETURN_IF_ERROR(global_.EraseBatch(rows));
+  for (size_t g = 0; g < by_group.size(); ++g) {
+    if (by_group[g].empty()) continue;
+    FAIRHMS_RETURN_IF_ERROR(per_group_[g].EraseBatch(by_group[g]));
+    for (int r : by_group[g]) {
+      RemoveSorted(&live_members_[g], r);
+      --live_counts_[g];
+    }
+  }
+  data_version_ = data_->version();
+  views_dirty_ = true;
+  return Status::OK();
+}
+
+const std::vector<std::vector<int>>& SkylineIndex::group_skylines() const {
+  if (views_dirty_) {
+    group_skylines_view_.assign(per_group_.size(), {});
+    fair_pool_view_.clear();
+    for (size_t c = 0; c < per_group_.size(); ++c) {
+      group_skylines_view_[c] = per_group_[c].skyline();
+      fair_pool_view_.insert(fair_pool_view_.end(),
+                             group_skylines_view_[c].begin(),
+                             group_skylines_view_[c].end());
+    }
+    std::sort(fair_pool_view_.begin(), fair_pool_view_.end());
+    views_dirty_ = false;
+  }
+  return group_skylines_view_;
+}
+
+const std::vector<int>& SkylineIndex::fair_pool() const {
+  group_skylines();  // Assembles both views.
+  return fair_pool_view_;
+}
+
+size_t SkylineIndex::rebuilds() const {
+  size_t total = global_.rebuilds();
+  for (const auto& g : per_group_) total += g.rebuilds();
+  return total;
+}
+
+}  // namespace fairhms

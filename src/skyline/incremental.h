@@ -1,0 +1,164 @@
+// Incremental skyline maintenance for dynamic datasets.
+//
+// The paper's pipeline feeds every algorithm from skylines (global for
+// unconstrained HMS, per-group unions for FairHMS), which makes skyline
+// maintenance the one seam a dynamic-update subsystem has to get right:
+// keep those sets exact while tuples churn, without recomputing from
+// scratch per mutation.
+//
+// IncrementalSkyline maintains one exact skyline over one row universe:
+//
+//   * insert = one dominance sweep over the current skyline — either the
+//     new point is dominated (it drops into its dominator's bucket) or it
+//     joins the skyline and newly dominated members (plus their whole
+//     buckets, by transitivity) move under it;
+//   * erase of a dominated point = O(1) bucket removal; erase of a skyline
+//     point re-promotes its bucket in coordinate-sum order (a dominator
+//     always has a strictly larger sum, so each orphan only needs the
+//     already-settled skyline);
+//   * past a churn threshold the structure rebuilds itself from a full
+//     ComputeSkyline pass, bounding bucket skew from adversarial streams.
+//
+// The maintained set is bit-identical to ComputeSkyline over the live
+// universe after every operation (the skyline of a fixed point set is
+// unique; tests/skyline/incremental_test.cc holds this invariant over
+// thousands of interleaved ops).
+//
+// SkylineIndex bundles the global skyline, the per-group skylines, the
+// fair candidate pool and the live group tables for one (Dataset,
+// Grouping) pair — exactly the artifact set ArtifactCache memoizes — and
+// keeps them all current under AppendRows/ErasePoints.
+
+#ifndef FAIRHMS_SKYLINE_INCREMENTAL_H_
+#define FAIRHMS_SKYLINE_INCREMENTAL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataset.h"
+#include "data/grouping.h"
+#include "skyline/skyline.h"
+
+namespace fairhms {
+
+struct IncrementalSkylineOptions {
+  /// Rebuild the bucket structure from a full ComputeSkyline pass once the
+  /// operations since the last rebuild exceed
+  /// `churn_rebuild_factor * max(universe_size, 64)`. 0 disables rebuilds.
+  double churn_rebuild_factor = 8.0;
+  /// Options for full (re)builds. `exact` must stay true — an inexact
+  /// superset would diverge from the incrementally maintained set.
+  SkylineOptions skyline;
+};
+
+/// One exact, incrementally maintained skyline over a row universe.
+class IncrementalSkyline {
+ public:
+  explicit IncrementalSkyline(const Dataset* data,
+                              IncrementalSkylineOptions opts = {});
+
+  /// Replaces the universe (rows must be live) and rebuilds from scratch.
+  void Reset(const std::vector<int>& universe_rows);
+
+  /// Adds `row` (readable in the dataset, not yet in the universe).
+  void Insert(int row);
+
+  /// Removes `row` from the universe. Fails when it was never inserted.
+  Status Erase(int row) { return EraseBatch({row}); }
+
+  /// Removes several rows. All rows leave the structures before the churn
+  /// threshold is consulted, so a triggered rebuild never sees a
+  /// half-erased batch (the batch's tombstoned rows must not re-enter the
+  /// rebuilt skyline, and a rebuild drops them from the universe for
+  /// good).
+  Status EraseBatch(const std::vector<int>& rows);
+
+  /// The current skyline, ascending. Bit-identical to
+  /// ComputeSkyline(data, universe) at every point in time.
+  const std::vector<int>& skyline() const { return sky_; }
+
+  size_t universe_size() const { return sky_.size() + dominator_.size(); }
+  /// Full rebuilds triggered by the churn threshold (telemetry).
+  size_t rebuilds() const { return rebuilds_; }
+
+ private:
+  /// First skyline member dominating `row`, or -1.
+  int FindDominator(const double* p) const;
+  /// Removes one row without touching the churn accounting.
+  Status EraseOne(int row);
+  void MaybeRebuild();
+  void Rebuild();
+
+  const Dataset* data_;
+  IncrementalSkylineOptions opts_;
+  std::vector<int> sky_;  ///< Sorted ascending.
+  /// Non-skyline universe member -> the skyline member recorded as its
+  /// dominator (any one of them; which one is an internal detail).
+  std::unordered_map<int, int> dominator_;
+  /// Skyline member -> the members it is recorded as dominating.
+  std::unordered_map<int, std::vector<int>> bucket_;
+  size_t ops_since_rebuild_ = 0;
+  size_t rebuilds_ = 0;
+};
+
+/// Every skyline-derived artifact of one (Dataset, Grouping) pair, kept
+/// current under mutation: global skyline, per-group skylines, the fair
+/// candidate pool and the live group count/member tables.
+class SkylineIndex {
+ public:
+  /// Builds from the current live rows. `data` and `grouping` are not
+  /// owned and must outlive the index; the caller routes every mutation
+  /// through OnAppend/OnErase (SolverSession does this automatically).
+  SkylineIndex(const Dataset* data, const Grouping* grouping,
+               IncrementalSkylineOptions opts = {});
+
+  /// Rows [first, end) were appended to the dataset and the grouping.
+  Status OnAppend(size_t first, size_t end);
+
+  /// `rows` were just tombstoned via Dataset::ErasePoints.
+  Status OnErase(const std::vector<int>& rows);
+
+  const std::vector<int>& skyline() const { return global_.skyline(); }
+  /// Per-group skylines, indexed by group id (empty for empty groups).
+  const std::vector<std::vector<int>>& group_skylines() const;
+  /// Union of the per-group skylines, ascending.
+  const std::vector<int>& fair_pool() const;
+  /// Live rows per group, like Grouping::LiveCounts.
+  const std::vector<int>& live_counts() const { return live_counts_; }
+  /// Live member rows per group, ascending, like Grouping::MembersLive.
+  const std::vector<std::vector<int>>& live_members() const {
+    return live_members_;
+  }
+
+  /// Dataset version the index reflects (== data->version() after every
+  /// routed mutation).
+  uint64_t data_version() const { return data_version_; }
+  uint64_t grouping_version() const { return grouping_version_; }
+  /// Total churn-threshold rebuilds across all maintained skylines.
+  size_t rebuilds() const;
+
+ private:
+  /// Grows the per-group structures to the grouping's current group count.
+  void SyncGroupCount();
+
+  const Dataset* data_;
+  const Grouping* grouping_;
+  IncrementalSkylineOptions opts_;
+  IncrementalSkyline global_;
+  std::vector<IncrementalSkyline> per_group_;
+  std::vector<int> live_counts_;
+  std::vector<std::vector<int>> live_members_;
+  uint64_t data_version_ = 0;
+  uint64_t grouping_version_ = 0;
+  /// Assembled lazily; invalidated by every mutation.
+  mutable std::vector<std::vector<int>> group_skylines_view_;
+  mutable std::vector<int> fair_pool_view_;
+  mutable bool views_dirty_ = true;
+};
+
+}  // namespace fairhms
+
+#endif  // FAIRHMS_SKYLINE_INCREMENTAL_H_

@@ -112,9 +112,19 @@ std::vector<int> PrefilterByElite(const Dataset& data, std::vector<int> rows,
 std::vector<int> ComputeSkyline(const Dataset& data,
                                 const std::vector<int>& rows,
                                 const SkylineOptions& opts) {
-  if (rows.empty()) return {};
-  if (data.dim() == 2) return Skyline2D(data, rows);
-  std::vector<int> filtered = PrefilterByElite(data, rows, opts);
+  // Tombstoned rows never participate: an erased dominator must not prune
+  // live points, and an erased point must not re-enter a candidate pool.
+  std::vector<int> live_rows;
+  if (data.has_tombstones()) {
+    live_rows.reserve(rows.size());
+    for (int r : rows) {
+      if (data.live(static_cast<size_t>(r))) live_rows.push_back(r);
+    }
+  }
+  const std::vector<int>& input = data.has_tombstones() ? live_rows : rows;
+  if (input.empty()) return {};
+  if (data.dim() == 2) return Skyline2D(data, input);
+  std::vector<int> filtered = PrefilterByElite(data, input, opts);
   if (!opts.exact) {
     std::sort(filtered.begin(), filtered.end());
     return filtered;

@@ -46,6 +46,89 @@ TEST(GroupBoundsTest, ProportionalLowerAtLeastOne) {
   EXPECT_LE(b.upper[0], 9);  // "or at most k-C+1".
 }
 
+TEST(GroupBoundsTest, ProportionalClampsEmptyGroupsToZero) {
+  // An empty group (e.g. after a filter removed its last member) must get
+  // lo = hi = 0 — the old "at least 1" floor made the whole instance
+  // infeasible by construction.
+  const std::vector<int> counts = {500, 0, 300};
+  const GroupBounds b = GroupBounds::Proportional(10, counts, 0.1);
+  EXPECT_EQ(b.lower[1], 0);
+  EXPECT_EQ(b.upper[1], 0);
+  EXPECT_GE(b.lower[0], 1);
+  EXPECT_GE(b.lower[2], 1);
+  EXPECT_TRUE(b.Validate(counts).ok());
+}
+
+TEST(GroupBoundsTest, ProportionalAllButOneEmpty) {
+  // k must be entirely servable by the one surviving group; the k-C+1 cap
+  // counts only non-empty groups, so the survivor's upper bound reaches k.
+  const std::vector<int> counts = {0, 0, 42, 0};
+  const GroupBounds b = GroupBounds::Proportional(5, counts, 0.1);
+  EXPECT_EQ(b.lower[0], 0);
+  EXPECT_EQ(b.upper[0], 0);
+  EXPECT_EQ(b.lower[3], 0);
+  EXPECT_EQ(b.upper[3], 0);
+  EXPECT_EQ(b.upper[2], 5);
+  EXPECT_TRUE(b.Validate(counts).ok());
+}
+
+TEST(GroupBoundsTest, ProportionalAllEmptyStaysInfeasible) {
+  // No tuples anywhere: every bound collapses to [0, 0], which cannot
+  // cover k — Validate must reject (the all-zero upper bounds fail the
+  // internal sum(h) >= k consistency check before the per-group pass).
+  const std::vector<int> counts = {0, 0};
+  const GroupBounds b = GroupBounds::Proportional(3, counts, 0.1);
+  EXPECT_FALSE(b.Validate(counts).ok());
+}
+
+TEST(GroupBoundsTest, ProportionalEmptyGroupAfterDeletes) {
+  // The dynamic case: live counts shift between queries as deletes drain a
+  // group. Bounds built from the current counts must stay feasible at
+  // every step down to (and including) zero.
+  std::vector<int> counts = {400, 3, 350};
+  for (; counts[1] >= 0; --counts[1]) {
+    const GroupBounds b = GroupBounds::Proportional(8, counts, 0.2);
+    EXPECT_TRUE(b.Validate(counts).ok())
+        << "group 1 at " << counts[1] << " members";
+    if (counts[1] == 0) {
+      EXPECT_EQ(b.lower[1], 0);
+      EXPECT_EQ(b.upper[1], 0);
+    }
+  }
+}
+
+TEST(GroupBoundsTest, ValidateNamesEveryInfeasibleGroup) {
+  auto b = GroupBounds::Explicit(6, {2, 2, 2}, {2, 2, 2});
+  ASSERT_TRUE(b.ok());
+  const std::vector<std::string> names = {"F", "M", "X"};
+  const Status st = b->Validate({1, 5, 0}, &names);
+  EXPECT_EQ(st.code(), StatusCode::kInfeasible);
+  // Both starving groups are named with their bounds and availability; the
+  // satisfiable one is not.
+  EXPECT_NE(st.message().find("group 0 ('F'): bounds [2, 2] but only 1"),
+            std::string::npos)
+      << st.ToString();
+  EXPECT_NE(st.message().find("group 2 ('X'): bounds [2, 2] but only 0"),
+            std::string::npos)
+      << st.ToString();
+  EXPECT_EQ(st.message().find("('M')"), std::string::npos) << st.ToString();
+}
+
+TEST(GroupBoundsTest, ValidateNamesBindingGroupsWhenKUnreachable) {
+  auto b = GroupBounds::Explicit(10, {0, 0}, {8, 8});
+  ASSERT_TRUE(b.ok());
+  const std::vector<std::string> names = {"a", "b"};
+  const Status st = b->Validate({4, 3}, &names);
+  EXPECT_EQ(st.code(), StatusCode::kInfeasible);
+  EXPECT_NE(st.message().find("at most 7 tuples selectable but k=10"),
+            std::string::npos)
+      << st.ToString();
+  EXPECT_NE(st.message().find("group 0 ('a')"), std::string::npos)
+      << st.ToString();
+  EXPECT_NE(st.message().find("group 1 ('b')"), std::string::npos)
+      << st.ToString();
+}
+
 TEST(GroupBoundsTest, ProportionalRepairsInfeasibleManyGroups) {
   // 10 groups with a dominant one at k=16: the raw paper formula yields
   // sum(l) > k (the "at least 1" floors plus the k-C+1 cap); the repair

@@ -16,6 +16,7 @@
 //   fairhms_cli --algo=g_dmm --csv=data.csv --numeric=price,rating
 //       --categorical=region --group_by=region --k=8
 
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -100,6 +101,25 @@ Batch serving (many queries over one pinned dataset):
                            stopping the batch); the cache report goes to
                            stderr. --algo/--k/--bounds/--format and
                            algorithm-parameter flags are ignored here.
+                           Update ops interleave with queries; skylines,
+                           fair pools and group tables are maintained
+                           incrementally, utility nets survive:
+                             {"op": "insert", "point": [0.4, ...],
+                              "cats": {"gender": "F", ...},
+                              "group": "F" | 2, "id": any}
+                             {"op": "delete", "rows": [17, 42], "id": any}
+                           Inserted points are used as given (they bypass
+                           --normalize; supply already-scaled coordinates).
+                           "cats" maps categorical columns to labels
+                           (unseen labels register themselves); with
+                           --group_by the group derives from those columns
+                           (new combinations open a new group), otherwise
+                           pass "group" explicitly (sum-rank groupings
+                           have no rule for new rows). Deleted rows keep
+                           their indices but leave every skyline, pool,
+                           group count and happiness denominator; a group
+                           emptied by deletes gets [0, 0] proportional
+                           bounds instead of poisoning feasibility.
   --cache_budget_mb=N      drop the artifact cache when it exceeds N MiB
                            (default 1024; 0 = unbounded). Results are
                            bit-identical regardless.
@@ -390,6 +410,181 @@ Status ParamsFromQuery(const cli::JsonValue& params, const AlgorithmInfo* info,
   return Status::OK();
 }
 
+/// A label an insert op mentions that the column does not know yet; it is
+/// registered only once the rest of the op has validated, so a rejected
+/// line leaves the table untouched.
+struct PendingLabel {
+  int col = 0;
+  std::string label;
+};
+
+/// Converts an insert op's "cats" object ({column: label}) into a full
+/// code vector without mutating the dataset; columns not mentioned
+/// default to code 0, unseen labels land in `pending` with their future
+/// codes already in `codes`.
+StatusOr<std::vector<int>> CodesFromCats(const cli::JsonValue* cats,
+                                         const Dataset& data,
+                                         std::vector<PendingLabel>* pending) {
+  std::vector<int> codes(static_cast<size_t>(data.num_categorical()), 0);
+  if (cats == nullptr) return codes;
+  if (!cats->is_object()) {
+    return Status::InvalidArgument(
+        "\"cats\" must be an object mapping column names to labels");
+  }
+  // Future code per column = current label count + pending labels there.
+  std::vector<int> next_code(static_cast<size_t>(data.num_categorical()));
+  for (int c = 0; c < data.num_categorical(); ++c) {
+    next_code[static_cast<size_t>(c)] =
+        static_cast<int>(data.categorical(c).labels.size());
+  }
+  for (const auto& [name, value] : cats->members()) {
+    FAIRHMS_ASSIGN_OR_RETURN(const int col, data.FindCategorical(name));
+    if (!value.is_string()) {
+      return Status::InvalidArgument(
+          StrFormat("\"cats\" entry '%s' must be a string label",
+                    name.c_str()));
+    }
+    const CategoricalColumn& column = data.categorical(col);
+    int code = -1;
+    for (size_t i = 0; i < column.labels.size(); ++i) {
+      if (column.labels[i] == value.string_value()) {
+        code = static_cast<int>(i);
+        break;
+      }
+    }
+    if (code < 0) {
+      code = next_code[static_cast<size_t>(col)]++;
+      pending->push_back({col, value.string_value()});
+    }
+    codes[static_cast<size_t>(col)] = code;
+  }
+  return codes;
+}
+
+/// Serves one {"op": "insert"} line: appends the point, routes it to its
+/// group, and reports the new row id plus the table's version and live
+/// size so streams can assert their view of the data. `group_columns` is
+/// the --group_by list: when the group is derived from it, the op's
+/// "cats" must name every grouping column (a defaulted code would
+/// silently misroute the row).
+StatusOr<std::string> ServeInsert(const cli::JsonValue& op,
+                                  const std::vector<std::string>& group_columns,
+                                  Dataset* data, SolverSession* session) {
+  const cli::JsonValue* point = op.Find("point");
+  if (point == nullptr || !point->is_array()) {
+    return Status::InvalidArgument(
+        "insert needs a \"point\" array of numeric attributes");
+  }
+  std::vector<double> coords;
+  for (const cli::JsonValue& v : point->items()) {
+    if (!v.is_number()) {
+      return Status::InvalidArgument("\"point\" entries must be numbers");
+    }
+    coords.push_back(v.number_value());
+  }
+  // Pre-validate the point so a bad line is rejected before this op
+  // mutates anything (in particular before new labels register below).
+  if (coords.size() != static_cast<size_t>(data->dim())) {
+    return Status::InvalidArgument(
+        StrFormat("\"point\" has %zu coordinates but the dataset is %d-d",
+                  coords.size(), data->dim()));
+  }
+  for (size_t j = 0; j < coords.size(); ++j) {
+    if (!std::isfinite(coords[j]) || coords[j] < 0.0) {
+      return Status::InvalidArgument(StrFormat(
+          "\"point\" entry %zu (%g) must be finite and nonnegative", j,
+          coords[j]));
+    }
+  }
+  const cli::JsonValue* cats = op.Find("cats");
+  std::vector<PendingLabel> pending;
+  FAIRHMS_ASSIGN_OR_RETURN(std::vector<int> codes,
+                           CodesFromCats(cats, *data, &pending));
+  // With --group_by the grouping columns' values must always be given —
+  // a defaulted code would misroute a derived insert or poison the
+  // combination table consulted by explicit ones.
+  for (const std::string& col : group_columns) {
+    if (cats == nullptr || cats->Find(col) == nullptr) {
+      return Status::InvalidArgument(StrFormat(
+          "inserts must give \"cats\" values for every --group_by column "
+          "(missing '%s')", col.c_str()));
+    }
+  }
+  int group = -1;
+  if (const cli::JsonValue* g = op.Find("group"); g != nullptr) {
+    if (g->is_string()) {
+      const Grouping& grouping = session->grouping();
+      for (int c = 0; c < grouping.num_groups; ++c) {
+        if (grouping.names[static_cast<size_t>(c)] == g->string_value()) {
+          group = c;
+          break;
+        }
+      }
+      if (group < 0) {
+        return Status::InvalidArgument(StrFormat(
+            "unknown group '%s'", g->string_value().c_str()));
+      }
+    } else {
+      FAIRHMS_ASSIGN_OR_RETURN(const int64_t id, g->AsInt64());
+      // Range-check before narrowing so huge values fail instead of
+      // wrapping onto a valid group id.
+      if (id < 0 || id >= session->grouping().num_groups) {
+        return Status::InvalidArgument(StrFormat(
+            "\"group\" %lld out of range (the grouping has %d groups)",
+            static_cast<long long>(id), session->grouping().num_groups));
+      }
+      group = static_cast<int>(id);
+    }
+  }
+  // Run the session's own routing checks (contradicting explicit group,
+  // missing provenance) before this op mutates anything; only then
+  // register the labels it introduced and insert.
+  FAIRHMS_RETURN_IF_ERROR(session->ResolveInsertGroup(codes, group).status());
+  for (const PendingLabel& p : pending) {
+    data->AddCategoricalLabel(p.col, p.label);
+  }
+  FAIRHMS_ASSIGN_OR_RETURN(const int row,
+                           session->Insert(coords, codes, group));
+  const int assigned =
+      session->grouping().group_of[static_cast<size_t>(row)];
+  return StrFormat(
+      "\"op\": \"insert\", \"row\": %d, \"group\": %d, "
+      "\"group_name\": \"%s\", \"version\": %llu, \"live_rows\": %zu", row,
+      assigned,
+      cli::JsonEscape(session->grouping().names[static_cast<size_t>(assigned)])
+          .c_str(),
+      static_cast<unsigned long long>(session->version()),
+      session->data().live_size());
+}
+
+/// Serves one {"op": "delete"} line.
+StatusOr<std::string> ServeDelete(const cli::JsonValue& op,
+                                  SolverSession* session) {
+  const cli::JsonValue* rows_field = op.Find("rows");
+  if (rows_field == nullptr || !rows_field->is_array()) {
+    return Status::InvalidArgument(
+        "delete needs a \"rows\" array of row indices");
+  }
+  std::vector<int> rows;
+  for (const cli::JsonValue& v : rows_field->items()) {
+    FAIRHMS_ASSIGN_OR_RETURN(const int64_t row, v.AsInt64());
+    // Range-check before narrowing so huge values fail instead of
+    // wrapping onto (and tombstoning) a valid row.
+    if (row < 0 || static_cast<size_t>(row) >= session->data().size()) {
+      return Status::OutOfRange(StrFormat(
+          "cannot erase row %lld of a %zu-row dataset",
+          static_cast<long long>(row), session->data().size()));
+    }
+    rows.push_back(static_cast<int>(row));
+  }
+  FAIRHMS_RETURN_IF_ERROR(session->Erase(rows));
+  return StrFormat(
+      "\"op\": \"delete\", \"erased\": %zu, \"version\": %llu, "
+      "\"live_rows\": %zu",
+      rows.size(), static_cast<unsigned long long>(session->version()),
+      session->data().live_size());
+}
+
 /// Serves one parsed batch query; the returned string is the one-line JSON
 /// body (without the id/ok envelope, which the caller emits).
 StatusOr<std::string> ServeQuery(const cli::JsonValue& query,
@@ -499,7 +694,12 @@ int RunBatch(const cli::Flags& flags, uint64_t seed, int threads) {
   auto grouping = MakeGrouping(flags, *data);
   if (!grouping.ok()) return Fail(grouping.status());
 
-  auto session = SolverSession::Create(&*data, &*grouping);
+  // A dynamic session: the stream may interleave insert/delete ops with
+  // queries. With --group_by the named columns route inserted rows to
+  // their groups; otherwise inserts need an explicit "group".
+  const std::vector<std::string> group_columns = flags.GetList("group_by");
+  auto session =
+      SolverSession::CreateDynamic(&*data, &*grouping, group_columns);
   if (!session.ok()) return Fail(session.status());
 
   const std::string path = flags.GetString("queries", "");
@@ -520,6 +720,7 @@ int RunBatch(const cli::Flags& flags, uint64_t seed, int threads) {
   size_t line_no = 0;
   size_t served = 0;
   size_t failed = 0;
+  size_t updates = 0;
   size_t cache_drops = 0;
   std::string line;
   while (std::getline(in, line)) {
@@ -549,7 +750,28 @@ int RunBatch(const cli::Flags& flags, uint64_t seed, int threads) {
           id = StrFormat("%.17g", id_field->number_value());
         }
       }
-      auto result = ServeQuery(*parsed, &*session, seed, threads);
+      std::string op = "query";
+      if (const cli::JsonValue* op_field = parsed->Find("op");
+          op_field != nullptr) {
+        if (op_field->is_string()) {
+          op = op_field->string_value();
+        } else {
+          op = "";  // Forces the unknown-op error below.
+        }
+      }
+      StatusOr<std::string> result =
+          Status::InvalidArgument(StrFormat(
+              "unknown \"op\" '%s' (want query, insert or delete)",
+              op.c_str()));
+      if (op == "query" || op == "solve") {
+        result = ServeQuery(*parsed, &*session, seed, threads);
+      } else if (op == "insert") {
+        result = ServeInsert(*parsed, group_columns, &*data, &*session);
+        if (result.ok()) ++updates;
+      } else if (op == "delete") {
+        result = ServeDelete(*parsed, &*session);
+        if (result.ok()) ++updates;
+      }
       if (result.ok()) {
         body = std::move(*result);
       } else {
@@ -570,10 +792,10 @@ int RunBatch(const cli::Flags& flags, uint64_t seed, int threads) {
 
   const CacheStats stats = session->cache_stats();
   std::fprintf(stderr,
-               "fairhms_cli: served %zu queries (%zu failed) in %.1f ms; "
-               "cache: %llu hits, %llu misses, %.1f KiB resident, "
+               "fairhms_cli: served %zu lines (%zu updates, %zu failed) in "
+               "%.1f ms; cache: %llu hits, %llu misses, %.1f KiB resident, "
                "%zu budget drops\n",
-               served, failed, total.ElapsedMillis(),
+               served, updates, failed, total.ElapsedMillis(),
                static_cast<unsigned long long>(stats.TotalHits()),
                static_cast<unsigned long long>(stats.TotalMisses()),
                static_cast<double>(stats.TotalBytes()) / 1024.0,
