@@ -1,0 +1,31 @@
+# CTest smoke for the snapshot warm-start pipeline: run the cold-vs-restore
+# bench on a tiny grid, feed its CSV through bench_to_json, and require the
+# JSON report. The checksum gate inside bench_to_json makes this a
+# restored-state bit-identity check — every query result and the full
+# skyline-index state must match across passes (speedup is not gated at
+# smoke size; CI's bench-snapshot job gates the 10k grid at >= 10x).
+# Expects -DBENCH=..., -DEMIT=..., -DOUT_DIR=... .
+
+execute_process(
+  COMMAND ${BENCH} --n=500 --dim=3 --groups=2 --ks=4,6
+          --algos=intcov,g_greedy --work_dir=${OUT_DIR}
+  OUTPUT_FILE ${OUT_DIR}/bench_snapshot_smoke.csv
+  RESULT_VARIABLE bench_rc)
+if(NOT bench_rc EQUAL 0)
+  message(FATAL_ERROR "bench_snapshot failed (rc=${bench_rc})")
+endif()
+
+execute_process(
+  COMMAND ${EMIT} --in=${OUT_DIR}/bench_snapshot_smoke.csv
+          --out=${OUT_DIR}/BENCH_snapshot_smoke.json
+          --min_speedup=warm_start:2:0.0
+  RESULT_VARIABLE emit_rc)
+if(NOT emit_rc EQUAL 0)
+  message(FATAL_ERROR "bench_to_json failed (rc=${emit_rc}); a non-zero "
+          "exit here means the restored state diverged from the cold "
+          "ingest (checksum gate) or the report could not be written")
+endif()
+
+if(NOT EXISTS ${OUT_DIR}/BENCH_snapshot_smoke.json)
+  message(FATAL_ERROR "bench_to_json exited 0 but wrote no JSON report")
+endif()

@@ -1,0 +1,151 @@
+#include "api/catalog.h"
+
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace fairhms {
+
+StatusOr<Snapshot> SnapshotSession(SolverSession* session) {
+  if (session == nullptr) {
+    return Status::InvalidArgument("session must not be null");
+  }
+  FAIRHMS_RETURN_IF_ERROR(session->EnsureIndex());
+  Snapshot snapshot;
+  snapshot.data = session->data();
+  snapshot.grouping = session->grouping();
+  snapshot.group_columns = session->group_column_names();
+  snapshot.combo_to_group = session->combo_map();
+  const SkylineIndex* index = session->index();
+  snapshot.has_index = index != nullptr;
+  if (index != nullptr) snapshot.index = index->SaveState();
+  return snapshot;
+}
+
+DatasetCatalog::DatasetCatalog() : DatasetCatalog(Options{}) {}
+
+DatasetCatalog::DatasetCatalog(Options opts)
+    : arbiter_(opts.cache_budget_bytes) {}
+
+Status DatasetCatalog::Commit(const std::string& name, Entry entry) {
+  arbiter_.Register(entry.session->cache(), name,
+                    [session = entry.session.get()] {
+                      session->ClearCache();
+                    });
+  entries_.emplace(name, std::move(entry));
+  ++version_;
+  return Status::OK();
+}
+
+Status DatasetCatalog::Register(const std::string& name, Dataset data,
+                                Grouping grouping,
+                                const std::vector<std::string>& group_columns) {
+  if (name.empty()) {
+    return Status::InvalidArgument("dataset name must not be empty");
+  }
+  if (entries_.count(name) != 0) {
+    return Status::InvalidArgument(
+        StrFormat("dataset '%s' is already registered", name.c_str()));
+  }
+  Entry entry;
+  entry.data = std::make_unique<Dataset>(std::move(data));
+  entry.grouping = std::make_unique<Grouping>(std::move(grouping));
+  FAIRHMS_ASSIGN_OR_RETURN(
+      SolverSession session,
+      SolverSession::CreateDynamic(entry.data.get(), entry.grouping.get(),
+                                   group_columns));
+  entry.session = std::make_unique<SolverSession>(std::move(session));
+  return Commit(name, std::move(entry));
+}
+
+Status DatasetCatalog::Load(const std::string& name, const std::string& path) {
+  if (name.empty()) {
+    return Status::InvalidArgument("dataset name must not be empty");
+  }
+  if (entries_.count(name) != 0) {
+    return Status::InvalidArgument(
+        StrFormat("dataset '%s' is already registered", name.c_str()));
+  }
+  // Every fallible step — read, parse, index restore, session build —
+  // completes before the name is committed, so a bad snapshot can never
+  // leave the catalog partially mutated.
+  FAIRHMS_ASSIGN_OR_RETURN(Snapshot snapshot, ReadSnapshotFile(path));
+  Entry entry;
+  entry.data = std::make_unique<Dataset>(std::move(snapshot.data));
+  entry.grouping = std::make_unique<Grouping>(std::move(snapshot.grouping));
+  std::unique_ptr<SkylineIndex> index;
+  if (snapshot.has_index) {
+    FAIRHMS_ASSIGN_OR_RETURN(
+        index, SkylineIndex::Restore(entry.data.get(), entry.grouping.get(),
+                                     snapshot.index));
+  }
+  FAIRHMS_ASSIGN_OR_RETURN(
+      SolverSession session,
+      SolverSession::RestoreDynamic(entry.data.get(), entry.grouping.get(),
+                                    snapshot.group_columns,
+                                    std::move(snapshot.combo_to_group),
+                                    std::move(index)));
+  entry.session = std::make_unique<SolverSession>(std::move(session));
+  return Commit(name, std::move(entry));
+}
+
+Status DatasetCatalog::Save(const std::string& name, const std::string& path) {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    return Status::NotFound(
+        StrFormat("no dataset named '%s' in the catalog", name.c_str()));
+  }
+  FAIRHMS_ASSIGN_OR_RETURN(Snapshot snapshot,
+                           SnapshotSession(it->second.session.get()));
+  return WriteSnapshotFile(snapshot, path);
+}
+
+Status DatasetCatalog::Drop(const std::string& name) {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    return Status::NotFound(
+        StrFormat("no dataset named '%s' in the catalog", name.c_str()));
+  }
+  arbiter_.Unregister(it->second.session->cache());
+  entries_.erase(it);
+  ++version_;
+  return Status::OK();
+}
+
+std::vector<std::string> DatasetCatalog::List() const {
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) {
+    (void)entry;
+    names.push_back(name);
+  }
+  return names;
+}
+
+StatusOr<SolverSession*> DatasetCatalog::Session(const std::string& name) {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    return Status::NotFound(
+        StrFormat("no dataset named '%s' in the catalog", name.c_str()));
+  }
+  return it->second.session.get();
+}
+
+StatusOr<SolverResult> DatasetCatalog::Solve(const std::string& name,
+                                             const SolverRequest& request) {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    return Status::NotFound(
+        StrFormat("no dataset named '%s' in the catalog", name.c_str()));
+  }
+  SolverSession* session = it->second.session.get();
+  arbiter_.Touch(session->cache());
+  StatusOr<SolverResult> result = session->Solve(request);
+  // Settle the budget after the solve, never during: eviction mid-solve
+  // would invalidate references the cache handed to the algorithm. The
+  // serving session is evicted last — it is the one demonstrably hot.
+  arbiter_.Rebalance(session->cache());
+  return result;
+}
+
+}  // namespace fairhms

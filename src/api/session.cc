@@ -115,6 +115,61 @@ StatusOr<SolverSession> SolverSession::CreateDynamic(
   return session;
 }
 
+StatusOr<SolverSession> SolverSession::RestoreDynamic(
+    Dataset* data, Grouping* grouping,
+    const std::vector<std::string>& group_columns,
+    std::vector<std::pair<std::vector<int>, int>> combo_map,
+    std::unique_ptr<SkylineIndex> index) {
+  FAIRHMS_ASSIGN_OR_RETURN(SolverSession session,
+                           CreateDynamic(data, grouping, group_columns));
+  for (auto& [combo, group] : combo_map) {
+    if (combo.size() != session.group_cols_.size()) {
+      return Status::InvalidArgument(
+          StrFormat("combination table entry has %zu values for %zu group "
+                    "columns",
+                    combo.size(), session.group_cols_.size()));
+    }
+    if (group < 0 || group >= grouping->num_groups) {
+      return Status::InvalidArgument(
+          StrFormat("combination table maps to group %d of %d", group,
+                    grouping->num_groups));
+    }
+    auto [it, inserted] =
+        session.combo_to_group_.emplace(std::move(combo), group);
+    if (!inserted && it->second != group) {
+      return Status::InvalidArgument(
+          "combination table maps one combination to two groups");
+    }
+  }
+  // An adopted index replaces the lazy build entirely; the first query
+  // publishes its artifacts (the publish sentinels start stale). Without
+  // one, the seeded combination table simply gets revalidated and merged
+  // by the replay on the first mutation.
+  session.index_ = std::move(index);
+  return session;
+}
+
+Status SolverSession::EnsureIndex() {
+  if (!dynamic()) {
+    return Status::FailedPrecondition(
+        "session is read-only; create it with SolverSession::CreateDynamic "
+        "to maintain a skyline index");
+  }
+  return EnsureDynamicState();
+}
+
+std::vector<std::string> SolverSession::group_column_names() const {
+  std::vector<std::string> names;
+  names.reserve(group_cols_.size());
+  for (int col : group_cols_) names.push_back(data_->categorical(col).name);
+  return names;
+}
+
+std::vector<std::pair<std::vector<int>, int>> SolverSession::combo_map()
+    const {
+  return {combo_to_group_.begin(), combo_to_group_.end()};
+}
+
 Status SolverSession::EnsureDynamicState() {
   if (index_ != nullptr) return Status::OK();
   // Replay the pinned rows through the column mapping: existing rows both

@@ -46,6 +46,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "api/solver.h"
@@ -75,6 +76,19 @@ class SolverSession {
   static StatusOr<SolverSession> CreateDynamic(
       Dataset* data, Grouping* grouping,
       const std::vector<std::string>& group_columns = {});
+
+  /// Rebuilds a dynamic session from snapshotted state (data/snapshot.h):
+  /// like CreateDynamic, but seeds the combination table from `combo_map`
+  /// — preserving routes whose rows were all erased, which a replay of the
+  /// live table could never recover — and adopts an already-restored
+  /// SkylineIndex (may be null; the index then builds lazily on the first
+  /// mutation). The index, when given, must have been restored against
+  /// exactly `data` + `grouping`.
+  static StatusOr<SolverSession> RestoreDynamic(
+      Dataset* data, Grouping* grouping,
+      const std::vector<std::string>& group_columns,
+      std::vector<std::pair<std::vector<int>, int>> combo_map,
+      std::unique_ptr<SkylineIndex> index);
 
   SolverSession(SolverSession&&) = default;
   SolverSession& operator=(SolverSession&&) = default;
@@ -107,6 +121,25 @@ class SolverSession {
   /// The pinned dataset's current mutation version.
   uint64_t version() const { return data_->version(); }
 
+  /// Forces the dynamic machinery (combination table + SkylineIndex) into
+  /// existence without waiting for a mutation — snapshot save wants the
+  /// maintained skyline state even from a query-only session.
+  /// FailedPrecondition on static sessions.
+  Status EnsureIndex();
+
+  /// The maintained skyline index, or null while none has been built
+  /// (static session, or a dynamic one before its first mutation /
+  /// EnsureIndex call).
+  const SkylineIndex* index() const { return index_.get(); }
+
+  /// Names of the pinned group columns (insert-routing provenance), in
+  /// pinning order.
+  std::vector<std::string> group_column_names() const;
+
+  /// The combination table as a sorted (combo, group) list — the form
+  /// data/snapshot.h serializes. Empty until the dynamic state exists.
+  std::vector<std::pair<std::vector<int>, int>> combo_map() const;
+
   /// Serves one query. request.data / request.grouping may be null (the
   /// pinned objects are filled in) or must equal the pinned pointers —
   /// anything else is an InvalidArgument (pin another session for another
@@ -115,6 +148,11 @@ class SolverSession {
 
   const Dataset& data() const { return *data_; }
   const Grouping& grouping() const { return *grouping_; }
+
+  /// The pinned *mutable* dataset — null for static sessions. Callers that
+  /// mutate through it (e.g. registering categorical labels ahead of an
+  /// Insert) are bound by the same single-writer contract as Insert/Erase.
+  Dataset* mutable_data() { return mutable_data_; }
 
   /// Pinned per-group *live* row counts (memoized per version).
   const std::vector<int>& group_counts();

@@ -1,5 +1,7 @@
 #include "core/artifact_cache.h"
 
+#include <algorithm>
+#include <set>
 #include <tuple>
 #include <utility>
 
@@ -54,6 +56,11 @@ std::string CacheStats::ToString() const {
   out += "; " + CounterLine("pools", pools);
   out += "; " + CounterLine("groups", groups);
   out += "; " + CounterLine("projections", projections);
+  Counter total;
+  total.hits = TotalHits();
+  total.misses = TotalMisses();
+  total.bytes = TotalBytes();
+  out += "; " + CounterLine("total", total);
   return out;
 }
 
@@ -66,22 +73,37 @@ bool ArtifactCache::EvalKey::operator<(const EvalKey& o) const {
          std::tie(o.data, o.net, o.threads, o.db_rows, o.cache_rows);
 }
 
+void ArtifactCache::SetArbiter(CacheArbiter* arbiter) {
+  std::lock_guard<std::mutex> lock(mu_);
+  arbiter_ = arbiter;
+}
+
 std::shared_ptr<const UtilityNet> ArtifactCache::Net(int d, size_t m,
                                                      Rng* rng) {
   NetKey key{d, static_cast<uint64_t>(m), rng->StateKey()};
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = nets_.find(key);
-  if (it != nets_.end()) {
-    ++stats_.nets.hits;
-    *rng = it->second.post_state;  // Continue the stream past the sample.
-    return it->second.net;
+  std::shared_ptr<const UtilityNet> result;
+  CacheArbiter* arbiter = nullptr;
+  int64_t delta = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = nets_.find(key);
+    if (it != nets_.end()) {
+      ++stats_.nets.hits;
+      *rng = it->second.post_state;  // Continue the stream past the sample.
+      return it->second.net;
+    }
+    ++stats_.nets.misses;
+    auto net = std::make_shared<const UtilityNet>(
+        UtilityNet::SampleRandom(d, m, rng));
+    delta = static_cast<int64_t>(m * static_cast<uint64_t>(d) *
+                                 sizeof(double));
+    stats_.nets.bytes += static_cast<uint64_t>(delta);
+    nets_.emplace(std::move(key), NetEntry{net, *rng});
+    result = std::move(net);
+    arbiter = arbiter_;
   }
-  ++stats_.nets.misses;
-  auto net = std::make_shared<const UtilityNet>(
-      UtilityNet::SampleRandom(d, m, rng));
-  stats_.nets.bytes += m * static_cast<uint64_t>(d) * sizeof(double);
-  nets_.emplace(std::move(key), NetEntry{net, *rng});
-  return net;
+  if (arbiter != nullptr && delta != 0) arbiter->OnBytesChanged(this, delta);
+  return result;
 }
 
 std::shared_ptr<const NetEvaluator> ArtifactCache::Evaluator(
@@ -89,45 +111,55 @@ std::shared_ptr<const NetEvaluator> ArtifactCache::Evaluator(
     const std::vector<int>& db_rows, const std::vector<int>& cache_rows,
     int threads) {
   EvalKey key{&data, net.get(), db_rows, cache_rows, threads};
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = evaluators_.find(key);
-  if (it != evaluators_.end()) {
-    ++stats_.evaluators.hits;
-    // Still valid at this version (coordinates are immutable, so a key
-    // match means identical precomputes): refresh the stamp so the entry
-    // survives the superseded-version sweep below.
-    it->second.data_version = data.version();
-    return it->second.evaluator;
-  }
-  ++stats_.evaluators.misses;
-  // Evict this dataset's entries stranded at older versions: their row
-  // sets never recur once the table mutated, so under churn they would
-  // pile up one working set per version. Never-mutated datasets never
-  // evict — a static sweep keeps its full evaluator cache (in-flight
-  // solves must not race mutations, per the class contract, so nothing
-  // holds an evicted reference).
-  for (auto sweep = evaluators_.begin(); sweep != evaluators_.end();) {
-    if (sweep->first.data == &data &&
-        sweep->second.data_version < data.version()) {
-      stats_.evaluators.bytes -= sweep->second.bytes;
-      sweep = evaluators_.erase(sweep);
-    } else {
-      ++sweep;
+  std::shared_ptr<const NetEvaluator> result;
+  CacheArbiter* arbiter = nullptr;
+  int64_t delta = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = evaluators_.find(key);
+    if (it != evaluators_.end()) {
+      ++stats_.evaluators.hits;
+      // Still valid at this version (coordinates are immutable, so a key
+      // match means identical precomputes): refresh the stamp so the entry
+      // survives the superseded-version sweep below.
+      it->second.data_version = data.version();
+      return it->second.evaluator;
     }
+    ++stats_.evaluators.misses;
+    // Evict this dataset's entries stranded at older versions: their row
+    // sets never recur once the table mutated, so under churn they would
+    // pile up one working set per version. Never-mutated datasets never
+    // evict — a static sweep keeps its full evaluator cache (in-flight
+    // solves must not race mutations, per the class contract, so nothing
+    // holds an evicted reference).
+    for (auto sweep = evaluators_.begin(); sweep != evaluators_.end();) {
+      if (sweep->first.data == &data &&
+          sweep->second.data_version < data.version()) {
+        stats_.evaluators.bytes -= sweep->second.bytes;
+        delta -= static_cast<int64_t>(sweep->second.bytes);
+        sweep = evaluators_.erase(sweep);
+      } else {
+        ++sweep;
+      }
+    }
+    auto eval = std::make_shared<NetEvaluator>(&data, net.get(), db_rows,
+                                               threads);
+    if (!cache_rows.empty()) eval->CacheCandidates(cache_rows);
+    // CandidateCacheBytes reports what CacheCandidates actually allocated
+    // (it declines oversized pools), so the stats never overstate memory.
+    const uint64_t entry_bytes =
+        net->size() * sizeof(double) + eval->CandidateCacheBytes();
+    stats_.evaluators.bytes += entry_bytes;
+    delta += static_cast<int64_t>(entry_bytes);
+    std::shared_ptr<const NetEvaluator> stored = std::move(eval);
+    evaluators_.emplace(std::move(key),
+                        EvalEntry{stored, std::move(net), entry_bytes,
+                                  data.version()});
+    result = std::move(stored);
+    arbiter = arbiter_;
   }
-  auto eval = std::make_shared<NetEvaluator>(&data, net.get(), db_rows,
-                                             threads);
-  if (!cache_rows.empty()) eval->CacheCandidates(cache_rows);
-  // CandidateCacheBytes reports what CacheCandidates actually allocated
-  // (it declines oversized pools), so the stats never overstate memory.
-  const uint64_t entry_bytes =
-      net->size() * sizeof(double) + eval->CandidateCacheBytes();
-  stats_.evaluators.bytes += entry_bytes;
-  std::shared_ptr<const NetEvaluator> stored = std::move(eval);
-  evaluators_.emplace(std::move(key),
-                      EvalEntry{stored, std::move(net), entry_bytes,
-                                data.version()});
-  return stored;
+  if (arbiter != nullptr && delta != 0) arbiter->OnBytesChanged(this, delta);
+  return result;
 }
 
 namespace {
@@ -143,13 +175,15 @@ uint64_t EntryBytes(const std::vector<std::vector<int>>& v) {
 // Erases every entry of `map` whose key matches `same_object` — the
 // superseded versions of a mutated dataset/grouping, plus any entry the
 // caller is about to overwrite — refunding their bytes. Called under the
-// cache lock right before the store.
+// cache lock right before the store; the refunded bytes accumulate into
+// `*delta` so the caller can settle with the arbiter after unlocking.
 template <class Map, class SameObject>
 static void PruneSuperseded(Map* map, const SameObject& same_object,
-                            uint64_t* bytes) {
+                            uint64_t* bytes, int64_t* delta) {
   for (auto it = map->begin(); it != map->end();) {
     if (same_object(it->first)) {
       *bytes -= EntryBytes(it->second);
+      *delta -= static_cast<int64_t>(EntryBytes(it->second));
       it = map->erase(it);
     } else {
       ++it;
@@ -159,31 +193,47 @@ static void PruneSuperseded(Map* map, const SameObject& same_object,
 
 const std::vector<int>& ArtifactCache::Skyline(const Dataset& data) {
   const DataKey key{&data, data.version()};
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = skylines_.find(key);
-  if (it != skylines_.end()) {
-    ++stats_.skylines.hits;
-    return it->second;
+  const std::vector<int>* result = nullptr;
+  CacheArbiter* arbiter = nullptr;
+  int64_t delta = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = skylines_.find(key);
+    if (it != skylines_.end()) {
+      ++stats_.skylines.hits;
+      return it->second;
+    }
+    ++stats_.skylines.misses;
+    PruneSuperseded(
+        &skylines_, [&](const DataKey& k) { return k.first == &data; },
+        &stats_.skylines.bytes, &delta);
+    auto [pos, inserted] = skylines_.emplace(key, ComputeSkyline(data));
+    (void)inserted;
+    stats_.skylines.bytes += VectorBytes(pos->second);
+    delta += static_cast<int64_t>(VectorBytes(pos->second));
+    result = &pos->second;
+    arbiter = arbiter_;
   }
-  ++stats_.skylines.misses;
-  PruneSuperseded(
-      &skylines_, [&](const DataKey& k) { return k.first == &data; },
-      &stats_.skylines.bytes);
-  auto [pos, inserted] = skylines_.emplace(key, ComputeSkyline(data));
-  (void)inserted;
-  stats_.skylines.bytes += VectorBytes(pos->second);
-  return pos->second;
+  if (arbiter != nullptr && delta != 0) arbiter->OnBytesChanged(this, delta);
+  return *result;
 }
 
 void ArtifactCache::PutSkyline(const Dataset& data, std::vector<int> skyline) {
   const DataKey key{&data, data.version()};
-  std::lock_guard<std::mutex> lock(mu_);
-  PruneSuperseded(
-      &skylines_, [&](const DataKey& k) { return k.first == &data; },
-      &stats_.skylines.bytes);
-  auto [pos, inserted] = skylines_.insert_or_assign(key, std::move(skyline));
-  (void)inserted;
-  stats_.skylines.bytes += VectorBytes(pos->second);
+  CacheArbiter* arbiter = nullptr;
+  int64_t delta = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    PruneSuperseded(
+        &skylines_, [&](const DataKey& k) { return k.first == &data; },
+        &stats_.skylines.bytes, &delta);
+    auto [pos, inserted] = skylines_.insert_or_assign(key, std::move(skyline));
+    (void)inserted;
+    stats_.skylines.bytes += VectorBytes(pos->second);
+    delta += static_cast<int64_t>(VectorBytes(pos->second));
+    arbiter = arbiter_;
+  }
+  if (arbiter != nullptr && delta != 0) arbiter->OnBytesChanged(this, delta);
 }
 
 namespace {
@@ -203,76 +253,113 @@ struct SamePair {
 const std::vector<std::vector<int>>& ArtifactCache::GroupSkylines(
     const Dataset& data, const Grouping& grouping) {
   const DataGroupKey key{&data, &grouping, data.version(), grouping.version};
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = group_skylines_.find(key);
-  if (it != group_skylines_.end()) {
-    ++stats_.group_skylines.hits;
-    return it->second;
+  const std::vector<std::vector<int>>* result = nullptr;
+  CacheArbiter* arbiter = nullptr;
+  int64_t delta = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = group_skylines_.find(key);
+    if (it != group_skylines_.end()) {
+      ++stats_.group_skylines.hits;
+      return it->second;
+    }
+    ++stats_.group_skylines.misses;
+    PruneSuperseded(&group_skylines_, SamePair{&data, &grouping},
+                    &stats_.group_skylines.bytes, &delta);
+    auto [pos, inserted] =
+        group_skylines_.emplace(key, ComputeGroupSkylines(data, grouping));
+    (void)inserted;
+    stats_.group_skylines.bytes += NestedVectorBytes(pos->second);
+    delta += static_cast<int64_t>(NestedVectorBytes(pos->second));
+    result = &pos->second;
+    arbiter = arbiter_;
   }
-  ++stats_.group_skylines.misses;
-  PruneSuperseded(&group_skylines_, SamePair{&data, &grouping},
-                  &stats_.group_skylines.bytes);
-  auto [pos, inserted] =
-      group_skylines_.emplace(key, ComputeGroupSkylines(data, grouping));
-  (void)inserted;
-  stats_.group_skylines.bytes += NestedVectorBytes(pos->second);
-  return pos->second;
+  if (arbiter != nullptr && delta != 0) arbiter->OnBytesChanged(this, delta);
+  return *result;
 }
 
 const std::vector<int>& ArtifactCache::FairPool(const Dataset& data,
                                                 const Grouping& grouping) {
   const DataGroupKey key{&data, &grouping, data.version(), grouping.version};
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = pools_.find(key);
-  if (it != pools_.end()) {
-    ++stats_.pools.hits;
-    return it->second;
+  const std::vector<int>* result = nullptr;
+  CacheArbiter* arbiter = nullptr;
+  int64_t delta = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = pools_.find(key);
+    if (it != pools_.end()) {
+      ++stats_.pools.hits;
+      return it->second;
+    }
+    ++stats_.pools.misses;
+    PruneSuperseded(&pools_, SamePair{&data, &grouping}, &stats_.pools.bytes,
+                    &delta);
+    auto [pos, inserted] =
+        pools_.emplace(key, ComputeFairCandidatePool(data, grouping));
+    (void)inserted;
+    stats_.pools.bytes += VectorBytes(pos->second);
+    delta += static_cast<int64_t>(VectorBytes(pos->second));
+    result = &pos->second;
+    arbiter = arbiter_;
   }
-  ++stats_.pools.misses;
-  PruneSuperseded(&pools_, SamePair{&data, &grouping},
-                  &stats_.pools.bytes);
-  auto [pos, inserted] =
-      pools_.emplace(key, ComputeFairCandidatePool(data, grouping));
-  (void)inserted;
-  stats_.pools.bytes += VectorBytes(pos->second);
-  return pos->second;
+  if (arbiter != nullptr && delta != 0) arbiter->OnBytesChanged(this, delta);
+  return *result;
 }
 
 const std::vector<int>& ArtifactCache::GroupCounts(const Dataset& data,
                                                    const Grouping& grouping) {
   const DataGroupKey key{&data, &grouping, data.version(), grouping.version};
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = group_counts_.find(key);
-  if (it != group_counts_.end()) {
-    ++stats_.groups.hits;
-    return it->second;
+  const std::vector<int>* result = nullptr;
+  CacheArbiter* arbiter = nullptr;
+  int64_t delta = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = group_counts_.find(key);
+    if (it != group_counts_.end()) {
+      ++stats_.groups.hits;
+      return it->second;
+    }
+    ++stats_.groups.misses;
+    PruneSuperseded(&group_counts_, SamePair{&data, &grouping},
+                    &stats_.groups.bytes, &delta);
+    auto [pos, inserted] =
+        group_counts_.emplace(key, grouping.LiveCounts(data));
+    (void)inserted;
+    stats_.groups.bytes += VectorBytes(pos->second);
+    delta += static_cast<int64_t>(VectorBytes(pos->second));
+    result = &pos->second;
+    arbiter = arbiter_;
   }
-  ++stats_.groups.misses;
-  PruneSuperseded(&group_counts_, SamePair{&data, &grouping},
-                  &stats_.groups.bytes);
-  auto [pos, inserted] = group_counts_.emplace(key, grouping.LiveCounts(data));
-  (void)inserted;
-  stats_.groups.bytes += VectorBytes(pos->second);
-  return pos->second;
+  if (arbiter != nullptr && delta != 0) arbiter->OnBytesChanged(this, delta);
+  return *result;
 }
 
 const std::vector<std::vector<int>>& ArtifactCache::GroupMembers(
     const Dataset& data, const Grouping& grouping) {
   const DataGroupKey key{&data, &grouping, data.version(), grouping.version};
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = group_members_.find(key);
-  if (it != group_members_.end()) {
-    ++stats_.groups.hits;
-    return it->second;
+  const std::vector<std::vector<int>>* result = nullptr;
+  CacheArbiter* arbiter = nullptr;
+  int64_t delta = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = group_members_.find(key);
+    if (it != group_members_.end()) {
+      ++stats_.groups.hits;
+      return it->second;
+    }
+    ++stats_.groups.misses;
+    PruneSuperseded(&group_members_, SamePair{&data, &grouping},
+                    &stats_.groups.bytes, &delta);
+    auto [pos, inserted] =
+        group_members_.emplace(key, grouping.MembersLive(data));
+    (void)inserted;
+    stats_.groups.bytes += NestedVectorBytes(pos->second);
+    delta += static_cast<int64_t>(NestedVectorBytes(pos->second));
+    result = &pos->second;
+    arbiter = arbiter_;
   }
-  ++stats_.groups.misses;
-  PruneSuperseded(&group_members_, SamePair{&data, &grouping},
-                  &stats_.groups.bytes);
-  auto [pos, inserted] =
-      group_members_.emplace(key, grouping.MembersLive(data));
-  (void)inserted;
-  stats_.groups.bytes += NestedVectorBytes(pos->second);
-  return pos->second;
+  if (arbiter != nullptr && delta != 0) arbiter->OnBytesChanged(this, delta);
+  return *result;
 }
 
 void ArtifactCache::PutGroupArtifacts(
@@ -282,19 +369,30 @@ void ArtifactCache::PutGroupArtifacts(
     std::vector<std::vector<int>> live_members) {
   const DataGroupKey key{&data, &grouping, data.version(), grouping.version};
   const SamePair same{&data, &grouping};
-  std::lock_guard<std::mutex> lock(mu_);
-  PruneSuperseded(&group_skylines_, same, &stats_.group_skylines.bytes);
-  PruneSuperseded(&pools_, same, &stats_.pools.bytes);
-  PruneSuperseded(&group_counts_, same, &stats_.groups.bytes);
-  PruneSuperseded(&group_members_, same, &stats_.groups.bytes);
-  stats_.group_skylines.bytes += NestedVectorBytes(group_skylines);
-  group_skylines_.insert_or_assign(key, std::move(group_skylines));
-  stats_.pools.bytes += VectorBytes(fair_pool);
-  pools_.insert_or_assign(key, std::move(fair_pool));
-  stats_.groups.bytes += VectorBytes(live_counts);
-  group_counts_.insert_or_assign(key, std::move(live_counts));
-  stats_.groups.bytes += NestedVectorBytes(live_members);
-  group_members_.insert_or_assign(key, std::move(live_members));
+  CacheArbiter* arbiter = nullptr;
+  int64_t delta = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    PruneSuperseded(&group_skylines_, same, &stats_.group_skylines.bytes,
+                    &delta);
+    PruneSuperseded(&pools_, same, &stats_.pools.bytes, &delta);
+    PruneSuperseded(&group_counts_, same, &stats_.groups.bytes, &delta);
+    PruneSuperseded(&group_members_, same, &stats_.groups.bytes, &delta);
+    stats_.group_skylines.bytes += NestedVectorBytes(group_skylines);
+    delta += static_cast<int64_t>(NestedVectorBytes(group_skylines));
+    group_skylines_.insert_or_assign(key, std::move(group_skylines));
+    stats_.pools.bytes += VectorBytes(fair_pool);
+    delta += static_cast<int64_t>(VectorBytes(fair_pool));
+    pools_.insert_or_assign(key, std::move(fair_pool));
+    stats_.groups.bytes += VectorBytes(live_counts);
+    delta += static_cast<int64_t>(VectorBytes(live_counts));
+    group_counts_.insert_or_assign(key, std::move(live_counts));
+    stats_.groups.bytes += NestedVectorBytes(live_members);
+    delta += static_cast<int64_t>(NestedVectorBytes(live_members));
+    group_members_.insert_or_assign(key, std::move(live_members));
+    arbiter = arbiter_;
+  }
+  if (arbiter != nullptr && delta != 0) arbiter->OnBytesChanged(this, delta);
 }
 
 CacheStats ArtifactCache::stats() const {
@@ -303,31 +401,169 @@ CacheStats ArtifactCache::stats() const {
 }
 
 void ArtifactCache::AccountProjection(bool hit, uint64_t bytes) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (hit) {
-    ++stats_.projections.hits;
-  } else {
-    ++stats_.projections.misses;
-    stats_.projections.bytes += bytes;
+  CacheArbiter* arbiter = nullptr;
+  int64_t delta = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (hit) {
+      ++stats_.projections.hits;
+    } else {
+      ++stats_.projections.misses;
+      stats_.projections.bytes += bytes;
+      delta = static_cast<int64_t>(bytes);
+    }
+    arbiter = arbiter_;
   }
+  if (arbiter != nullptr && delta != 0) arbiter->OnBytesChanged(this, delta);
 }
 
 void ArtifactCache::Clear() {
+  CacheArbiter* arbiter = nullptr;
+  int64_t delta = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    delta = -static_cast<int64_t>(stats_.TotalBytes());
+    nets_.clear();
+    evaluators_.clear();
+    skylines_.clear();
+    group_skylines_.clear();
+    pools_.clear();
+    group_counts_.clear();
+    group_members_.clear();
+    stats_.nets.bytes = 0;
+    stats_.evaluators.bytes = 0;
+    stats_.skylines.bytes = 0;
+    stats_.group_skylines.bytes = 0;
+    stats_.pools.bytes = 0;
+    stats_.groups.bytes = 0;
+    stats_.projections.bytes = 0;
+    arbiter = arbiter_;
+  }
+  if (arbiter != nullptr && delta != 0) arbiter->OnBytesChanged(this, delta);
+}
+
+void CacheArbiter::Register(ArtifactCache* cache, std::string name,
+                            std::function<void()> evict) {
+  const uint64_t resident = cache->stats().TotalBytes();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Entry& entry = entries_[cache];
+    total_ -= entry.charged;  // Zero for a fresh registration.
+    entry.name = std::move(name);
+    entry.evict = std::move(evict);
+    entry.charged = resident;
+    entry.last_touch = ++touch_seq_;
+    total_ += resident;
+  }
+  cache->SetArbiter(this);
+}
+
+void CacheArbiter::Unregister(ArtifactCache* cache) {
+  cache->SetArbiter(nullptr);
   std::lock_guard<std::mutex> lock(mu_);
-  nets_.clear();
-  evaluators_.clear();
-  skylines_.clear();
-  group_skylines_.clear();
-  pools_.clear();
-  group_counts_.clear();
-  group_members_.clear();
-  stats_.nets.bytes = 0;
-  stats_.evaluators.bytes = 0;
-  stats_.skylines.bytes = 0;
-  stats_.group_skylines.bytes = 0;
-  stats_.pools.bytes = 0;
-  stats_.groups.bytes = 0;
-  stats_.projections.bytes = 0;
+  auto it = entries_.find(cache);
+  if (it == entries_.end()) return;
+  total_ -= it->second.charged;
+  entries_.erase(it);
+}
+
+void CacheArbiter::OnBytesChanged(ArtifactCache* cache, int64_t delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(cache);
+  if (it == entries_.end()) return;
+  // Clamp refunds at zero: the charged figure must never wrap, even if a
+  // cache was registered mid-life with bytes it later refunds twice.
+  const uint64_t refund =
+      delta < 0 ? std::min(static_cast<uint64_t>(-delta), it->second.charged)
+                : 0;
+  if (delta < 0) {
+    it->second.charged -= refund;
+    total_ -= refund;
+  } else {
+    it->second.charged += static_cast<uint64_t>(delta);
+    total_ += static_cast<uint64_t>(delta);
+  }
+}
+
+void CacheArbiter::Touch(ArtifactCache* cache) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(cache);
+  if (it != entries_.end()) it->second.last_touch = ++touch_seq_;
+}
+
+void CacheArbiter::Rebalance(ArtifactCache* prefer_keep) {
+  // Evict one victim per pass, callbacks outside the lock (they re-enter
+  // OnBytesChanged to refund). A victim that somehow refunds nothing is
+  // remembered so the loop always terminates.
+  std::set<ArtifactCache*> already;
+  for (;;) {
+    std::function<void()> evict;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (budget_ == 0 || total_ <= budget_) return;
+      ArtifactCache* victim = nullptr;
+      uint64_t coldest = 0;
+      for (auto& [addr, entry] : entries_) {
+        if (addr == prefer_keep || entry.charged == 0 ||
+            already.count(addr) != 0) {
+          continue;
+        }
+        if (victim == nullptr || entry.last_touch < coldest) {
+          victim = addr;
+          coldest = entry.last_touch;
+        }
+      }
+      if (victim == nullptr) {
+        // Everything cold is gone; the preferred cache only goes when it
+        // alone still exceeds the budget.
+        auto it = prefer_keep != nullptr ? entries_.find(prefer_keep)
+                                         : entries_.end();
+        if (it == entries_.end() || it->second.charged == 0 ||
+            already.count(prefer_keep) != 0) {
+          return;
+        }
+        victim = prefer_keep;
+      }
+      evict = entries_[victim].evict;
+      already.insert(victim);
+      ++evictions_;
+    }
+    if (evict) evict();
+  }
+}
+
+uint64_t CacheArbiter::budget_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return budget_;
+}
+
+uint64_t CacheArbiter::total_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+uint64_t CacheArbiter::evictions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evictions_;
+}
+
+std::string CacheArbiter::ToString() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = StrFormat(
+      "global cache: %.1f KiB charged across %zu sessions, budget %s, "
+      "%llu evictions",
+      static_cast<double>(total_) / 1024.0, entries_.size(),
+      budget_ == 0
+          ? std::string("unlimited").c_str()
+          : StrFormat("%.1f KiB", static_cast<double>(budget_) / 1024.0)
+                .c_str(),
+      static_cast<unsigned long long>(evictions_));
+  for (const auto& [addr, entry] : entries_) {
+    (void)addr;
+    out += StrFormat("\n  %s: %.1f KiB charged", entry.name.c_str(),
+                     static_cast<double>(entry.charged) / 1024.0);
+  }
+  return out;
 }
 
 std::shared_ptr<const UtilityNet> GetOrSampleNet(ArtifactCache* cache, int d,

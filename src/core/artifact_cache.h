@@ -38,6 +38,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -74,9 +75,14 @@ struct CacheStats {
   uint64_t TotalMisses() const;
   uint64_t TotalBytes() const;
 
-  /// One line per artifact class, e.g. "nets: 5 hits, 3 misses, 1.2 MiB".
+  /// One entry per artifact class plus a trailing total, e.g.
+  /// "nets: 5 hits, 3 misses, 1.2 KiB; ...; total: 8 hits, 4 misses,
+  /// 3.4 KiB" — the same byte total a CacheArbiter charges globally, so
+  /// per-session and process-wide reports always agree.
   std::string ToString() const;
 };
+
+class CacheArbiter;
 
 class ArtifactCache {
  public:
@@ -142,6 +148,12 @@ class ArtifactCache {
   /// reset). Callers must ensure no solve is in flight.
   void Clear();
 
+  /// Attaches a process-wide arbiter: from now on every change to the
+  /// resident byte total is charged/refunded there (after this cache's
+  /// lock is released, so the arbiter can lock its own state freely).
+  /// Call while no solve is in flight; CacheArbiter::Register does this.
+  void SetArbiter(CacheArbiter* arbiter);
+
  private:
   struct NetKey {
     int d;
@@ -178,6 +190,7 @@ class ArtifactCache {
 
   mutable std::mutex mu_;
   CacheStats stats_;
+  CacheArbiter* arbiter_ = nullptr;  ///< Guarded by mu_; called outside it.
   std::map<NetKey, NetEntry> nets_;
   std::map<EvalKey, EvalEntry> evaluators_;
   std::map<DataKey, std::vector<int>> skylines_;
@@ -185,6 +198,77 @@ class ArtifactCache {
   std::map<DataGroupKey, std::vector<int>> pools_;
   std::map<DataGroupKey, std::vector<int>> group_counts_;
   std::map<DataGroupKey, std::vector<std::vector<int>>> group_members_;
+};
+
+/// Process-wide cache budget arbitration across many ArtifactCaches (one
+/// per catalog session). Each cache charges/refunds its resident-byte
+/// changes here; when the global total exceeds the budget, Rebalance
+/// evicts whole cold caches — least-recently-Touched first — through the
+/// eviction callback they registered with (typically
+/// SolverSession::ClearCache, so the session's publish sentinels reset
+/// together with the drop).
+///
+/// Concurrency contract: OnBytesChanged is pure accounting and safe from
+/// any thread (caches call it after releasing their own lock, so the lock
+/// order is always cache -> arbiter, never the reverse). Rebalance invokes
+/// eviction callbacks *outside* the arbiter lock — callbacks re-enter via
+/// OnBytesChanged when the cleared cache refunds its bytes — and must only
+/// run between queries: evicting mid-solve would dangle the references the
+/// cache handed out. A budget of 0 means unlimited (never evicts).
+class CacheArbiter {
+ public:
+  explicit CacheArbiter(uint64_t budget_bytes) : budget_(budget_bytes) {}
+  CacheArbiter(const CacheArbiter&) = delete;
+  CacheArbiter& operator=(const CacheArbiter&) = delete;
+
+  /// Starts arbitrating `cache` (attaches this arbiter to it and charges
+  /// its current resident bytes). `evict` drops the cache's artifacts when
+  /// Rebalance selects it. Re-registering an address replaces its entry.
+  void Register(ArtifactCache* cache, std::string name,
+                std::function<void()> evict);
+
+  /// Stops arbitrating `cache`, refunding whatever it still has charged.
+  /// No-op for an unknown address.
+  void Unregister(ArtifactCache* cache);
+
+  /// Charges (delta > 0) or refunds (delta < 0) bytes for `cache`.
+  /// Unknown addresses are ignored (a cache outside catalog control).
+  void OnBytesChanged(ArtifactCache* cache, int64_t delta);
+
+  /// Marks `cache` most-recently-used; Rebalance evicts coldest-first.
+  void Touch(ArtifactCache* cache);
+
+  /// Evicts cold caches until the charged total fits the budget again.
+  /// `prefer_keep` (the cache that just served a query) is only evicted
+  /// when it alone still exceeds the budget after everything else is gone.
+  /// Call between queries only — never while a solve is in flight.
+  void Rebalance(ArtifactCache* prefer_keep = nullptr);
+
+  uint64_t budget_bytes() const;
+  /// Bytes currently charged across every registered cache.
+  uint64_t total_bytes() const;
+  /// Whole-cache evictions performed by Rebalance (telemetry).
+  uint64_t evictions() const;
+
+  /// Per-session charged bytes plus the global total/budget, one line per
+  /// registered cache — the process-wide counterpart of
+  /// CacheStats::ToString (the per-session byte figures agree).
+  std::string ToString() const;
+
+ private:
+  struct Entry {
+    std::string name;
+    std::function<void()> evict;
+    uint64_t charged = 0;
+    uint64_t last_touch = 0;
+  };
+
+  mutable std::mutex mu_;
+  uint64_t budget_;
+  uint64_t total_ = 0;
+  uint64_t touch_seq_ = 0;
+  uint64_t evictions_ = 0;
+  std::map<ArtifactCache*, Entry> entries_;
 };
 
 /// Cache-optional conveniences: with a cache they memoize, without one they

@@ -90,6 +90,12 @@ class Dataset {
   /// the same version saw the same table.
   uint64_t version() const { return version_; }
 
+  /// Snapshot-restore hook (data/snapshot.cc): overwrites the mutation
+  /// counter so a restored table reports the version it was snapshotted
+  /// at, keeping version-keyed artifacts comparable across a restart.
+  /// Never call this on a table that any session or cache has seen.
+  void set_version(uint64_t v) { version_ = v; }
+
   size_t size() const { return n_; }
   int dim() const { return dim_; }
 

@@ -1,0 +1,535 @@
+#include "data/snapshot.h"
+
+#include <array>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "common/string_util.h"
+
+namespace fairhms {
+
+namespace {
+
+constexpr char kMagic[8] = {'F', 'H', 'M', 'S', 'S', 'N', 'A', 'P'};
+
+// ---- little-endian writers -------------------------------------------------
+
+void PutU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+void PutI32(std::string* out, int32_t v) {
+  PutU32(out, static_cast<uint32_t>(v));
+}
+
+void PutF64(std::string* out, double v) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v), "double must be 64-bit");
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(out, bits);
+}
+
+void PutString(std::string* out, const std::string& s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+void PutSkylineState(std::string* out, const IncrementalSkylineState& state) {
+  PutU64(out, state.skyline.size());
+  for (int r : state.skyline) PutI32(out, r);
+  PutU64(out, state.dominated.size());
+  for (const auto& [row, dom] : state.dominated) {
+    PutI32(out, row);
+    PutI32(out, dom);
+  }
+}
+
+// ---- little-endian reader --------------------------------------------------
+
+/// Bounds-checked cursor over the (already checksum-verified) payload.
+/// Every overrun is a structural error — the writer never produces one —
+/// so cursor failures surface as InvalidArgument.
+class Cursor {
+ public:
+  Cursor(const uint8_t* p, size_t n) : p_(p), end_(p + n) {}
+
+  size_t remaining() const { return static_cast<size_t>(end_ - p_); }
+
+  Status U8(uint8_t* out) {
+    FAIRHMS_RETURN_IF_ERROR(Need(1, "byte"));
+    *out = *p_++;
+    return Status::OK();
+  }
+
+  Status U32(uint32_t* out) {
+    FAIRHMS_RETURN_IF_ERROR(Need(4, "u32"));
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(p_[i]) << (8 * i);
+    p_ += 4;
+    *out = v;
+    return Status::OK();
+  }
+
+  Status U64(uint64_t* out) {
+    FAIRHMS_RETURN_IF_ERROR(Need(8, "u64"));
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(p_[i]) << (8 * i);
+    p_ += 8;
+    *out = v;
+    return Status::OK();
+  }
+
+  Status I32(int* out) {
+    uint32_t v = 0;
+    FAIRHMS_RETURN_IF_ERROR(U32(&v));
+    *out = static_cast<int32_t>(v);
+    return Status::OK();
+  }
+
+  Status F64(double* out) {
+    uint64_t bits = 0;
+    FAIRHMS_RETURN_IF_ERROR(U64(&bits));
+    std::memcpy(out, &bits, sizeof(*out));
+    return Status::OK();
+  }
+
+  Status String(std::string* out) {
+    uint32_t len = 0;
+    FAIRHMS_RETURN_IF_ERROR(U32(&len));
+    FAIRHMS_RETURN_IF_ERROR(Need(len, "string body"));
+    out->assign(reinterpret_cast<const char*>(p_), len);
+    p_ += len;
+    return Status::OK();
+  }
+
+  /// Fails up front when `count` elements of `elem_size` bytes cannot fit
+  /// in the remaining payload — so a corrupt count never drives a huge
+  /// allocation before the overrun is noticed.
+  Status CheckCount(uint64_t count, size_t elem_size, const char* what) {
+    if (elem_size != 0 && count > remaining() / elem_size) {
+      return Status::InvalidArgument(
+          StrFormat("snapshot payload truncated: %llu %s entries do not fit "
+                    "in the %zu remaining bytes",
+                    static_cast<unsigned long long>(count), what, remaining()));
+    }
+    return Status::OK();
+  }
+
+ private:
+  Status Need(size_t n, const char* what) {
+    if (remaining() < n) {
+      return Status::InvalidArgument(StrFormat(
+          "snapshot payload truncated while reading a %s (%zu bytes left)",
+          what, remaining()));
+    }
+    return Status::OK();
+  }
+
+  const uint8_t* p_;
+  const uint8_t* end_;
+};
+
+Status ReadSkylineState(Cursor* c, IncrementalSkylineState* state) {
+  uint64_t count = 0;
+  FAIRHMS_RETURN_IF_ERROR(c->U64(&count));
+  FAIRHMS_RETURN_IF_ERROR(c->CheckCount(count, 4, "skyline row"));
+  state->skyline.resize(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    FAIRHMS_RETURN_IF_ERROR(c->I32(&state->skyline[i]));
+  }
+  FAIRHMS_RETURN_IF_ERROR(c->U64(&count));
+  FAIRHMS_RETURN_IF_ERROR(c->CheckCount(count, 8, "dominated pair"));
+  state->dominated.resize(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    FAIRHMS_RETURN_IF_ERROR(c->I32(&state->dominated[i].first));
+    FAIRHMS_RETURN_IF_ERROR(c->I32(&state->dominated[i].second));
+  }
+  return Status::OK();
+}
+
+uint32_t LoadU32(const uint8_t* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t n) {
+  static const std::array<uint32_t, 256> kTable = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  uint32_t crc = 0xFFFFFFFFu;
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  for (size_t i = 0; i < n; ++i) {
+    crc = kTable[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+std::string SerializeSnapshot(const Snapshot& snapshot) {
+  const Dataset& d = snapshot.data;
+  std::string payload;
+
+  // Dataset section.
+  PutI32(&payload, d.dim());
+  PutU64(&payload, d.size());
+  PutU64(&payload, d.version());
+  for (const std::string& name : d.attr_names()) PutString(&payload, name);
+  for (size_t i = 0; i < d.size(); ++i) {
+    for (int j = 0; j < d.dim(); ++j) PutF64(&payload, d.at(i, j));
+  }
+  std::vector<int> dead;
+  for (size_t i = 0; i < d.size(); ++i) {
+    if (!d.live(i)) dead.push_back(static_cast<int>(i));
+  }
+  PutU64(&payload, dead.size());
+  for (int r : dead) PutI32(&payload, r);
+  PutU32(&payload, static_cast<uint32_t>(d.num_categorical()));
+  for (int c = 0; c < d.num_categorical(); ++c) {
+    const CategoricalColumn& col = d.categorical(c);
+    PutString(&payload, col.name);
+    PutU32(&payload, static_cast<uint32_t>(col.labels.size()));
+    for (const std::string& label : col.labels) PutString(&payload, label);
+    for (int code : col.codes) PutI32(&payload, code);
+  }
+
+  // Grouping section.
+  const Grouping& g = snapshot.grouping;
+  PutI32(&payload, g.num_groups);
+  PutU64(&payload, g.version);
+  for (const std::string& name : g.names) PutString(&payload, name);
+  PutU64(&payload, g.group_of.size());
+  for (int v : g.group_of) PutI32(&payload, v);
+
+  // Dynamic provenance section.
+  PutU32(&payload, static_cast<uint32_t>(snapshot.group_columns.size()));
+  for (const std::string& name : snapshot.group_columns) {
+    PutString(&payload, name);
+  }
+  PutU64(&payload, snapshot.combo_to_group.size());
+  for (const auto& [combo, group] : snapshot.combo_to_group) {
+    PutU32(&payload, static_cast<uint32_t>(combo.size()));
+    for (int v : combo) PutI32(&payload, v);
+    PutI32(&payload, group);
+  }
+
+  // Skyline index section.
+  PutU8(&payload, snapshot.has_index ? 1 : 0);
+  if (snapshot.has_index) {
+    PutSkylineState(&payload, snapshot.index.global);
+    PutU32(&payload, static_cast<uint32_t>(snapshot.index.per_group.size()));
+    for (const IncrementalSkylineState& state : snapshot.index.per_group) {
+      PutSkylineState(&payload, state);
+    }
+  }
+
+  std::string out;
+  out.reserve(kSnapshotPayloadOffset + payload.size() + 4);
+  out.append(kMagic, sizeof(kMagic));
+  PutU32(&out, kSnapshotFormatVersion);
+  PutU32(&out, 0);  // Reserved flags.
+  PutU64(&out, payload.size());
+  out.append(payload);
+  PutU32(&out, Crc32(out.data(), out.size()));
+  return out;
+}
+
+StatusOr<Snapshot> ParseSnapshot(std::string_view bytes) {
+  if (bytes.size() < kSnapshotPayloadOffset + 4) {
+    return Status::IOError(
+        StrFormat("snapshot truncated: %zu bytes is smaller than the %zu-byte "
+                  "header + checksum trailer",
+                  bytes.size(), kSnapshotPayloadOffset + 4));
+  }
+  const uint8_t* base = reinterpret_cast<const uint8_t*>(bytes.data());
+  if (std::memcmp(base, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("not a FairHMS snapshot (bad magic)");
+  }
+  uint64_t payload_size = 0;
+  for (int i = 0; i < 8; ++i) {
+    payload_size |= static_cast<uint64_t>(base[16 + i]) << (8 * i);
+  }
+  if (payload_size > bytes.size() - kSnapshotPayloadOffset - 4) {
+    return Status::IOError(StrFormat(
+        "snapshot truncated: header declares a %llu-byte payload but only "
+        "%zu bytes follow the header",
+        static_cast<unsigned long long>(payload_size),
+        bytes.size() - kSnapshotPayloadOffset - 4));
+  }
+  const size_t total = kSnapshotPayloadOffset + payload_size + 4;
+  if (bytes.size() != total) {
+    return Status::IOError(
+        StrFormat("snapshot has %zu trailing bytes after the checksum",
+                  bytes.size() - total));
+  }
+  const uint32_t stored_crc = LoadU32(base + total - 4);
+  const uint32_t actual_crc = Crc32(base, total - 4);
+  if (stored_crc != actual_crc) {
+    return Status::IOError(
+        StrFormat("snapshot checksum mismatch (stored %08x, computed %08x): "
+                  "the file is corrupt",
+                  stored_crc, actual_crc));
+  }
+  const uint32_t format_version = LoadU32(base + kSnapshotVersionOffset);
+  if (format_version > kSnapshotFormatVersion) {
+    return Status::Unimplemented(
+        StrFormat("snapshot format version %u is newer than this build "
+                  "supports (%u); upgrade before restoring",
+                  format_version, kSnapshotFormatVersion));
+  }
+
+  Cursor c(base + kSnapshotPayloadOffset, payload_size);
+
+  // Dataset section.
+  int dim = 0;
+  uint64_t n = 0;
+  uint64_t data_version = 0;
+  FAIRHMS_RETURN_IF_ERROR(c.I32(&dim));
+  FAIRHMS_RETURN_IF_ERROR(c.U64(&n));
+  FAIRHMS_RETURN_IF_ERROR(c.U64(&data_version));
+  if (dim < 1) {
+    return Status::InvalidArgument(
+        StrFormat("snapshot declares %d numeric attributes (need >= 1)", dim));
+  }
+  std::vector<std::string> attr_names(static_cast<size_t>(dim));
+  for (auto& name : attr_names) FAIRHMS_RETURN_IF_ERROR(c.String(&name));
+  FAIRHMS_RETURN_IF_ERROR(
+      c.CheckCount(n, static_cast<size_t>(dim) * 8, "coordinate row"));
+  std::vector<double> values(n * static_cast<uint64_t>(dim));
+  for (double& v : values) FAIRHMS_RETURN_IF_ERROR(c.F64(&v));
+  uint64_t dead_count = 0;
+  FAIRHMS_RETURN_IF_ERROR(c.U64(&dead_count));
+  FAIRHMS_RETURN_IF_ERROR(c.CheckCount(dead_count, 4, "tombstone"));
+  if (dead_count > n) {
+    return Status::InvalidArgument(
+        StrFormat("snapshot lists %llu tombstones for %llu rows",
+                  static_cast<unsigned long long>(dead_count),
+                  static_cast<unsigned long long>(n)));
+  }
+  std::vector<int> dead(dead_count);
+  for (int& r : dead) FAIRHMS_RETURN_IF_ERROR(c.I32(&r));
+  uint32_t cat_count = 0;
+  FAIRHMS_RETURN_IF_ERROR(c.U32(&cat_count));
+  FAIRHMS_RETURN_IF_ERROR(c.CheckCount(cat_count, 8, "categorical column"));
+  std::vector<CategoricalColumn> cats(cat_count);
+  for (CategoricalColumn& col : cats) {
+    FAIRHMS_RETURN_IF_ERROR(c.String(&col.name));
+    uint32_t label_count = 0;
+    FAIRHMS_RETURN_IF_ERROR(c.U32(&label_count));
+    FAIRHMS_RETURN_IF_ERROR(c.CheckCount(label_count, 4, "label"));
+    col.labels.resize(label_count);
+    for (auto& label : col.labels) FAIRHMS_RETURN_IF_ERROR(c.String(&label));
+    FAIRHMS_RETURN_IF_ERROR(c.CheckCount(n, 4, "categorical code"));
+    col.codes.resize(n);
+    for (int& code : col.codes) {
+      FAIRHMS_RETURN_IF_ERROR(c.I32(&code));
+      if (code < 0 || static_cast<size_t>(code) >= col.labels.size()) {
+        return Status::InvalidArgument(
+            StrFormat("snapshot column '%s' carries code %d outside its %zu "
+                      "labels",
+                      col.name.c_str(), code, col.labels.size()));
+      }
+    }
+  }
+
+  Snapshot snapshot;
+  snapshot.data = Dataset(std::move(attr_names));
+  Dataset& data = snapshot.data;
+  for (CategoricalColumn& col : cats) {
+    data.AddCategoricalColumn(std::move(col.name), std::move(col.labels));
+  }
+  data.Reserve(n);
+  std::vector<double> coords(static_cast<size_t>(dim));
+  std::vector<int> codes(cats.size());
+  for (uint64_t i = 0; i < n; ++i) {
+    for (int j = 0; j < dim; ++j) {
+      coords[static_cast<size_t>(j)] =
+          values[i * static_cast<uint64_t>(dim) + static_cast<uint64_t>(j)];
+    }
+    for (size_t cc = 0; cc < cats.size(); ++cc) {
+      codes[cc] = cats[cc].codes[i];
+    }
+    data.AddRow(coords, codes);
+  }
+  if (!dead.empty()) {
+    // ErasePoints validates range / duplicates / order for us; its failure
+    // here means the snapshot's tombstone list is structurally bad.
+    const Status st = data.ErasePoints(dead);
+    if (!st.ok()) {
+      return Status::InvalidArgument(
+          StrFormat("snapshot tombstone list invalid: %s",
+                    st.message().c_str()));
+    }
+  }
+  {
+    const Status st = data.Validate();
+    if (!st.ok()) {
+      return Status::InvalidArgument(StrFormat(
+          "snapshot dataset fails validation: %s", st.message().c_str()));
+    }
+  }
+  data.set_version(data_version);
+
+  // Grouping section.
+  Grouping& grouping = snapshot.grouping;
+  FAIRHMS_RETURN_IF_ERROR(c.I32(&grouping.num_groups));
+  FAIRHMS_RETURN_IF_ERROR(c.U64(&grouping.version));
+  if (grouping.num_groups < 0) {
+    return Status::InvalidArgument(
+        StrFormat("snapshot declares %d groups", grouping.num_groups));
+  }
+  FAIRHMS_RETURN_IF_ERROR(c.CheckCount(
+      static_cast<uint64_t>(grouping.num_groups), 4, "group name"));
+  grouping.names.resize(static_cast<size_t>(grouping.num_groups));
+  for (auto& name : grouping.names) FAIRHMS_RETURN_IF_ERROR(c.String(&name));
+  uint64_t group_of_count = 0;
+  FAIRHMS_RETURN_IF_ERROR(c.U64(&group_of_count));
+  if (group_of_count != n) {
+    return Status::InvalidArgument(
+        StrFormat("snapshot grouping covers %llu rows, dataset has %llu",
+                  static_cast<unsigned long long>(group_of_count),
+                  static_cast<unsigned long long>(n)));
+  }
+  FAIRHMS_RETURN_IF_ERROR(c.CheckCount(group_of_count, 4, "group id"));
+  grouping.group_of.resize(group_of_count);
+  for (int& g : grouping.group_of) {
+    FAIRHMS_RETURN_IF_ERROR(c.I32(&g));
+    if (g < 0 || g >= grouping.num_groups) {
+      return Status::InvalidArgument(StrFormat(
+          "snapshot grouping maps a row to group %d of %d", g,
+          grouping.num_groups));
+    }
+  }
+
+  // Dynamic provenance section.
+  uint32_t group_col_count = 0;
+  FAIRHMS_RETURN_IF_ERROR(c.U32(&group_col_count));
+  FAIRHMS_RETURN_IF_ERROR(c.CheckCount(group_col_count, 4, "group column"));
+  snapshot.group_columns.resize(group_col_count);
+  for (auto& name : snapshot.group_columns) {
+    FAIRHMS_RETURN_IF_ERROR(c.String(&name));
+    if (!data.FindCategorical(name).ok()) {
+      return Status::InvalidArgument(StrFormat(
+          "snapshot group column '%s' does not exist in the dataset",
+          name.c_str()));
+    }
+  }
+  uint64_t combo_count = 0;
+  FAIRHMS_RETURN_IF_ERROR(c.U64(&combo_count));
+  FAIRHMS_RETURN_IF_ERROR(c.CheckCount(combo_count, 8, "combination"));
+  snapshot.combo_to_group.resize(combo_count);
+  for (uint64_t i = 0; i < combo_count; ++i) {
+    auto& [combo, group] = snapshot.combo_to_group[i];
+    uint32_t combo_len = 0;
+    FAIRHMS_RETURN_IF_ERROR(c.U32(&combo_len));
+    if (combo_len != group_col_count) {
+      return Status::InvalidArgument(
+          StrFormat("snapshot combination %llu has %u values for %u group "
+                    "columns",
+                    static_cast<unsigned long long>(i), combo_len,
+                    group_col_count));
+    }
+    combo.resize(combo_len);
+    for (int& v : combo) FAIRHMS_RETURN_IF_ERROR(c.I32(&v));
+    FAIRHMS_RETURN_IF_ERROR(c.I32(&group));
+    if (group < 0 || group >= grouping.num_groups) {
+      return Status::InvalidArgument(StrFormat(
+          "snapshot combination maps to group %d of %d", group,
+          grouping.num_groups));
+    }
+    if (i > 0 && !(snapshot.combo_to_group[i - 1].first < combo)) {
+      return Status::InvalidArgument(
+          "snapshot combination table is not strictly sorted");
+    }
+  }
+
+  // Skyline index section. Row-level validation against the table happens
+  // in SkylineIndex::Restore; here the numbers only need to parse.
+  uint8_t has_index = 0;
+  FAIRHMS_RETURN_IF_ERROR(c.U8(&has_index));
+  if (has_index > 1) {
+    return Status::InvalidArgument("snapshot index flag is neither 0 nor 1");
+  }
+  snapshot.has_index = has_index == 1;
+  if (snapshot.has_index) {
+    FAIRHMS_RETURN_IF_ERROR(ReadSkylineState(&c, &snapshot.index.global));
+    uint32_t group_state_count = 0;
+    FAIRHMS_RETURN_IF_ERROR(c.U32(&group_state_count));
+    FAIRHMS_RETURN_IF_ERROR(
+        c.CheckCount(group_state_count, 16, "group skyline state"));
+    snapshot.index.per_group.resize(group_state_count);
+    for (auto& state : snapshot.index.per_group) {
+      FAIRHMS_RETURN_IF_ERROR(ReadSkylineState(&c, &state));
+    }
+  }
+
+  if (c.remaining() != 0) {
+    return Status::InvalidArgument(StrFormat(
+        "snapshot payload has %zu unconsumed bytes", c.remaining()));
+  }
+  return snapshot;
+}
+
+Status WriteSnapshotFile(const Snapshot& snapshot, const std::string& path) {
+  const std::string bytes = SerializeSnapshot(snapshot);
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Status::IOError(StrFormat("cannot open '%s' for writing",
+                                       tmp.c_str()));
+    }
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    if (!out) {
+      out.close();
+      std::remove(tmp.c_str());
+      return Status::IOError(StrFormat("write to '%s' failed", tmp.c_str()));
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IOError(
+        StrFormat("cannot rename '%s' over '%s'", tmp.c_str(), path.c_str()));
+  }
+  return Status::OK();
+}
+
+StatusOr<Snapshot> ReadSnapshotFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound(
+        StrFormat("snapshot file '%s' does not exist or is unreadable",
+                  path.c_str()));
+  }
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  if (in.bad()) {
+    return Status::IOError(StrFormat("error reading '%s'", path.c_str()));
+  }
+  return ParseSnapshot(bytes);
+}
+
+}  // namespace fairhms

@@ -1,0 +1,107 @@
+// Versioned, checksummed binary snapshots of one dataset's full serving
+// state: the Dataset (coordinates, categorical columns, tombstones,
+// mutation version), the Grouping (partition, names, version), the
+// dynamic-session provenance (group columns + combination table) and the
+// incrementally maintained SkylineIndex state. A restarted process
+// restores from the snapshot and serves warm — no CSV re-ingest, not a
+// single dominance test to rebuild skylines.
+//
+// Format (all integers little-endian, fixed width):
+//
+//   offset 0   8 bytes  magic "FHMSSNAP"
+//   offset 8   u32      format version (kSnapshotFormatVersion)
+//   offset 12  u32      reserved flags (0)
+//   offset 16  u64      payload size in bytes
+//   offset 24  payload  sections in order: dataset, grouping, dynamic
+//                       provenance, skyline index state
+//   trailer    u32      CRC32 (IEEE) over header + payload
+//
+// The checksum covers every byte before the trailer, so any truncation or
+// bit-flip anywhere — header fields included — is caught before a single
+// payload byte is interpreted. Strict-reject semantics with a typed error
+// taxonomy:
+//
+//   * truncated / size-field mismatch            -> IOError
+//   * bad magic (not a snapshot at all)          -> InvalidArgument
+//   * checksum mismatch (corruption)             -> IOError
+//   * format version from the future             -> Unimplemented
+//   * structurally invalid payload (wrong
+//     dimensions, bad codes, bad group ids, ...) -> InvalidArgument
+//
+// Parsing never partially constructs: every error path returns before the
+// caller sees a Snapshot, so a failed load cannot leave a catalog (or
+// anything else) half-mutated.
+
+#ifndef FAIRHMS_DATA_SNAPSHOT_H_
+#define FAIRHMS_DATA_SNAPSHOT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/statusor.h"
+#include "data/dataset.h"
+#include "data/grouping.h"
+#include "skyline/incremental.h"
+
+namespace fairhms {
+
+/// Current writer format. Readers accept every version <= this and reject
+/// newer ones with Unimplemented (a downgrade must never misparse).
+inline constexpr uint32_t kSnapshotFormatVersion = 1;
+
+/// Byte offsets of the fixed header fields, exported so corruption tests
+/// can patch specific fields (and reseal with Crc32) instead of guessing.
+inline constexpr size_t kSnapshotMagicOffset = 0;
+inline constexpr size_t kSnapshotVersionOffset = 8;
+inline constexpr size_t kSnapshotPayloadOffset = 24;
+
+/// Everything a dynamic SolverSession needs to warm-start: the table, the
+/// partition, insert-routing provenance and the maintained skyline state.
+struct Snapshot {
+  Dataset data = Dataset(1);
+  Grouping grouping;
+  /// Names of the categorical columns whose value combination routes
+  /// inserted rows to groups (empty when the grouping has no categorical
+  /// provenance).
+  std::vector<std::string> group_columns;
+  /// Combination -> group id table, sorted by combination. Preserved
+  /// explicitly because a combination whose rows were all erased is no
+  /// longer derivable from the table, yet must keep routing to its
+  /// original group after a restore.
+  std::vector<std::pair<std::vector<int>, int>> combo_to_group;
+  /// Maintained skyline state; absent (has_index == false) when the
+  /// snapshotted session never built one.
+  bool has_index = false;
+  SkylineIndexState index;
+};
+
+/// CRC32 (IEEE 802.3, reflected, init/final 0xFFFFFFFF) — the snapshot
+/// trailer checksum. Exported so tests can corrupt a payload byte and
+/// reseal the trailer, proving a later reject is structural rather than a
+/// checksum artifact.
+uint32_t Crc32(const void* data, size_t n);
+
+/// Serializes to the binary format (header + payload + CRC trailer).
+std::string SerializeSnapshot(const Snapshot& snapshot);
+
+/// Parses and fully validates a serialized snapshot (see the taxonomy in
+/// the header comment). The returned snapshot's Dataset passes Validate()
+/// and its grouping/provenance/index references are internally consistent;
+/// SkylineIndex::Restore re-checks the index state against the table.
+StatusOr<Snapshot> ParseSnapshot(std::string_view bytes);
+
+/// Writes atomically: serializes, writes `path` + ".tmp", then renames
+/// over `path`, so a crash mid-write never leaves a torn snapshot behind.
+Status WriteSnapshotFile(const Snapshot& snapshot, const std::string& path);
+
+/// Reads and parses `path`. A missing file is NotFound; everything else
+/// follows the ParseSnapshot taxonomy.
+StatusOr<Snapshot> ReadSnapshotFile(const std::string& path);
+
+}  // namespace fairhms
+
+#endif  // FAIRHMS_DATA_SNAPSHOT_H_

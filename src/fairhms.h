@@ -10,6 +10,7 @@
 #include "algo/fair_greedy.h"
 #include "algo/group_adapter.h"
 #include "algo/intcov.h"
+#include "api/catalog.h"
 #include "api/params.h"
 #include "api/registry.h"
 #include "api/session.h"
@@ -29,6 +30,7 @@
 #include "data/dataset.h"
 #include "data/generators.h"
 #include "data/grouping.h"
+#include "data/snapshot.h"
 #include "fairness/group_bounds.h"
 #include "fairness/matroid.h"
 #include "skyline/incremental.h"

@@ -158,6 +158,64 @@ Status IncrementalSkyline::EraseOne(int row) {
   return Status::OK();
 }
 
+IncrementalSkylineState IncrementalSkyline::SaveState() const {
+  IncrementalSkylineState state;
+  state.skyline = sky_;
+  state.dominated.reserve(dominator_.size());
+  for (const auto& [row, dom] : dominator_) {
+    state.dominated.emplace_back(row, dom);
+  }
+  std::sort(state.dominated.begin(), state.dominated.end());
+  return state;
+}
+
+Status IncrementalSkyline::RestoreState(const IncrementalSkylineState& state) {
+  // Build into locals first so a rejected state leaves *this untouched.
+  const size_t n = data_->size();
+  std::vector<char> seen(n, 0);
+  auto claim_row = [&](int r) -> Status {
+    if (r < 0 || static_cast<size_t>(r) >= n) {
+      return Status::InvalidArgument(
+          StrFormat("skyline state row %d out of range (table size %zu)", r,
+                    n));
+    }
+    if (!data_->live(static_cast<size_t>(r))) {
+      return Status::InvalidArgument(
+          StrFormat("skyline state row %d is tombstoned", r));
+    }
+    if (seen[static_cast<size_t>(r)]) {
+      return Status::InvalidArgument(
+          StrFormat("skyline state row %d appears twice", r));
+    }
+    seen[static_cast<size_t>(r)] = 1;
+    return Status::OK();
+  };
+  for (size_t i = 0; i < state.skyline.size(); ++i) {
+    FAIRHMS_RETURN_IF_ERROR(claim_row(state.skyline[i]));
+    if (i > 0 && state.skyline[i - 1] >= state.skyline[i]) {
+      return Status::InvalidArgument(
+          "skyline state members not sorted ascending");
+    }
+  }
+  std::unordered_map<int, int> dominator;
+  std::unordered_map<int, std::vector<int>> bucket;
+  dominator.reserve(state.dominated.size());
+  for (const auto& [row, dom] : state.dominated) {
+    FAIRHMS_RETURN_IF_ERROR(claim_row(row));
+    if (!std::binary_search(state.skyline.begin(), state.skyline.end(), dom)) {
+      return Status::InvalidArgument(StrFormat(
+          "dominator %d of row %d is not a skyline member", dom, row));
+    }
+    dominator[row] = dom;
+    bucket[dom].push_back(row);
+  }
+  sky_ = state.skyline;
+  dominator_ = std::move(dominator);
+  bucket_ = std::move(bucket);
+  ops_since_rebuild_ = 0;
+  return Status::OK();
+}
+
 void IncrementalSkyline::MaybeRebuild() {
   if (opts_.churn_rebuild_factor <= 0.0) return;
   const double threshold =
@@ -195,6 +253,83 @@ SkylineIndex::SkylineIndex(const Dataset* data, const Grouping* grouping,
   }
   data_version_ = data_->version();
   grouping_version_ = grouping_->version;
+}
+
+SkylineIndex::SkylineIndex(RestoreTag, const Dataset* data,
+                           const Grouping* grouping,
+                           IncrementalSkylineOptions opts)
+    : data_(data), grouping_(grouping), opts_(opts), global_(data, opts) {}
+
+SkylineIndexState SkylineIndex::SaveState() const {
+  SkylineIndexState state;
+  state.global = global_.SaveState();
+  state.per_group.reserve(per_group_.size());
+  for (const auto& g : per_group_) state.per_group.push_back(g.SaveState());
+  return state;
+}
+
+StatusOr<std::unique_ptr<SkylineIndex>> SkylineIndex::Restore(
+    const Dataset* data, const Grouping* grouping,
+    const SkylineIndexState& state, IncrementalSkylineOptions opts) {
+  if (data == nullptr || grouping == nullptr) {
+    return Status::InvalidArgument(
+        "SkylineIndex::Restore requires a dataset and a grouping");
+  }
+  if (grouping->group_of.size() != data->size()) {
+    return Status::InvalidArgument(
+        StrFormat("grouping covers %zu rows, dataset has %zu",
+                  grouping->group_of.size(), data->size()));
+  }
+  if (state.per_group.size() != static_cast<size_t>(grouping->num_groups)) {
+    return Status::InvalidArgument(
+        StrFormat("snapshot carries %zu group skylines, grouping has %d groups",
+                  state.per_group.size(), grouping->num_groups));
+  }
+  auto index = std::unique_ptr<SkylineIndex>(
+      new SkylineIndex(RestoreTag{}, data, grouping, opts));
+  FAIRHMS_RETURN_IF_ERROR(index->global_.RestoreState(state.global));
+  // Each restored universe holds unique live rows, so an exact size match
+  // against the live tables means exact coverage.
+  const size_t live_total = data->LiveRows().size();
+  if (index->global_.universe_size() != live_total) {
+    return Status::InvalidArgument(
+        StrFormat("global skyline state covers %zu rows, dataset has %zu live",
+                  index->global_.universe_size(), live_total));
+  }
+  index->live_members_ = grouping->MembersLive(*data);
+  index->live_counts_.assign(static_cast<size_t>(grouping->num_groups), 0);
+  for (int c = 0; c < grouping->num_groups; ++c) {
+    const size_t ci = static_cast<size_t>(c);
+    const std::vector<int>& members = index->live_members_[ci];
+    auto in_group = [&](int r) -> Status {
+      if (!std::binary_search(members.begin(), members.end(), r)) {
+        return Status::InvalidArgument(StrFormat(
+            "group %d skyline state claims row %d of another group", c, r));
+      }
+      return Status::OK();
+    };
+    for (int r : state.per_group[ci].skyline) {
+      FAIRHMS_RETURN_IF_ERROR(in_group(r));
+    }
+    for (const auto& [row, dom] : state.per_group[ci].dominated) {
+      (void)dom;
+      FAIRHMS_RETURN_IF_ERROR(in_group(row));
+    }
+    index->per_group_.emplace_back(data, opts);
+    FAIRHMS_RETURN_IF_ERROR(
+        index->per_group_.back().RestoreState(state.per_group[ci]));
+    if (index->per_group_.back().universe_size() != members.size()) {
+      return Status::InvalidArgument(
+          StrFormat("group %d skyline state covers %zu rows, group has %zu "
+                    "live members",
+                    c, index->per_group_.back().universe_size(),
+                    members.size()));
+    }
+    index->live_counts_[ci] = static_cast<int>(members.size());
+  }
+  index->data_version_ = data->version();
+  index->grouping_version_ = grouping->version;
+  return index;
 }
 
 void SkylineIndex::SyncGroupCount() {

@@ -34,10 +34,13 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
+#include "common/statusor.h"
 #include "data/dataset.h"
 #include "data/grouping.h"
 #include "skyline/skyline.h"
@@ -52,6 +55,18 @@ struct IncrementalSkylineOptions {
   /// Options for full (re)builds. `exact` must stay true — an inexact
   /// superset would diverge from the incrementally maintained set.
   SkylineOptions skyline;
+};
+
+/// Portable snapshot of one IncrementalSkyline: the maintained skyline plus
+/// the dominator assignment of every non-skyline universe member. Enough to
+/// reconstruct the structure without a single dominance test — the point of
+/// binary snapshot restore (data/snapshot.h) versus a cold rebuild.
+struct IncrementalSkylineState {
+  std::vector<int> skyline;  ///< Ascending.
+  /// (row, dominator) per non-skyline member, ascending by row. The
+  /// recorded dominator must be a skyline member; which one is an internal
+  /// detail and never affects the maintained set.
+  std::vector<std::pair<int, int>> dominated;
 };
 
 /// One exact, incrementally maintained skyline over a row universe.
@@ -80,6 +95,17 @@ class IncrementalSkyline {
   /// ComputeSkyline(data, universe) at every point in time.
   const std::vector<int>& skyline() const { return sky_; }
 
+  /// Deterministic export of the maintained state (dominated rows sorted
+  /// ascending, so two equal structures serialize byte-identically).
+  IncrementalSkylineState SaveState() const;
+
+  /// Replaces the structure with a previously exported state without any
+  /// dominance computation. Validates cheaply — every row readable and
+  /// live, every dominator a skyline member, no duplicates across the
+  /// universe — and rejects with InvalidArgument leaving the structure
+  /// untouched (geometric consistency is the snapshot checksum's job).
+  Status RestoreState(const IncrementalSkylineState& state);
+
   size_t universe_size() const { return sky_.size() + dominator_.size(); }
   /// Full rebuilds triggered by the churn threshold (telemetry).
   size_t rebuilds() const { return rebuilds_; }
@@ -104,6 +130,14 @@ class IncrementalSkyline {
   size_t rebuilds_ = 0;
 };
 
+/// Portable snapshot of a whole SkylineIndex: the global skyline plus one
+/// state per group, in group-id order. Restoring re-derives the live group
+/// tables from the Dataset/Grouping pair (cheap, no dominance tests).
+struct SkylineIndexState {
+  IncrementalSkylineState global;
+  std::vector<IncrementalSkylineState> per_group;
+};
+
 /// Every skyline-derived artifact of one (Dataset, Grouping) pair, kept
 /// current under mutation: global skyline, per-group skylines, the fair
 /// candidate pool and the live group count/member tables.
@@ -114,6 +148,16 @@ class SkylineIndex {
   /// through OnAppend/OnErase (SolverSession does this automatically).
   SkylineIndex(const Dataset* data, const Grouping* grouping,
                IncrementalSkylineOptions opts = {});
+
+  /// Deterministic export of the maintained state for snapshotting.
+  SkylineIndexState SaveState() const;
+
+  /// Rebuilds an index from an exported state without recomputing any
+  /// skyline. Validates that the state's universes exactly cover the live
+  /// rows of `data` (globally and per group); InvalidArgument otherwise.
+  static StatusOr<std::unique_ptr<SkylineIndex>> Restore(
+      const Dataset* data, const Grouping* grouping,
+      const SkylineIndexState& state, IncrementalSkylineOptions opts = {});
 
   /// Rows [first, end) were appended to the dataset and the grouping.
   Status OnAppend(size_t first, size_t end);
@@ -141,6 +185,11 @@ class SkylineIndex {
   size_t rebuilds() const;
 
  private:
+  /// Tag ctor for Restore: wires the pointers but computes nothing.
+  struct RestoreTag {};
+  SkylineIndex(RestoreTag, const Dataset* data, const Grouping* grouping,
+               IncrementalSkylineOptions opts);
+
   /// Grows the per-group structures to the grouping's current group count.
   void SyncGroupCount();
 

@@ -7,6 +7,7 @@
 // rebuilds, so the fallback path is held to the same oracle).
 
 #include <algorithm>
+#include <tuple>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -184,6 +185,107 @@ TEST(SkylineIndexTest, NewGroupsJoinTheIndex) {
             ComputeGroupSkylines(data, grouping));
   EXPECT_EQ(index.live_counts(), (std::vector<int>{2, 1}));
   EXPECT_EQ(index.fair_pool(), ComputeFairCandidatePool(data, grouping));
+}
+
+TEST(IncrementalSkylineTest, SaveRestoreStateRoundTrip) {
+  Dataset data =
+      MakeDataset({{0.5, 0.5}, {0.4, 0.1}, {0.1, 0.4}, {0.9, 0.9}});
+  IncrementalSkyline sky(&data);
+  sky.Reset({0, 1, 2, 3});
+  ASSERT_TRUE(sky.Erase(3).ok());  // Re-promotes 0; 1, 2 stay dominated.
+  ASSERT_TRUE(data.ErasePoints({3}).ok());
+  const IncrementalSkylineState state = sky.SaveState();
+
+  IncrementalSkyline restored(&data);
+  ASSERT_TRUE(restored.RestoreState(state).ok());
+  EXPECT_EQ(restored.skyline(), sky.skyline());
+  EXPECT_EQ(restored.universe_size(), sky.universe_size());
+  const IncrementalSkylineState after = restored.SaveState();
+  EXPECT_EQ(after.skyline, state.skyline);
+  EXPECT_EQ(after.dominated, state.dominated);
+
+  // A state referencing a dead row is rejected without touching the
+  // structure (row 3 was erased above).
+  IncrementalSkylineState dead = state;
+  dead.skyline.push_back(3);
+  EXPECT_EQ(restored.RestoreState(dead).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(restored.skyline(), sky.skyline());
+
+  // So is one listing a row twice across the universe.
+  IncrementalSkylineState dup = state;
+  dup.dominated.push_back({state.skyline.front(), state.skyline.front()});
+  EXPECT_EQ(restored.RestoreState(dup).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(restored.skyline(), sky.skyline());
+}
+
+TEST(SkylineIndexTest, RestoredIndexMatchesOriginalAndMutatesIdentically) {
+  // Build an index through real churn, export it, restore it against a
+  // copy of the table — then drive BOTH through the same mutation stream.
+  // A restored index must be indistinguishable from one that never left
+  // the process, after every subsequent op.
+  Rng rng(23);
+  Dataset data = GenIndependent(80, 3, &rng).NormalizedMinMax();
+  Grouping grouping = GroupBySumRank(data, 3);
+  SkylineIndex index(&data, &grouping);
+  ASSERT_TRUE(data.ErasePoints({2, 5, 9}).ok());
+  ASSERT_TRUE(index.OnErase({2, 5, 9}).ok());
+
+  const SkylineIndexState state = index.SaveState();
+  Dataset data2 = data;
+  Grouping grouping2 = grouping;
+  auto restored = SkylineIndex::Restore(&data2, &grouping2, state);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+
+  auto expect_equal = [&](int step) {
+    ASSERT_EQ((*restored)->skyline(), index.skyline()) << "step " << step;
+    ASSERT_EQ((*restored)->group_skylines(), index.group_skylines())
+        << "step " << step;
+    ASSERT_EQ((*restored)->fair_pool(), index.fair_pool()) << "step " << step;
+    ASSERT_EQ((*restored)->live_counts(), index.live_counts())
+        << "step " << step;
+    const SkylineIndexState a = index.SaveState();
+    const SkylineIndexState b = (*restored)->SaveState();
+    ASSERT_EQ(a.global.skyline, b.global.skyline) << "step " << step;
+    ASSERT_EQ(a.global.dominated, b.global.dominated) << "step " << step;
+    ASSERT_EQ(a.per_group.size(), b.per_group.size()) << "step " << step;
+    for (size_t g = 0; g < a.per_group.size(); ++g) {
+      ASSERT_EQ(a.per_group[g].skyline, b.per_group[g].skyline)
+          << "step " << step << " group " << g;
+      ASSERT_EQ(a.per_group[g].dominated, b.per_group[g].dominated)
+          << "step " << step << " group " << g;
+    }
+  };
+  expect_equal(-1);
+
+  for (int step = 0; step < 60; ++step) {
+    if (rng.UniformInt(100) < 60 || data.live_size() < 8) {
+      std::vector<double> coords = {rng.Uniform(), rng.Uniform(),
+                                    rng.Uniform()};
+      const int group = static_cast<int>(rng.UniformInt(3));
+      for (auto [d, g, idx] :
+           {std::tuple<Dataset*, Grouping*, SkylineIndex*>{&data, &grouping,
+                                                           &index},
+            std::tuple<Dataset*, Grouping*, SkylineIndex*>{
+                &data2, &grouping2, restored->get()}}) {
+        auto first = d->AppendRows({coords}, {{}});
+        ASSERT_TRUE(first.ok());
+        g->AppendRow(group);
+        ASSERT_TRUE(idx->OnAppend(static_cast<size_t>(*first), d->size()).ok());
+      }
+    } else {
+      const std::vector<int> live = data.LiveRows();
+      const int row = live[rng.UniformInt(live.size())];
+      ASSERT_TRUE(data.ErasePoints({row}).ok());
+      ASSERT_TRUE(index.OnErase({row}).ok());
+      ASSERT_TRUE(data2.ErasePoints({row}).ok());
+      ASSERT_TRUE((*restored)->OnErase({row}).ok());
+    }
+    expect_equal(step);
+  }
+  // And the oracle still holds for the restored side on its own table.
+  EXPECT_EQ((*restored)->skyline(), ComputeSkyline(data2));
+  EXPECT_EQ((*restored)->group_skylines(),
+            ComputeGroupSkylines(data2, grouping2));
 }
 
 TEST(SkylineIndexTest, GroupEmptiedByDeletesKeepsEmptySkyline) {

@@ -22,8 +22,10 @@
 #include <iostream>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "api/catalog.h"
 #include "api/session.h"
 #include "api/solver.h"
 #include "cli_util.h"
@@ -35,6 +37,7 @@
 #include "data/csv.h"
 #include "data/generators.h"
 #include "data/grouping.h"
+#include "data/snapshot.h"
 #include "fairness/group_bounds.h"
 #include "skyline/skyline.h"
 
@@ -84,11 +87,15 @@ Algorithm:
 Output:
   --format=F               plain (default) | csv | json
 
-Batch serving (many queries over one pinned dataset):
+Batch serving (many queries over a catalog of named datasets):
   --queries=FILE           JSONL file ('-' = stdin): one request object per
-                           line, served through a single SolverSession with
-                           cross-query artifact caching. Per line:
-                             {"algorithm": "bigreedy", "k": 10,
+                           line, served through a DatasetCatalog of dynamic
+                           SolverSessions with cross-query artifact caching.
+                           The flag-loaded dataset registers as "default";
+                           every line routes by its optional string
+                           "dataset" field (default "default"). Per line:
+                             {"dataset": "default", "algorithm": "bigreedy",
+                              "k": 10,
                               "bounds": "proportional|balanced|explicit",
                               "alpha": 0.1, "lower": [..], "upper": [..],
                               "seed": 42, "threads": 0, "id": any,
@@ -96,7 +103,12 @@ Batch serving (many queries over one pinned dataset):
                            k and algorithm are required; seed/threads
                            default to the --seed/--threads flags; bounds
                            defaults to proportional. One result JSON is
-                           streamed to stdout per line (errors become
+                           streamed to stdout per line as
+                             {"id": .., "ok": true, "dataset": "name",
+                              "catalog_version": V, ...result fields...}
+                           (catalog_version is the catalog's mutation
+                           counter, so each response pins which catalog
+                           state served it; errors become
                            {"ok": false, "error": ...} lines without
                            stopping the batch); the cache report goes to
                            stderr. --algo/--k/--bounds/--format and
@@ -106,8 +118,10 @@ Batch serving (many queries over one pinned dataset):
                            incrementally, utility nets survive:
                              {"op": "insert", "point": [0.4, ...],
                               "cats": {"gender": "F", ...},
-                              "group": "F" | 2, "id": any}
-                             {"op": "delete", "rows": [17, 42], "id": any}
+                              "group": "F" | 2, "id": any,
+                              "dataset": "name"}
+                             {"op": "delete", "rows": [17, 42], "id": any,
+                              "dataset": "name"}
                            Inserted points are used as given (they bypass
                            --normalize; supply already-scaled coordinates).
                            "cats" maps categorical columns to labels
@@ -120,9 +134,41 @@ Batch serving (many queries over one pinned dataset):
                            group count and happiness denominator; a group
                            emptied by deletes gets [0, 0] proportional
                            bounds instead of poisoning feasibility.
-  --cache_budget_mb=N      drop the artifact cache when it exceeds N MiB
-                           (default 1024; 0 = unbounded). Results are
-                           bit-identical regardless.
+                           Catalog ops manage further datasets in-stream:
+                             {"op": "register", "name": "x",
+                              "synthetic": "independent", "n": 500,
+                              "dim": 3, "seed": 7, "groups": 2,
+                              "group_by": ["col"], "normalize": "minmax"}
+                             {"op": "register", "name": "x",
+                              "snapshot": "x.snap"}
+                             {"op": "save", "name": "x", "path": "x.snap"}
+                             {"op": "drop", "name": "x"}
+                             {"op": "list"}
+  --global_cache_budget_mb=N
+                           process-wide cache budget across every catalog
+                           session (default 1024; 0 = unbounded). When the
+                           global resident total crosses it, the coldest
+                           sessions' caches are evicted first (the serving
+                           session last), so an undersized budget degrades
+                           to recomputation — results are bit-identical
+                           regardless.
+  --cache_budget_mb=N      deprecated alias for --global_cache_budget_mb
+                           (the budget has been process-wide since the
+                           catalog landed); warns once on stderr. Giving
+                           both with different values is an error.
+
+Snapshots (versioned binary serving state; see data/snapshot.h):
+  --snapshot_save=PATH     after the batch stream completes, write the
+                           "default" dataset's full serving state (table,
+                           tombstones, grouping, insert-routing provenance,
+                           maintained skyline state) to PATH atomically.
+  --snapshot_load=PATH     register "default" from a snapshot file instead
+                           of --csv/--synthetic: the process warm-starts
+                           without re-ingest or skyline recomputation.
+                           Corrupt, truncated or future-versioned files are
+                           rejected up front. Batch mode only.
+  --snapshot_info=PATH     print a snapshot file's summary (rows, dims,
+                           groups, format version, skyline state) and exit.
 )";
 
 int Fail(const Status& status) {
@@ -147,6 +193,34 @@ int ListAlgos() {
   return 0;
 }
 
+/// The shared synthetic-generator dispatch: `n` 0 means the paper-default
+/// size for the chosen family. Serves both the --synthetic flag and the
+/// batch stream's {"op": "register", "synthetic": ...} lines.
+StatusOr<Dataset> MakeSynthetic(const std::string& name, int64_t n_raw,
+                                int64_t dim_raw, Rng* rng) {
+  if (n_raw < 0) return Status::InvalidArgument("n must be >= 0");
+  if (dim_raw < 1 || dim_raw > 1000) {
+    return Status::InvalidArgument("dim must be in [1, 1000]");
+  }
+  const size_t n = static_cast<size_t>(n_raw);
+  const int dim = static_cast<int>(dim_raw);
+  if (name == "independent") {
+    return GenIndependent(n == 0 ? 10000 : n, dim, rng);
+  }
+  if (name == "anticorrelated" || name == "anticor") {
+    return GenAntiCorrelated(n == 0 ? 10000 : n, dim, rng);
+  }
+  if (name == "correlated") {
+    return GenCorrelated(n == 0 ? 10000 : n, dim, rng);
+  }
+  if (name == "lawschs") return n ? MakeLawschsSim(rng, n) : MakeLawschsSim(rng);
+  if (name == "adult") return n ? MakeAdultSim(rng, n) : MakeAdultSim(rng);
+  if (name == "compas") return n ? MakeCompasSim(rng, n) : MakeCompasSim(rng);
+  if (name == "credit") return n ? MakeCreditSim(rng, n) : MakeCreditSim(rng);
+  return Status::InvalidArgument(
+      StrFormat("unknown synthetic family '%s'", name.c_str()));
+}
+
 StatusOr<Dataset> LoadDataset(const cli::Flags& flags, Rng* rng) {
   const bool has_csv = flags.Has("csv");
   const bool has_syn = flags.Has("synthetic");
@@ -168,30 +242,8 @@ StatusOr<Dataset> LoadDataset(const cli::Flags& flags, Rng* rng) {
     }
     return ReadCsv(flags.GetString("csv", ""), opts);
   }
-  const std::string name = flags.GetString("synthetic", "");
-  const int64_t n_raw = flags.GetInt("n", 0);
-  const int64_t dim_raw = flags.GetInt("dim", 4);
-  if (n_raw < 0) return Status::InvalidArgument("--n must be >= 0");
-  if (dim_raw < 1 || dim_raw > 1000) {
-    return Status::InvalidArgument("--dim must be in [1, 1000]");
-  }
-  const size_t n = static_cast<size_t>(n_raw);
-  const int dim = static_cast<int>(dim_raw);
-  if (name == "independent") {
-    return GenIndependent(n == 0 ? 10000 : n, dim, rng);
-  }
-  if (name == "anticorrelated" || name == "anticor") {
-    return GenAntiCorrelated(n == 0 ? 10000 : n, dim, rng);
-  }
-  if (name == "correlated") {
-    return GenCorrelated(n == 0 ? 10000 : n, dim, rng);
-  }
-  if (name == "lawschs") return n ? MakeLawschsSim(rng, n) : MakeLawschsSim(rng);
-  if (name == "adult") return n ? MakeAdultSim(rng, n) : MakeAdultSim(rng);
-  if (name == "compas") return n ? MakeCompasSim(rng, n) : MakeCompasSim(rng);
-  if (name == "credit") return n ? MakeCreditSim(rng, n) : MakeCreditSim(rng);
-  return Status::InvalidArgument(
-      StrFormat("unknown --synthetic '%s'", name.c_str()));
+  return MakeSynthetic(flags.GetString("synthetic", ""), flags.GetInt("n", 0),
+                       flags.GetInt("dim", 4), rng);
 }
 
 StatusOr<Grouping> MakeGrouping(const cli::Flags& flags, const Dataset& data) {
@@ -290,7 +342,8 @@ void WarnUnusedFlags(const cli::Flags& flags) {
                      "dim", "seed", "normalize", "groups", "group_by", "k",
                      "bounds", "alpha", "lower", "upper", "algo", "format",
                      "threads", "list_algos", "queries", "cache_budget_mb",
-                     "help"});
+                     "global_cache_budget_mb", "snapshot_save",
+                     "snapshot_load", "snapshot_info", "help"});
   for (const auto& key : flags.Unknown()) {
     if (documented.count(key)) {
       std::fprintf(stderr,
@@ -304,14 +357,55 @@ void WarnUnusedFlags(const cli::Flags& flags) {
   }
 }
 
-/// Applies --normalize to a freshly loaded dataset.
-StatusOr<Dataset> NormalizeDataset(const cli::Flags& flags, Dataset raw) {
-  const std::string norm = flags.GetString("normalize", "minmax");
+/// Applies a normalization mode (minmax | max | none) to a freshly loaded
+/// dataset; shared by the --normalize flag and register ops.
+StatusOr<Dataset> NormalizeByName(const std::string& norm, Dataset raw) {
   if (norm == "minmax") return raw.NormalizedMinMax();
   if (norm == "max") return raw.ScaledByMax();
   if (norm == "none") return raw;
   return Status::InvalidArgument(
-      StrFormat("unknown --normalize '%s'", norm.c_str()));
+      StrFormat("unknown normalization '%s' (want minmax, max or none)",
+                norm.c_str()));
+}
+
+/// Applies --normalize to a freshly loaded dataset.
+StatusOr<Dataset> NormalizeDataset(const cli::Flags& flags, Dataset raw) {
+  return NormalizeByName(flags.GetString("normalize", "minmax"),
+                         std::move(raw));
+}
+
+/// Resolves the process-wide cache budget from --global_cache_budget_mb,
+/// honoring the deprecated --cache_budget_mb spelling (the budget has been
+/// global since the catalog landed) with a one-time warning. Both flags
+/// with different values is a contradiction, not a preference order.
+StatusOr<uint64_t> ResolveCacheBudgetBytes(const cli::Flags& flags) {
+  const bool has_legacy = flags.Has("cache_budget_mb");
+  const bool has_global = flags.Has("global_cache_budget_mb");
+  int64_t mb = 1024;
+  if (has_legacy && has_global &&
+      flags.GetInt("cache_budget_mb", 1024) !=
+          flags.GetInt("global_cache_budget_mb", 1024)) {
+    return Status::InvalidArgument(
+        "--cache_budget_mb and --global_cache_budget_mb disagree; "
+        "--cache_budget_mb is a deprecated alias — drop it and keep "
+        "--global_cache_budget_mb");
+  }
+  if (has_legacy) {
+    static bool warned = false;
+    if (!warned) {
+      warned = true;
+      std::fprintf(stderr,
+                   "fairhms_cli: warning: --cache_budget_mb is deprecated; "
+                   "the budget is process-wide across the whole catalog — "
+                   "use --global_cache_budget_mb\n");
+    }
+    mb = flags.GetInt("cache_budget_mb", 1024);
+  }
+  if (has_global) mb = flags.GetInt("global_cache_budget_mb", 1024);
+  if (mb < 0) {
+    return Status::InvalidArgument("--global_cache_budget_mb must be >= 0");
+  }
+  return static_cast<uint64_t>(mb) * 1024 * 1024;
 }
 
 /// Builds the GroupBounds of one batch query (default: proportional 0.1).
@@ -672,35 +766,232 @@ StatusOr<std::string> ServeQuery(const cli::JsonValue& query,
   return out;
 }
 
-/// The --queries batch driver: pin the dataset + grouping in one
-/// SolverSession, stream one result JSON per request line.
+/// Serves one {"op": "register"} line: builds a synthetic dataset (or
+/// restores a snapshot file) and registers it in the catalog under the
+/// line's "name". `dataset_label` gets the target name for the envelope
+/// even when registration fails partway.
+StatusOr<std::string> ServeRegister(const cli::JsonValue& op,
+                                    uint64_t default_seed,
+                                    DatasetCatalog* catalog,
+                                    std::string* dataset_label) {
+  const cli::JsonValue* name_field = op.Find("name");
+  if (name_field == nullptr || !name_field->is_string()) {
+    return Status::InvalidArgument("register needs a string \"name\"");
+  }
+  const std::string name = name_field->string_value();
+  *dataset_label = name;
+  const cli::JsonValue* snap = op.Find("snapshot");
+  const cli::JsonValue* syn = op.Find("synthetic");
+  if (snap != nullptr && syn != nullptr) {
+    return Status::InvalidArgument(
+        "register takes \"snapshot\" or \"synthetic\", not both");
+  }
+  if (snap != nullptr) {
+    if (!snap->is_string()) {
+      return Status::InvalidArgument("\"snapshot\" must be a path string");
+    }
+    FAIRHMS_RETURN_IF_ERROR(catalog->Load(name, snap->string_value()));
+  } else {
+    if (syn == nullptr || !syn->is_string()) {
+      return Status::InvalidArgument(
+          "register needs a string \"synthetic\" (generator family) or "
+          "\"snapshot\" (file path) source");
+    }
+    int64_t n = 0;
+    int64_t dim = 4;
+    uint64_t seed = default_seed;
+    if (const cli::JsonValue* v = op.Find("n"); v != nullptr) {
+      FAIRHMS_ASSIGN_OR_RETURN(n, v->AsInt64());
+    }
+    if (const cli::JsonValue* v = op.Find("dim"); v != nullptr) {
+      FAIRHMS_ASSIGN_OR_RETURN(dim, v->AsInt64());
+    }
+    if (const cli::JsonValue* v = op.Find("seed"); v != nullptr) {
+      FAIRHMS_ASSIGN_OR_RETURN(const int64_t s, v->AsInt64());
+      if (s < 0) return Status::InvalidArgument("\"seed\" must be >= 0");
+      seed = static_cast<uint64_t>(s);
+    }
+    Rng rng(seed);
+    FAIRHMS_ASSIGN_OR_RETURN(Dataset raw,
+                             MakeSynthetic(syn->string_value(), n, dim, &rng));
+    std::string norm = "minmax";
+    if (const cli::JsonValue* v = op.Find("normalize"); v != nullptr) {
+      if (!v->is_string()) {
+        return Status::InvalidArgument("\"normalize\" must be a string");
+      }
+      norm = v->string_value();
+    }
+    FAIRHMS_ASSIGN_OR_RETURN(Dataset data,
+                             NormalizeByName(norm, std::move(raw)));
+    std::vector<std::string> group_columns;
+    Grouping grouping;
+    if (const cli::JsonValue* gb = op.Find("group_by"); gb != nullptr) {
+      if (!gb->is_array()) {
+        return Status::InvalidArgument(
+            "\"group_by\" must be an array of categorical column names");
+      }
+      for (const cli::JsonValue& item : gb->items()) {
+        if (!item.is_string()) {
+          return Status::InvalidArgument(
+              "\"group_by\" entries must be column-name strings");
+        }
+        group_columns.push_back(item.string_value());
+      }
+      FAIRHMS_ASSIGN_OR_RETURN(grouping,
+                               GroupByCategoricalProduct(data, group_columns));
+    } else {
+      int64_t groups = 1;
+      if (const cli::JsonValue* v = op.Find("groups"); v != nullptr) {
+        FAIRHMS_ASSIGN_OR_RETURN(groups, v->AsInt64());
+      }
+      if (groups < 1 || groups > static_cast<int64_t>(data.size())) {
+        return Status::InvalidArgument(StrFormat(
+            "\"groups\" must be in [1, %zu]", data.size()));
+      }
+      if (groups == 1) {
+        grouping = SingleGroup(data.size());
+      } else {
+        grouping = GroupBySumRank(data, static_cast<int>(groups));
+      }
+    }
+    FAIRHMS_RETURN_IF_ERROR(catalog->Register(
+        name, std::move(data), std::move(grouping), group_columns));
+  }
+  FAIRHMS_ASSIGN_OR_RETURN(SolverSession * session, catalog->Session(name));
+  return StrFormat(
+      "\"op\": \"register\", \"name\": \"%s\", \"rows\": %zu, \"dim\": %d, "
+      "\"groups\": %d",
+      cli::JsonEscape(name).c_str(), session->data().live_size(),
+      session->data().dim(), session->grouping().num_groups);
+}
+
+/// Serves one {"op": "save"} line: snapshots a catalog entry to disk.
+StatusOr<std::string> ServeSave(const cli::JsonValue& op,
+                                DatasetCatalog* catalog,
+                                std::string* dataset_label) {
+  const cli::JsonValue* name_field = op.Find("name");
+  if (name_field == nullptr || !name_field->is_string()) {
+    return Status::InvalidArgument("save needs a string \"name\"");
+  }
+  const cli::JsonValue* path_field = op.Find("path");
+  if (path_field == nullptr || !path_field->is_string()) {
+    return Status::InvalidArgument("save needs a string \"path\"");
+  }
+  *dataset_label = name_field->string_value();
+  FAIRHMS_RETURN_IF_ERROR(
+      catalog->Save(name_field->string_value(), path_field->string_value()));
+  return StrFormat("\"op\": \"save\", \"name\": \"%s\", \"path\": \"%s\"",
+                   cli::JsonEscape(name_field->string_value()).c_str(),
+                   cli::JsonEscape(path_field->string_value()).c_str());
+}
+
+/// Serves one {"op": "drop"} line.
+StatusOr<std::string> ServeDrop(const cli::JsonValue& op,
+                                DatasetCatalog* catalog,
+                                std::string* dataset_label) {
+  const cli::JsonValue* name_field = op.Find("name");
+  if (name_field == nullptr || !name_field->is_string()) {
+    return Status::InvalidArgument("drop needs a string \"name\"");
+  }
+  *dataset_label = name_field->string_value();
+  FAIRHMS_RETURN_IF_ERROR(catalog->Drop(name_field->string_value()));
+  return StrFormat("\"op\": \"drop\", \"name\": \"%s\"",
+                   cli::JsonEscape(name_field->string_value()).c_str());
+}
+
+/// Serves one {"op": "list"} line.
+std::string ServeList(const DatasetCatalog& catalog) {
+  std::string out = "\"op\": \"list\", \"datasets\": [";
+  bool first = true;
+  for (const std::string& name : catalog.List()) {
+    out += StrFormat("%s\"%s\"", first ? "" : ", ",
+                     cli::JsonEscape(name).c_str());
+    first = false;
+  }
+  out += "]";
+  return out;
+}
+
+/// --snapshot_info: print a snapshot file's summary and exit.
+int RunSnapshotInfo(const std::string& path) {
+  auto snapshot = ReadSnapshotFile(path);
+  if (!snapshot.ok()) return Fail(snapshot.status());
+  const Dataset& data = snapshot->data;
+  std::printf("snapshot: %s\n", path.c_str());
+  std::printf("  reader format version: %u\n", kSnapshotFormatVersion);
+  std::printf("  rows: %zu total, %zu live\n", data.size(), data.live_size());
+  std::printf("  dim: %d\n", data.dim());
+  std::printf("  dataset version: %llu\n",
+              static_cast<unsigned long long>(data.version()));
+  std::printf("  groups: %d\n", snapshot->grouping.num_groups);
+  std::string cols;
+  for (const std::string& c : snapshot->group_columns) {
+    cols += (cols.empty() ? "" : ", ") + c;
+  }
+  std::printf("  group columns: %s\n", cols.empty() ? "(none)" : cols.c_str());
+  std::printf("  insert-routing combinations: %zu\n",
+              snapshot->combo_to_group.size());
+  if (snapshot->has_index) {
+    std::printf("  skyline state: present (%zu global skyline rows, "
+                "%zu per-group states)\n",
+                snapshot->index.global.skyline.size(),
+                snapshot->index.per_group.size());
+  } else {
+    std::printf("  skyline state: absent (rebuilds lazily)\n");
+  }
+  return 0;
+}
+
+/// The --queries batch driver: a DatasetCatalog of dynamic SolverSessions
+/// (the flag-loaded dataset is "default"), one result JSON per request
+/// line, routed by each line's "dataset" field.
 int RunBatch(const cli::Flags& flags, uint64_t seed, int threads) {
   Stopwatch total;
-  // Bound on resident cache bytes: an unbounded seed/k sweep would pin a
-  // fresh net + evaluator per line forever. Crossing the budget drops the
-  // whole cache (results are bit-identical either way); 0 disables.
-  const int64_t budget_mb = flags.GetInt("cache_budget_mb", 1024);
-  if (budget_mb < 0) {
-    return Fail(Status::InvalidArgument("--cache_budget_mb must be >= 0"));
+  // Process-wide bound on resident cache bytes across every catalog
+  // session: an unbounded seed/k sweep would pin a fresh net + evaluator
+  // per line forever. The arbiter evicts the coldest sessions' caches
+  // when the global total crosses it (results are bit-identical either
+  // way); 0 disables.
+  auto budget_bytes = ResolveCacheBudgetBytes(flags);
+  if (!budget_bytes.ok()) return Fail(budget_bytes.status());
+  DatasetCatalog catalog(DatasetCatalog::Options{*budget_bytes});
+
+  // The flag-described dataset registers as "default": restored warm from
+  // a snapshot, or ingested cold from --csv/--synthetic. With --group_by
+  // the named columns route inserted rows to their groups; otherwise
+  // inserts need an explicit "group".
+  if (flags.Has("snapshot_load")) {
+    if (flags.Has("csv") || flags.Has("synthetic")) {
+      return Fail(Status::InvalidArgument(
+          "--snapshot_load replaces --csv/--synthetic; pass exactly one "
+          "dataset source"));
+    }
+    if (Status st =
+            catalog.Load("default", flags.GetString("snapshot_load", ""));
+        !st.ok()) {
+      return Fail(st);
+    }
+  } else {
+    Rng rng(seed);
+    auto raw = LoadDataset(flags, &rng);
+    if (!raw.ok()) return Fail(raw.status());
+    auto data = NormalizeDataset(flags, std::move(*raw));
+    if (!data.ok()) return Fail(data.status());
+    auto grouping = MakeGrouping(flags, *data);
+    if (!grouping.ok()) return Fail(grouping.status());
+    if (Status st = catalog.Register("default", std::move(*data),
+                                     std::move(*grouping),
+                                     flags.GetList("group_by"));
+        !st.ok()) {
+      return Fail(st);
+    }
   }
-  const uint64_t budget_bytes =
-      static_cast<uint64_t>(budget_mb) * 1024 * 1024;
-  Rng rng(seed);
-  auto raw = LoadDataset(flags, &rng);
-  if (!raw.ok()) return Fail(raw.status());
-  auto data = NormalizeDataset(flags, std::move(*raw));
-  if (!data.ok()) return Fail(data.status());
 
-  auto grouping = MakeGrouping(flags, *data);
-  if (!grouping.ok()) return Fail(grouping.status());
-
-  // A dynamic session: the stream may interleave insert/delete ops with
-  // queries. With --group_by the named columns route inserted rows to
-  // their groups; otherwise inserts need an explicit "group".
-  const std::vector<std::string> group_columns = flags.GetList("group_by");
-  auto session =
-      SolverSession::CreateDynamic(&*data, &*grouping, group_columns);
-  if (!session.ok()) return Fail(session.status());
+  // Looked up here — before the unused-flag sweep — though the save runs
+  // after the stream, over the final mutated state.
+  const std::string snapshot_save =
+      flags.Has("snapshot_save") ? flags.GetString("snapshot_save", "")
+                                 : std::string();
 
   const std::string path = flags.GetString("queries", "");
   std::ifstream file;
@@ -721,21 +1012,16 @@ int RunBatch(const cli::Flags& flags, uint64_t seed, int threads) {
   size_t served = 0;
   size_t failed = 0;
   size_t updates = 0;
-  size_t cache_drops = 0;
   std::string line;
   while (std::getline(in, line)) {
     ++line_no;
     if (Trim(line).empty()) continue;
-    if (budget_bytes > 0 &&
-        session->cache_stats().TotalBytes() > budget_bytes) {
-      session->ClearCache();
-      ++cache_drops;
-    }
     // The line's own "id" (echoed verbatim when scalar) falls back to the
     // 1-based line number.
     std::string id = StrFormat("%zu", line_no);
     Status status = Status::OK();
     std::string body;
+    std::string dataset_label;
     auto parsed = cli::ParseJson(line);
     if (!parsed.ok()) {
       status = parsed.status();
@@ -759,18 +1045,60 @@ int RunBatch(const cli::Flags& flags, uint64_t seed, int threads) {
           op = "";  // Forces the unknown-op error below.
         }
       }
+      // Per-dataset ops route by the line's "dataset" field; catalog ops
+      // (register/save/drop/list) name their target themselves.
+      std::string route = "default";
+      bool route_ok = true;
+      if (const cli::JsonValue* d = parsed->Find("dataset"); d != nullptr) {
+        if (d->is_string()) {
+          route = d->string_value();
+        } else {
+          route_ok = false;
+        }
+      }
       StatusOr<std::string> result =
           Status::InvalidArgument(StrFormat(
-              "unknown \"op\" '%s' (want query, insert or delete)",
+              "unknown \"op\" '%s' (want query, insert, delete, register, "
+              "save, drop or list)",
               op.c_str()));
-      if (op == "query" || op == "solve") {
-        result = ServeQuery(*parsed, &*session, seed, threads);
-      } else if (op == "insert") {
-        result = ServeInsert(*parsed, group_columns, &*data, &*session);
+      if (!route_ok) {
+        result = Status::InvalidArgument(
+            "\"dataset\" must be a string (a catalog name)");
+      } else if (op == "query" || op == "solve" || op == "insert" ||
+                 op == "delete") {
+        dataset_label = route;
+        auto session_or = catalog.Session(route);
+        if (!session_or.ok()) {
+          result = session_or.status();
+        } else {
+          SolverSession* session = *session_or;
+          // Serving marks this session hot; the global budget settles
+          // *after* the line, never mid-solve (cache references handed to
+          // the algorithm must stay valid), evicting the coldest sessions
+          // first and the serving one only as a last resort.
+          catalog.arbiter()->Touch(session->cache());
+          if (op == "insert") {
+            result = ServeInsert(*parsed, session->group_column_names(),
+                                 session->mutable_data(), session);
+            if (result.ok()) ++updates;
+          } else if (op == "delete") {
+            result = ServeDelete(*parsed, session);
+            if (result.ok()) ++updates;
+          } else {
+            result = ServeQuery(*parsed, session, seed, threads);
+          }
+          catalog.arbiter()->Rebalance(session->cache());
+        }
+      } else if (op == "register") {
+        result = ServeRegister(*parsed, seed, &catalog, &dataset_label);
         if (result.ok()) ++updates;
-      } else if (op == "delete") {
-        result = ServeDelete(*parsed, &*session);
+      } else if (op == "save") {
+        result = ServeSave(*parsed, &catalog, &dataset_label);
+      } else if (op == "drop") {
+        result = ServeDrop(*parsed, &catalog, &dataset_label);
         if (result.ok()) ++updates;
+      } else if (op == "list") {
+        result = ServeList(catalog);
       }
       if (result.ok()) {
         body = std::move(*result);
@@ -780,7 +1108,17 @@ int RunBatch(const cli::Flags& flags, uint64_t seed, int threads) {
     }
     if (status.ok()) {
       ++served;
-      std::printf("{\"id\": %s, \"ok\": true, %s}\n", id.c_str(),
+      // The envelope stamps which dataset served the line and the catalog
+      // mutation counter, so responses pin the exact catalog state.
+      const std::string ds =
+          dataset_label.empty()
+              ? std::string()
+              : StrFormat("\"dataset\": \"%s\", ",
+                          cli::JsonEscape(dataset_label).c_str());
+      std::printf("{\"id\": %s, \"ok\": true, %s\"catalog_version\": %llu, "
+                  "%s}\n",
+                  id.c_str(), ds.c_str(),
+                  static_cast<unsigned long long>(catalog.version()),
                   body.c_str());
     } else {
       ++failed;
@@ -790,18 +1128,45 @@ int RunBatch(const cli::Flags& flags, uint64_t seed, int threads) {
     std::fflush(stdout);
   }
 
-  const CacheStats stats = session->cache_stats();
+  if (!snapshot_save.empty()) {
+    if (Status st = catalog.Save("default", snapshot_save); !st.ok()) {
+      return Fail(st);
+    }
+  }
+
+  // Stderr report: aggregate totals, then per-session detail, then the
+  // arbiter's global line — per-session bytes and the global charged
+  // total are printed side by side so they can be checked against each
+  // other.
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t bytes = 0;
+  for (const std::string& name : catalog.List()) {
+    auto s = catalog.Session(name);
+    if (!s.ok()) continue;
+    const CacheStats stats = (*s)->cache_stats();
+    hits += stats.TotalHits();
+    misses += stats.TotalMisses();
+    bytes += stats.TotalBytes();
+  }
   std::fprintf(stderr,
                "fairhms_cli: served %zu lines (%zu updates, %zu failed) in "
                "%.1f ms; cache: %llu hits, %llu misses, %.1f KiB resident, "
-               "%zu budget drops\n",
+               "%llu budget evictions\n",
                served, updates, failed, total.ElapsedMillis(),
-               static_cast<unsigned long long>(stats.TotalHits()),
-               static_cast<unsigned long long>(stats.TotalMisses()),
-               static_cast<double>(stats.TotalBytes()) / 1024.0,
-               cache_drops);
-  std::fprintf(stderr, "fairhms_cli: cache detail: %s\n",
-               stats.ToString().c_str());
+               static_cast<unsigned long long>(hits),
+               static_cast<unsigned long long>(misses),
+               static_cast<double>(bytes) / 1024.0,
+               static_cast<unsigned long long>(
+                   catalog.arbiter()->evictions()));
+  for (const std::string& name : catalog.List()) {
+    auto s = catalog.Session(name);
+    if (!s.ok()) continue;
+    std::fprintf(stderr, "fairhms_cli: cache detail [%s]: %s\n", name.c_str(),
+                 (*s)->cache_stats().ToString().c_str());
+  }
+  std::fprintf(stderr, "fairhms_cli: %s\n",
+               catalog.arbiter()->ToString().c_str());
   return failed == 0 ? 0 : 3;
 }
 
@@ -812,6 +1177,9 @@ int Run(int argc, char** argv) {
     return argc <= 1 ? 1 : 0;
   }
   if (flags.Has("list_algos")) return ListAlgos();
+  if (flags.Has("snapshot_info")) {
+    return RunSnapshotInfo(flags.GetString("snapshot_info", ""));
+  }
 
   // --seed and --threads apply to every dataset source, algorithm and
   // serving mode; validate them up front so no path accepts garbage
@@ -831,6 +1199,11 @@ int Run(int argc, char** argv) {
   if (flags.Has("queries")) {
     return RunBatch(flags, static_cast<uint64_t>(seed_raw),
                     static_cast<int>(threads_raw));
+  }
+  if (flags.Has("snapshot_load") || flags.Has("snapshot_save")) {
+    return Fail(Status::InvalidArgument(
+        "--snapshot_load/--snapshot_save serve the --queries batch mode; "
+        "use --snapshot_info to inspect a file"));
   }
 
   Stopwatch total;
