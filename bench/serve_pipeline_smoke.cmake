@@ -1,0 +1,31 @@
+# CTest smoke for the serving-throughput pipeline: boot the in-process
+# daemon on a tiny catalog, serve the battery at 1 and 2 clients, feed the
+# CSV through bench_to_json, and require the JSON report. The checksum
+# gate inside bench_to_json makes this a concurrent-vs-serial bit-identity
+# check over the full wire bytes (speedup is not gated at smoke size —
+# CI's bench job gates the full battery).
+# Expects -DBENCH=..., -DEMIT=..., -DOUT_DIR=... .
+
+execute_process(
+  COMMAND ${BENCH} --n=800 --dim=3 --groups=2 --lines=40 --clients=1,2
+          --workers=2
+  OUTPUT_FILE ${OUT_DIR}/bench_serve_smoke.csv
+  RESULT_VARIABLE bench_rc)
+if(NOT bench_rc EQUAL 0)
+  message(FATAL_ERROR "bench_serve failed (rc=${bench_rc})")
+endif()
+
+execute_process(
+  COMMAND ${EMIT} --in=${OUT_DIR}/bench_serve_smoke.csv
+          --out=${OUT_DIR}/BENCH_serve_smoke.json
+          --min_speedup=serve:2:0.0
+  RESULT_VARIABLE emit_rc)
+if(NOT emit_rc EQUAL 0)
+  message(FATAL_ERROR "bench_to_json failed (rc=${emit_rc}); a non-zero "
+          "exit here means concurrent serving diverged from serial serving "
+          "(checksum gate) or the report could not be written")
+endif()
+
+if(NOT EXISTS ${OUT_DIR}/BENCH_serve_smoke.json)
+  message(FATAL_ERROR "bench_to_json exited 0 but wrote no JSON report")
+endif()

@@ -1,0 +1,56 @@
+#include "api/metrics.h"
+
+#include <algorithm>
+
+namespace fairhms {
+
+namespace {
+
+/// Nearest-rank percentile over an unsorted copy of the sample window.
+double Percentile(std::vector<double> samples, double pct) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const size_t rank = static_cast<size_t>(
+      pct / 100.0 * static_cast<double>(samples.size() - 1) + 0.5);
+  return samples[std::min(rank, samples.size() - 1)];
+}
+
+}  // namespace
+
+void OpMetrics::Record(ProtocolOp op, bool ok, double ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PerOp& per_op = ops_[static_cast<size_t>(op)];
+  ++per_op.count;
+  if (!ok) ++per_op.errors;
+  per_op.total_ms += ms;
+  if (per_op.window.size() < kLatencyWindow) {
+    per_op.window.push_back(ms);
+  } else {
+    per_op.window[per_op.next] = ms;
+    per_op.next = (per_op.next + 1) % kLatencyWindow;
+  }
+}
+
+OpMetrics::Snapshot OpMetrics::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Snapshot snap;
+  for (size_t i = 0; i < ops_.size(); ++i) {
+    const PerOp& per_op = ops_[i];
+    OpSnapshot& out = snap.ops[i];
+    out.count = per_op.count;
+    out.errors = per_op.errors;
+    out.total_ms = per_op.total_ms;
+    out.p50_ms = Percentile(per_op.window, 50.0);
+    out.p99_ms = Percentile(per_op.window, 99.0);
+    snap.served += per_op.count - per_op.errors;
+    snap.failed += per_op.errors;
+  }
+  snap.uptime_ms = uptime_.ElapsedMillis();
+  if (snap.uptime_ms > 0.0) {
+    snap.qps = static_cast<double>(snap.served + snap.failed) /
+               (snap.uptime_ms / 1000.0);
+  }
+  return snap;
+}
+
+}  // namespace fairhms

@@ -1,0 +1,64 @@
+// OpMetrics: thread-safe per-operation serving counters for the protocol
+// layer — request counts, error counts, total and tail latency (p50/p99
+// over a bounded reservoir of recent samples), plus uptime and overall
+// qps. The `stats` protocol op and the daemon's drain report both read a
+// consistent Snapshot.
+
+#ifndef FAIRHMS_API_METRICS_H_
+#define FAIRHMS_API_METRICS_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "api/protocol.h"
+#include "common/stopwatch.h"
+
+namespace fairhms {
+
+class OpMetrics {
+ public:
+  /// Latency samples retained per op for the percentile estimates; beyond
+  /// this the ring overwrites the oldest sample, so percentiles describe
+  /// the *recent* distribution while count/total_ms stay exact forever.
+  static constexpr size_t kLatencyWindow = 2048;
+
+  /// Records one served request (ok or failed) taking `ms` milliseconds.
+  void Record(ProtocolOp op, bool ok, double ms);
+
+  struct OpSnapshot {
+    uint64_t count = 0;
+    uint64_t errors = 0;
+    double total_ms = 0.0;
+    double p50_ms = 0.0;
+    double p99_ms = 0.0;
+  };
+  struct Snapshot {
+    std::array<OpSnapshot, kNumProtocolOps> ops;
+    uint64_t served = 0;  ///< Successful requests across all ops.
+    uint64_t failed = 0;
+    double uptime_ms = 0.0;
+    /// Requests (ok + failed) per second of uptime.
+    double qps = 0.0;
+  };
+  Snapshot snapshot() const;
+
+ private:
+  struct PerOp {
+    uint64_t count = 0;
+    uint64_t errors = 0;
+    double total_ms = 0.0;
+    std::vector<double> window;  ///< Ring buffer, capped at kLatencyWindow.
+    size_t next = 0;
+  };
+
+  mutable std::mutex mu_;
+  Stopwatch uptime_;
+  std::array<PerOp, kNumProtocolOps> ops_;
+};
+
+}  // namespace fairhms
+
+#endif  // FAIRHMS_API_METRICS_H_

@@ -1,0 +1,366 @@
+#include "api/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace fairhms {
+
+namespace {
+
+/// Steady-clock milliseconds (monotonic; only differences are used).
+double NowMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void CloseFd(int* fd) {
+  if (*fd >= 0) {
+    ::close(*fd);
+    *fd = -1;
+  }
+}
+
+}  // namespace
+
+/// One accepted client. The fd closes with the last shared_ptr, so queued
+/// tasks keep it valid until they are served or dropped; `alive` flips on
+/// reader exit so workers can cancel queued work nobody will read.
+struct Server::Connection {
+  explicit Connection(int fd_in) : fd(fd_in) {}
+  ~Connection() {
+    if (fd >= 0) ::close(fd);
+  }
+
+  int fd = -1;
+  std::atomic<bool> alive{true};
+  std::mutex write_mu;  ///< Keeps concurrently written responses line-atomic.
+  /// Token bucket (guarded by bucket_mu): refilled by wall time, one token
+  /// per admitted line.
+  std::mutex bucket_mu;
+  double tokens = 0.0;
+  double last_refill_ms = 0.0;
+  bool bucket_primed = false;
+  uint64_t lines = 0;  ///< 1-based request counter (the default id).
+};
+
+Server::Server(ProtocolService* service, ServerOptions opts)
+    : service_(service), opts_(std::move(opts)) {}
+
+Server::~Server() { Drain(); }
+
+Status Server::Start() {
+  std::lock_guard<std::mutex> lock(drain_mu_);
+  if (started_) return Status::FailedPrecondition("server already started");
+  if (opts_.unix_path.empty() && opts_.tcp_port < 0) {
+    return Status::InvalidArgument(
+        "serve needs a listener: --socket path and/or --port");
+  }
+  if (::pipe(wake_pipe_) != 0) {
+    return Status::IOError(StrFormat("pipe: %s", std::strerror(errno)));
+  }
+  auto fail = [this](Status status) {
+    CloseFd(&unix_fd_);
+    CloseFd(&tcp_fd_);
+    CloseFd(&wake_pipe_[0]);
+    CloseFd(&wake_pipe_[1]);
+    return status;
+  };
+
+  if (!opts_.unix_path.empty()) {
+    sockaddr_un addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    if (opts_.unix_path.size() >= sizeof(addr.sun_path)) {
+      return fail(Status::InvalidArgument(StrFormat(
+          "--socket path is %zu bytes; unix sockets allow at most %zu",
+          opts_.unix_path.size(), sizeof(addr.sun_path) - 1)));
+    }
+    std::memcpy(addr.sun_path, opts_.unix_path.c_str(),
+                opts_.unix_path.size() + 1);
+    unix_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (unix_fd_ < 0) {
+      return fail(Status::IOError(StrFormat("socket(AF_UNIX): %s",
+                                            std::strerror(errno))));
+    }
+    ::unlink(opts_.unix_path.c_str());  // Replace a stale socket file.
+    if (::bind(unix_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+            0 ||
+        ::listen(unix_fd_, 128) != 0) {
+      return fail(Status::IOError(StrFormat("bind/listen on %s: %s",
+                                            opts_.unix_path.c_str(),
+                                            std::strerror(errno))));
+    }
+  }
+
+  if (opts_.tcp_port >= 0) {
+    sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(opts_.tcp_port));
+    if (::inet_pton(AF_INET, opts_.tcp_host.c_str(), &addr.sin_addr) != 1) {
+      return fail(Status::InvalidArgument(StrFormat(
+          "--host '%s' is not an IPv4 address", opts_.tcp_host.c_str())));
+    }
+    tcp_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (tcp_fd_ < 0) {
+      return fail(Status::IOError(StrFormat("socket(AF_INET): %s",
+                                            std::strerror(errno))));
+    }
+    const int one = 1;
+    ::setsockopt(tcp_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (::bind(tcp_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+            0 ||
+        ::listen(tcp_fd_, 128) != 0) {
+      return fail(Status::IOError(StrFormat("bind/listen on %s:%d: %s",
+                                            opts_.tcp_host.c_str(),
+                                            opts_.tcp_port,
+                                            std::strerror(errno))));
+    }
+    // Resolve an ephemeral (port 0) request to the actual port.
+    sockaddr_in bound;
+    socklen_t len = sizeof(bound);
+    if (::getsockname(tcp_fd_, reinterpret_cast<sockaddr*>(&bound), &len) ==
+        0) {
+      tcp_port_ = static_cast<int>(ntohs(bound.sin_port));
+    }
+  }
+
+  const int workers = std::max(1, opts_.workers);
+  workers_.reserve(static_cast<size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  started_ = true;
+  return Status::OK();
+}
+
+void Server::Drain() {
+  std::lock_guard<std::mutex> drain_lock(drain_mu_);
+  if (!started_ || drained_) return;
+  drained_ = true;
+
+  // 1. Stop accepting: wake the poll, join the accept thread, close the
+  //    listeners so new connects are refused.
+  const char byte = 'q';
+  (void)!::write(wake_pipe_[1], &byte, 1);
+  accept_thread_.join();
+  CloseFd(&unix_fd_);
+  CloseFd(&tcp_fd_);
+  if (!opts_.unix_path.empty()) ::unlink(opts_.unix_path.c_str());
+
+  // 2. Stop reading: half-close every connection (responses still flow
+  //    out) and wait for the reader threads to run dry.
+  {
+    std::unique_lock<std::mutex> lock(conns_mu_);
+    for (const std::shared_ptr<Connection>& conn : conns_) {
+      ::shutdown(conn->fd, SHUT_RD);
+    }
+    readers_cv_.wait(lock, [this] { return active_readers_ == 0; });
+  }
+
+  // 3. Serve everything admitted, then stop the workers.
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    draining_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+  workers_.clear();
+
+  // 4. Release the remaining connection references; each fd closes with
+  //    its last owner.
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns_.clear();
+  }
+  CloseFd(&wake_pipe_[0]);
+  CloseFd(&wake_pipe_[1]);
+}
+
+void Server::AcceptLoop() {
+  for (;;) {
+    pollfd fds[3];
+    nfds_t nfds = 0;
+    fds[nfds++] = {wake_pipe_[0], POLLIN, 0};
+    if (unix_fd_ >= 0) fds[nfds++] = {unix_fd_, POLLIN, 0};
+    if (tcp_fd_ >= 0) fds[nfds++] = {tcp_fd_, POLLIN, 0};
+    if (::poll(fds, nfds, -1) < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    if ((fds[0].revents & POLLIN) != 0) return;  // Drain woke us.
+    for (nfds_t i = 1; i < nfds; ++i) {
+      if ((fds[i].revents & POLLIN) == 0) continue;
+      const int client = ::accept(fds[i].fd, nullptr, nullptr);
+      if (client < 0) continue;  // Transient (ECONNABORTED, EMFILE, ...).
+      auto conn = std::make_shared<Connection>(client);
+      {
+        std::lock_guard<std::mutex> lock(conns_mu_);
+        conns_.push_back(conn);
+        ++active_readers_;
+      }
+      ++connections_;
+      // Detached: Drain waits on active_readers_, so the server outlives
+      // every reader.
+      std::thread([this, conn] { ReadLoop(conn); }).detach();
+    }
+  }
+}
+
+void Server::ReadLoop(std::shared_ptr<Connection> conn) {
+  std::string buffer;
+  char chunk[64 * 1024];
+  for (;;) {
+    const ssize_t n = ::recv(conn->fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;  // EOF or error: the client is gone.
+    buffer.append(chunk, static_cast<size_t>(n));
+    size_t start = 0;
+    for (size_t nl = buffer.find('\n', start); nl != std::string::npos;
+         nl = buffer.find('\n', start)) {
+      std::string line = buffer.substr(start, nl - start);
+      start = nl + 1;
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (Trim(line).empty()) continue;  // Blank lines get no response.
+      ++conn->lines;
+      Admit(conn, std::move(line), conn->lines);
+    }
+    buffer.erase(0, start);
+    if (buffer.size() > opts_.max_line_bytes) {
+      // An unterminated over-long line: answer it, then hang up — the
+      // framing is unrecoverable.
+      Reply(conn, RenderErrorLine(
+                      StrFormat("%llu", static_cast<unsigned long long>(
+                                            conn->lines + 1)),
+                      Status::InvalidArgument(StrFormat(
+                          "request line exceeds %zu bytes",
+                          opts_.max_line_bytes)),
+                      service_->options().envelope));
+      break;
+    }
+  }
+  conn->alive.store(false);
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns_.erase(std::remove(conns_.begin(), conns_.end(), conn),
+                 conns_.end());
+    --active_readers_;
+  }
+  readers_cv_.notify_all();
+}
+
+bool Server::Admit(const std::shared_ptr<Connection>& conn, std::string line,
+                   uint64_t request_no) {
+  auto reject = [&](const Status& status) {
+    ++rejected_;
+    Reply(conn, RenderErrorLine(RenderRequestId(line, request_no), status,
+                                service_->options().envelope));
+    return false;
+  };
+  if (opts_.rate_limit_per_sec > 0.0) {
+    std::lock_guard<std::mutex> lock(conn->bucket_mu);
+    const double now = NowMs();
+    const double burst = opts_.rate_limit_burst > 0.0
+                             ? opts_.rate_limit_burst
+                             : std::max(1.0, opts_.rate_limit_per_sec);
+    if (!conn->bucket_primed) {
+      conn->tokens = burst;
+      conn->last_refill_ms = now;
+      conn->bucket_primed = true;
+    }
+    conn->tokens = std::min(
+        burst, conn->tokens + (now - conn->last_refill_ms) / 1000.0 *
+                                  opts_.rate_limit_per_sec);
+    conn->last_refill_ms = now;
+    if (conn->tokens < 1.0) {
+      return reject(Status::ResourceExhausted(StrFormat(
+          "rate limit exceeded (%g requests/s per connection)",
+          opts_.rate_limit_per_sec)));
+    }
+    conn->tokens -= 1.0;
+  }
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (draining_) {
+      return reject(Status::Unavailable("server is draining"));
+    }
+    if (queue_.size() >= opts_.max_queue) {
+      return reject(Status::Unavailable(StrFormat(
+          "admission queue full (%zu pending lines)", queue_.size())));
+    }
+    Task task;
+    task.conn = conn;
+    task.line = std::move(line);
+    task.request_no = request_no;
+    task.enqueued_ms = NowMs();
+    queue_.push_back(std::move(task));
+  }
+  queue_cv_.notify_one();
+  return true;
+}
+
+void Server::WorkerLoop() {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] { return !queue_.empty() || draining_; });
+      if (queue_.empty()) return;  // draining_ and nothing left.
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    if (!task.conn->alive.load()) {
+      // The client disconnected while its line sat in the queue: skip the
+      // work — nobody is listening for the response.
+      ++cancelled_;
+      continue;
+    }
+    if (opts_.queue_deadline_ms > 0.0) {
+      const double waited = NowMs() - task.enqueued_ms;
+      if (waited > opts_.queue_deadline_ms) {
+        ++rejected_;
+        Reply(task.conn,
+              RenderErrorLine(
+                  RenderRequestId(task.line, task.request_no),
+                  Status::DeadlineExceeded(StrFormat(
+                      "request waited %.1f ms in the queue (deadline "
+                      "%.1f ms)", waited, opts_.queue_deadline_ms)),
+                  service_->options().envelope));
+        continue;
+      }
+    }
+    Reply(task.conn, service_->HandleLine(task.line, task.request_no));
+  }
+}
+
+void Server::Reply(const std::shared_ptr<Connection>& conn,
+                   const std::string& line) {
+  std::lock_guard<std::mutex> lock(conn->write_mu);
+  std::string out = line;
+  out += '\n';
+  size_t sent = 0;
+  while (sent < out.size()) {
+    const ssize_t n = ::send(conn->fd, out.data() + sent, out.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) {
+      conn->alive.store(false);  // Broken pipe: cancel its queued work.
+      return;
+    }
+    sent += static_cast<size_t>(n);
+  }
+}
+
+}  // namespace fairhms

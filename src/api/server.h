@@ -1,0 +1,149 @@
+// Server: the fairhms_serve daemon's socket front-end over a
+// ProtocolService.
+//
+// Topology: one accept thread polls the listeners (a unix-domain socket, a
+// loopback/any TCP socket, or both); each accepted connection gets a
+// reader thread that splits the byte stream into request lines and pushes
+// them through admission control into a bounded queue; a fixed worker pool
+// pops lines, runs ProtocolService::HandleLine, and writes the response to
+// the originating connection (a per-connection write mutex keeps
+// interleaved responses line-atomic). Responses may return out of request
+// order — clients match them by "id" (and order them by "seq", which the
+// daemon's versioned envelope always carries).
+//
+// Admission control, applied in the reader before a line is queued:
+//   * per-connection token-bucket rate limit — over-limit lines are
+//     answered immediately with a ResourceExhausted error response;
+//   * bounded queue — when full, lines are answered with Unavailable
+//     rather than buffered without bound.
+// Plus two checks applied later:
+//   * queue deadline — a worker popping a line older than the deadline
+//     answers DeadlineExceeded instead of executing it;
+//   * cancellation — queued lines from a connection that has disconnected
+//     are dropped unexecuted (counted, not answered: nobody is listening).
+//
+// Shutdown: Drain() closes the listeners, stops the readers, serves every
+// line already admitted, then joins the pool — accepted work is never
+// dropped. Catalog reload (SIGHUP) needs no server support: the service's
+// SnapshotReload quiesces in-flight requests through its own catalog lock.
+
+#ifndef FAIRHMS_API_SERVER_H_
+#define FAIRHMS_API_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/service.h"
+#include "common/status.h"
+
+namespace fairhms {
+
+struct ServerOptions {
+  /// Unix-domain socket path; empty = no unix listener. An existing file
+  /// at the path is replaced.
+  std::string unix_path;
+  /// TCP port; -1 = no TCP listener, 0 = ephemeral (see Server::tcp_port).
+  int tcp_port = -1;
+  /// TCP bind address.
+  std::string tcp_host = "127.0.0.1";
+  /// Worker threads executing requests.
+  int workers = 4;
+  /// Admission queue bound; lines beyond it are refused with Unavailable.
+  size_t max_queue = 1024;
+  /// Per-connection sustained requests/second; 0 = unlimited.
+  double rate_limit_per_sec = 0.0;
+  /// Token-bucket burst size; 0 = same as the rate.
+  double rate_limit_burst = 0.0;
+  /// Maximum ms a line may wait in the queue before a worker refuses it
+  /// with DeadlineExceeded; 0 = no deadline.
+  double queue_deadline_ms = 0.0;
+  /// Longest accepted request line; longer ones close the connection.
+  size_t max_line_bytes = 1 << 20;
+};
+
+class Server {
+ public:
+  /// `service` must outlive the server.
+  Server(ProtocolService* service, ServerOptions opts);
+  ~Server();  ///< Drains if still running.
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds the listeners and starts the accept/worker threads. Fails
+  /// without side effects when no listener is configured or a bind fails.
+  Status Start();
+
+  /// Graceful shutdown: stop accepting, stop reading, serve everything
+  /// admitted, join every thread. Idempotent.
+  void Drain();
+
+  /// The bound TCP port (resolves an ephemeral request), or -1.
+  int tcp_port() const { return tcp_port_; }
+
+  uint64_t connections_accepted() const { return connections_.load(); }
+  /// Lines refused by admission control or the queue deadline.
+  uint64_t rejected() const { return rejected_.load(); }
+  /// Queued lines dropped because their connection had gone away.
+  uint64_t cancelled() const { return cancelled_.load(); }
+
+ private:
+  struct Connection;
+  struct Task {
+    std::shared_ptr<Connection> conn;
+    std::string line;
+    uint64_t request_no = 0;
+    /// Steady-clock ms timestamp at admission, for the queue deadline.
+    double enqueued_ms = 0.0;
+  };
+
+  void AcceptLoop();
+  void ReadLoop(std::shared_ptr<Connection> conn);
+  void WorkerLoop();
+  /// Admission control for one line; returns true when queued.
+  bool Admit(const std::shared_ptr<Connection>& conn, std::string line,
+             uint64_t request_no);
+  void Reply(const std::shared_ptr<Connection>& conn,
+             const std::string& line);
+
+  ProtocolService* service_;
+  const ServerOptions opts_;
+
+  int unix_fd_ = -1;
+  int tcp_fd_ = -1;
+  int tcp_port_ = -1;
+  int wake_pipe_[2] = {-1, -1};  ///< Self-pipe that unblocks the poll().
+
+  std::thread accept_thread_;
+  std::vector<std::thread> workers_;
+  /// Live connections + the count of their (detached) reader threads;
+  /// Drain waits on readers_cv_ until every reader has exited.
+  std::mutex conns_mu_;
+  std::vector<std::shared_ptr<Connection>> conns_;
+  std::condition_variable readers_cv_;
+  int active_readers_ = 0;
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<Task> queue_;
+  bool draining_ = false;
+
+  std::mutex drain_mu_;  ///< Serializes Start/Drain; makes Drain idempotent.
+  bool started_ = false;
+  bool drained_ = false;
+
+  std::atomic<uint64_t> connections_{0};
+  std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> cancelled_{0};
+};
+
+}  // namespace fairhms
+
+#endif  // FAIRHMS_API_SERVER_H_

@@ -26,6 +26,8 @@ enum class StatusCode : int {
   kUnimplemented = 7,     ///< Feature intentionally not supported.
   kIOError = 8,           ///< Filesystem / parsing failure.
   kInfeasible = 9,        ///< The optimization instance has no feasible point.
+  kDeadlineExceeded = 10, ///< The request's deadline passed before completion.
+  kUnavailable = 11,      ///< The service is draining / not accepting work.
 };
 
 /// Returns the canonical spelling of a code (e.g. "InvalidArgument").
@@ -65,6 +67,12 @@ class Status {
   }
   static Status Infeasible(std::string msg) {
     return Status(StatusCode::kInfeasible, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <utility>
+
+#include "common/string_util.h"
 
 namespace fairhms {
 
@@ -221,6 +224,41 @@ Dataset MakeCreditSim(Rng* rng, size_t n) {
     data.AddRow(x, codes);
   }
   return data;
+}
+
+StatusOr<Dataset> MakeSyntheticDataset(const std::string& name, int64_t n_raw,
+                                       int64_t dim_raw, Rng* rng) {
+  if (n_raw < 0) return Status::InvalidArgument("n must be >= 0");
+  if (dim_raw < 1 || dim_raw > 1000) {
+    return Status::InvalidArgument("dim must be in [1, 1000]");
+  }
+  const size_t n = static_cast<size_t>(n_raw);
+  const int dim = static_cast<int>(dim_raw);
+  if (name == "independent") {
+    return GenIndependent(n == 0 ? 10000 : n, dim, rng);
+  }
+  if (name == "anticorrelated" || name == "anticor") {
+    return GenAntiCorrelated(n == 0 ? 10000 : n, dim, rng);
+  }
+  if (name == "correlated") {
+    return GenCorrelated(n == 0 ? 10000 : n, dim, rng);
+  }
+  if (name == "lawschs") return n ? MakeLawschsSim(rng, n) : MakeLawschsSim(rng);
+  if (name == "adult") return n ? MakeAdultSim(rng, n) : MakeAdultSim(rng);
+  if (name == "compas") return n ? MakeCompasSim(rng, n) : MakeCompasSim(rng);
+  if (name == "credit") return n ? MakeCreditSim(rng, n) : MakeCreditSim(rng);
+  return Status::InvalidArgument(
+      StrFormat("unknown synthetic family '%s'", name.c_str()));
+}
+
+StatusOr<Dataset> NormalizeDatasetByName(const std::string& norm,
+                                         Dataset raw) {
+  if (norm == "minmax") return raw.NormalizedMinMax();
+  if (norm == "max") return raw.ScaledByMax();
+  if (norm == "none") return raw;
+  return Status::InvalidArgument(
+      StrFormat("unknown normalization '%s' (want minmax, max or none)",
+                norm.c_str()));
 }
 
 }  // namespace fairhms

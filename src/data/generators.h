@@ -17,8 +17,11 @@
 #define FAIRHMS_DATA_GENERATORS_H_
 
 #include <cstddef>
+#include <cstdint>
+#include <string>
 
 #include "common/random.h"
+#include "common/statusor.h"
 #include "data/dataset.h"
 
 namespace fairhms {
@@ -52,6 +55,20 @@ Dataset MakeCompasSim(Rng* rng, size_t n = 4743);
 /// German-credit replica. d = 7, categorical "housing" (C = 3), "job"
 /// (C = 4) and "working_years" (C = 5).
 Dataset MakeCreditSim(Rng* rng, size_t n = 1000);
+
+/// Name-dispatched generator shared by every serving surface (the CLI's
+/// --synthetic flag and the protocol's register op): independent |
+/// anticorrelated (or anticor) | correlated | lawschs | adult | compas |
+/// credit. `n` 0 means the paper-default size for the chosen family; `dim`
+/// applies to the three distribution families only. InvalidArgument on an
+/// unknown family or out-of-range n/dim.
+StatusOr<Dataset> MakeSyntheticDataset(const std::string& name, int64_t n,
+                                       int64_t dim, Rng* rng);
+
+/// Name-dispatched normalization (minmax | max | none) applied to a freshly
+/// loaded dataset; shared by the --normalize flag and register ops.
+StatusOr<Dataset> NormalizeDatasetByName(const std::string& norm,
+                                         Dataset raw);
 
 }  // namespace fairhms
 

@@ -31,6 +31,9 @@ TEST(StatusTest, AllFactoriesProduceDistinctCodes) {
   EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
   EXPECT_EQ(Status::IOError("x").code(), StatusCode::kIOError);
   EXPECT_EQ(Status::Infeasible("x").code(), StatusCode::kInfeasible);
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::Unavailable("x").code(), StatusCode::kUnavailable);
 }
 
 TEST(StatusTest, EqualityComparesCodeAndMessage) {
@@ -62,6 +65,11 @@ TEST(StatusTest, CodeToStringCoversEveryCode) {
   EXPECT_STREQ(StatusCodeToString(StatusCode::kInfeasible), "Infeasible");
   EXPECT_STREQ(StatusCodeToString(StatusCode::kResourceExhausted),
                "ResourceExhausted");
+  // The serving codes double as wire-protocol `error.code` strings, so
+  // their spelling is part of the protocol contract (docs/protocol.md).
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kDeadlineExceeded),
+               "DeadlineExceeded");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kUnavailable), "Unavailable");
 }
 
 }  // namespace

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "cli_util.h"
+#include "common/json.h"
 #include "common/string_util.h"
 
 namespace fairhms {
@@ -138,18 +139,18 @@ int Run(int argc, char** argv) {
   const std::string bench_name =
       config.count("bench") ? config.at("bench") : "parallel_eval";
   std::ostringstream json;
-  json << "{\n  \"bench\": \"" << cli::JsonEscape(bench_name)
+  json << "{\n  \"bench\": \"" << JsonEscape(bench_name)
        << "\",\n  \"config\": {";
   bool first = true;
   for (const auto& [key, value] : config) {
-    json << (first ? "" : ", ") << '"' << cli::JsonEscape(key) << "\": \""
-         << cli::JsonEscape(value) << '"';
+    json << (first ? "" : ", ") << '"' << JsonEscape(key) << "\": \""
+         << JsonEscape(value) << '"';
     first = false;
   }
   json << "},\n  \"ops\": [\n";
   for (size_t si = 0; si < series.size(); ++si) {
     const OpSeries& s = series[si];
-    json << "    {\"op\": \"" << cli::JsonEscape(s.op)
+    json << "    {\"op\": \"" << JsonEscape(s.op)
          << "\", \"checksum_consistent\": "
          << (op_consistent[s.op] ? "true" : "false") << ", \"results\": [";
     for (size_t i = 0; i < s.entries.size(); ++i) {

@@ -3,20 +3,24 @@
 // Kept separate from bench/bench_util.h on purpose: the bench harness is a
 // paper-reproduction fixture, while the CLI is the long-lived entry point
 // that future scaling/batching work extends.
+//
+// The JSON machinery that used to live here moved to common/json.h when the
+// batch protocol was lifted into the library (api/protocol.h) — tools keep
+// only flag parsing and report rendering.
 
 #ifndef FAIRHMS_TOOLS_CLI_UTIL_H_
 #define FAIRHMS_TOOLS_CLI_UTIL_H_
 
 #include <cstdint>
 #include <map>
-#include <memory>
 #include <set>
 #include <string>
-#include <string_view>
-#include <utility>
 #include <vector>
 
+#include "common/random.h"
 #include "common/statusor.h"
+#include "data/dataset.h"
+#include "data/grouping.h"
 
 namespace fairhms {
 namespace cli {
@@ -75,59 +79,33 @@ class Report {
   std::vector<Entry> entries_;
 };
 
-/// Escapes a string for embedding in a JSON document (no surrounding
-/// quotes added).
-std::string JsonEscape(const std::string& s);
-
-/// Minimal JSON value tree for the --queries batch driver: objects,
-/// arrays, strings, numbers, booleans and null. Object member order is
-/// preserved; duplicate keys keep the last occurrence (Find returns it).
-class JsonValue {
- public:
-  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
-
-  JsonValue() = default;  // null
-
-  Kind kind() const { return kind_; }
-  bool is_null() const { return kind_ == Kind::kNull; }
-  bool is_bool() const { return kind_ == Kind::kBool; }
-  bool is_number() const { return kind_ == Kind::kNumber; }
-  bool is_string() const { return kind_ == Kind::kString; }
-  bool is_array() const { return kind_ == Kind::kArray; }
-  bool is_object() const { return kind_ == Kind::kObject; }
-
-  bool bool_value() const { return bool_; }
-  double number_value() const { return number_; }
-  const std::string& string_value() const { return string_; }
-  const std::vector<JsonValue>& items() const { return items_; }
-  const std::vector<std::pair<std::string, JsonValue>>& members() const {
-    return members_;
-  }
-
-  /// Object member by key (last occurrence), or nullptr when absent or not
-  /// an object.
-  const JsonValue* Find(const std::string& key) const;
-
-  /// The value as a whole-number int64 — error when not a number or not
-  /// integral (e.g. 2.5 where a count is expected).
-  StatusOr<int64_t> AsInt64() const;
-
- private:
-  friend class JsonParser;
-  Kind kind_ = Kind::kNull;
-  bool bool_ = false;
-  double number_ = 0.0;
-  std::string string_;
-  std::vector<JsonValue> items_;
-  std::vector<std::pair<std::string, JsonValue>> members_;
-};
-
-/// Parses one JSON document (the whole input; trailing garbage is an
-/// error). Supports the JSON core: no comments, no NaN/Infinity literals.
-StatusOr<JsonValue> ParseJson(std::string_view text);
-
 /// Escapes a CSV cell (quotes when it contains delimiter/quote/newline).
 std::string CsvEscape(const std::string& s);
+
+// ---------------------------------------------------------------------------
+// Dataset bootstrap shared by fairhms_cli and fairhms_serve: both tools
+// describe their initial "default" dataset with the same flags.
+
+/// Loads the flag-described dataset: --csv=PATH (with --numeric and
+/// optional --categorical column lists) or --synthetic=NAME (with --n,
+/// --dim and the caller's Rng). Exactly one source must be given.
+StatusOr<Dataset> LoadDatasetFromFlags(const Flags& flags, Rng* rng);
+
+/// Applies --normalize (minmax default | max | none) to a freshly loaded
+/// dataset.
+StatusOr<Dataset> NormalizeDatasetFromFlags(const Flags& flags, Dataset raw);
+
+/// Builds the grouping from --group_by (categorical product) or --groups
+/// (attribute-sum rank; default 1 = single group).
+StatusOr<Grouping> MakeGroupingFromFlags(const Flags& flags,
+                                         const Dataset& data);
+
+/// Resolves the process-wide cache budget from --global_cache_budget_mb,
+/// honoring the deprecated --cache_budget_mb spelling with a one-time
+/// stderr warning prefixed by `prog`. Both flags with different values is
+/// a contradiction, not a preference order.
+StatusOr<uint64_t> ResolveCacheBudgetBytes(const Flags& flags,
+                                           const char* prog);
 
 }  // namespace cli
 }  // namespace fairhms

@@ -16,7 +16,6 @@
 //   fairhms_cli --algo=g_dmm --csv=data.csv --numeric=price,rating
 //       --categorical=region --group_by=region --k=8
 
-#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -26,7 +25,7 @@
 #include <vector>
 
 #include "api/catalog.h"
-#include "api/session.h"
+#include "api/service.h"
 #include "api/solver.h"
 #include "cli_util.h"
 #include "common/random.h"
@@ -144,6 +143,12 @@ Batch serving (many queries over a catalog of named datasets):
                              {"op": "save", "name": "x", "path": "x.snap"}
                              {"op": "drop", "name": "x"}
                              {"op": "list"}
+                             {"op": "stats"}
+                           (stats reports the catalog contents, per-session
+                           cache accounting, the global cache ledger and
+                           per-op latency percentiles; docs/protocol.md
+                           specifies the full wire protocol, which
+                           fairhms_serve exposes over sockets.)
   --global_cache_budget_mb=N
                            process-wide cache budget across every catalog
                            session (default 1024; 0 = unbounded). When the
@@ -191,71 +196,6 @@ int ListAlgos() {
     }
   }
   return 0;
-}
-
-/// The shared synthetic-generator dispatch: `n` 0 means the paper-default
-/// size for the chosen family. Serves both the --synthetic flag and the
-/// batch stream's {"op": "register", "synthetic": ...} lines.
-StatusOr<Dataset> MakeSynthetic(const std::string& name, int64_t n_raw,
-                                int64_t dim_raw, Rng* rng) {
-  if (n_raw < 0) return Status::InvalidArgument("n must be >= 0");
-  if (dim_raw < 1 || dim_raw > 1000) {
-    return Status::InvalidArgument("dim must be in [1, 1000]");
-  }
-  const size_t n = static_cast<size_t>(n_raw);
-  const int dim = static_cast<int>(dim_raw);
-  if (name == "independent") {
-    return GenIndependent(n == 0 ? 10000 : n, dim, rng);
-  }
-  if (name == "anticorrelated" || name == "anticor") {
-    return GenAntiCorrelated(n == 0 ? 10000 : n, dim, rng);
-  }
-  if (name == "correlated") {
-    return GenCorrelated(n == 0 ? 10000 : n, dim, rng);
-  }
-  if (name == "lawschs") return n ? MakeLawschsSim(rng, n) : MakeLawschsSim(rng);
-  if (name == "adult") return n ? MakeAdultSim(rng, n) : MakeAdultSim(rng);
-  if (name == "compas") return n ? MakeCompasSim(rng, n) : MakeCompasSim(rng);
-  if (name == "credit") return n ? MakeCreditSim(rng, n) : MakeCreditSim(rng);
-  return Status::InvalidArgument(
-      StrFormat("unknown synthetic family '%s'", name.c_str()));
-}
-
-StatusOr<Dataset> LoadDataset(const cli::Flags& flags, Rng* rng) {
-  const bool has_csv = flags.Has("csv");
-  const bool has_syn = flags.Has("synthetic");
-  if (has_csv == has_syn) {
-    return Status::InvalidArgument(
-        "pass exactly one of --csv=PATH or --synthetic=NAME (--help for "
-        "usage)");
-  }
-  if (has_csv) {
-    CsvReadOptions opts;
-    for (const auto& c : flags.GetList("numeric")) {
-      opts.numeric_columns.push_back(c);
-    }
-    for (const auto& c : flags.GetList("categorical")) {
-      opts.categorical_columns.push_back(c);
-    }
-    if (opts.numeric_columns.empty()) {
-      return Status::InvalidArgument("--csv requires --numeric=col1,col2,...");
-    }
-    return ReadCsv(flags.GetString("csv", ""), opts);
-  }
-  return MakeSynthetic(flags.GetString("synthetic", ""), flags.GetInt("n", 0),
-                       flags.GetInt("dim", 4), rng);
-}
-
-StatusOr<Grouping> MakeGrouping(const cli::Flags& flags, const Dataset& data) {
-  const auto by = flags.GetList("group_by");
-  if (!by.empty()) return GroupByCategoricalProduct(data, by);
-  const int c_num = static_cast<int>(flags.GetInt("groups", 1));
-  if (c_num < 1) return Status::InvalidArgument("--groups must be >= 1");
-  if (c_num > static_cast<int>(data.size())) {
-    return Status::InvalidArgument("--groups exceeds dataset size");
-  }
-  if (c_num == 1) return SingleGroup(data.size());
-  return GroupBySumRank(data, c_num);
 }
 
 StatusOr<GroupBounds> MakeBounds(const cli::Flags& flags, int k,
@@ -357,561 +297,6 @@ void WarnUnusedFlags(const cli::Flags& flags) {
   }
 }
 
-/// Applies a normalization mode (minmax | max | none) to a freshly loaded
-/// dataset; shared by the --normalize flag and register ops.
-StatusOr<Dataset> NormalizeByName(const std::string& norm, Dataset raw) {
-  if (norm == "minmax") return raw.NormalizedMinMax();
-  if (norm == "max") return raw.ScaledByMax();
-  if (norm == "none") return raw;
-  return Status::InvalidArgument(
-      StrFormat("unknown normalization '%s' (want minmax, max or none)",
-                norm.c_str()));
-}
-
-/// Applies --normalize to a freshly loaded dataset.
-StatusOr<Dataset> NormalizeDataset(const cli::Flags& flags, Dataset raw) {
-  return NormalizeByName(flags.GetString("normalize", "minmax"),
-                         std::move(raw));
-}
-
-/// Resolves the process-wide cache budget from --global_cache_budget_mb,
-/// honoring the deprecated --cache_budget_mb spelling (the budget has been
-/// global since the catalog landed) with a one-time warning. Both flags
-/// with different values is a contradiction, not a preference order.
-StatusOr<uint64_t> ResolveCacheBudgetBytes(const cli::Flags& flags) {
-  const bool has_legacy = flags.Has("cache_budget_mb");
-  const bool has_global = flags.Has("global_cache_budget_mb");
-  int64_t mb = 1024;
-  if (has_legacy && has_global &&
-      flags.GetInt("cache_budget_mb", 1024) !=
-          flags.GetInt("global_cache_budget_mb", 1024)) {
-    return Status::InvalidArgument(
-        "--cache_budget_mb and --global_cache_budget_mb disagree; "
-        "--cache_budget_mb is a deprecated alias — drop it and keep "
-        "--global_cache_budget_mb");
-  }
-  if (has_legacy) {
-    static bool warned = false;
-    if (!warned) {
-      warned = true;
-      std::fprintf(stderr,
-                   "fairhms_cli: warning: --cache_budget_mb is deprecated; "
-                   "the budget is process-wide across the whole catalog — "
-                   "use --global_cache_budget_mb\n");
-    }
-    mb = flags.GetInt("cache_budget_mb", 1024);
-  }
-  if (has_global) mb = flags.GetInt("global_cache_budget_mb", 1024);
-  if (mb < 0) {
-    return Status::InvalidArgument("--global_cache_budget_mb must be >= 0");
-  }
-  return static_cast<uint64_t>(mb) * 1024 * 1024;
-}
-
-/// Builds the GroupBounds of one batch query (default: proportional 0.1).
-StatusOr<GroupBounds> BoundsFromQuery(const cli::JsonValue& query, int k,
-                                      SolverSession* session) {
-  std::string kind = "proportional";
-  if (const cli::JsonValue* b = query.Find("bounds"); b != nullptr) {
-    if (!b->is_string()) {
-      return Status::InvalidArgument("\"bounds\" must be a string");
-    }
-    kind = b->string_value();
-  }
-  double alpha = 0.1;
-  if (const cli::JsonValue* a = query.Find("alpha"); a != nullptr) {
-    if (!a->is_number()) {
-      return Status::InvalidArgument("\"alpha\" must be a number");
-    }
-    alpha = a->number_value();
-  }
-  if (kind == "proportional") {
-    return GroupBounds::Proportional(k, session->group_counts(), alpha);
-  }
-  if (kind == "balanced") {
-    return GroupBounds::Balanced(k, session->grouping().num_groups, alpha);
-  }
-  if (kind == "explicit") {
-    auto int_list = [&](const char* key) -> StatusOr<std::vector<int>> {
-      const cli::JsonValue* v = query.Find(key);
-      if (v == nullptr || !v->is_array()) {
-        return Status::InvalidArgument(StrFormat(
-            "explicit bounds need an integer array \"%s\"", key));
-      }
-      std::vector<int> out;
-      for (const cli::JsonValue& item : v->items()) {
-        FAIRHMS_ASSIGN_OR_RETURN(const int64_t value, item.AsInt64());
-        out.push_back(static_cast<int>(value));
-      }
-      return out;
-    };
-    FAIRHMS_ASSIGN_OR_RETURN(std::vector<int> lower, int_list("lower"));
-    FAIRHMS_ASSIGN_OR_RETURN(std::vector<int> upper, int_list("upper"));
-    return GroupBounds::Explicit(k, std::move(lower), std::move(upper));
-  }
-  return Status::InvalidArgument(
-      StrFormat("unknown \"bounds\" kind '%s' (want proportional, balanced "
-                "or explicit)", kind.c_str()));
-}
-
-/// Fills AlgoParams from the query's "params" object, using the algorithm's
-/// schema for int/double disambiguation; keys or types the schema does not
-/// know are set by their JSON type so Solver validation reports them with
-/// the uniform messages.
-Status ParamsFromQuery(const cli::JsonValue& params, const AlgorithmInfo* info,
-                       AlgoParams* out) {
-  if (!params.is_object()) {
-    return Status::InvalidArgument("\"params\" must be an object");
-  }
-  for (const auto& [name, value] : params.members()) {
-    const ParamSpec* spec = nullptr;
-    if (info != nullptr) {
-      for (const ParamSpec& candidate : info->params) {
-        if (candidate.name == name) spec = &candidate;
-      }
-    }
-    if (spec != nullptr && value.is_number()) {
-      if (spec->type == ParamType::kInt) {
-        FAIRHMS_ASSIGN_OR_RETURN(const int64_t v, value.AsInt64());
-        out->SetInt(name, v);
-      } else {
-        out->SetDouble(name, value.number_value());
-      }
-      continue;
-    }
-    switch (value.kind()) {
-      case cli::JsonValue::Kind::kBool:
-        out->SetBool(name, value.bool_value());
-        break;
-      case cli::JsonValue::Kind::kString:
-        out->SetString(name, value.string_value());
-        break;
-      case cli::JsonValue::Kind::kNumber: {
-        const auto as_int = value.AsInt64();
-        if (as_int.ok()) {
-          out->SetInt(name, *as_int);
-        } else {
-          out->SetDouble(name, value.number_value());
-        }
-        break;
-      }
-      default:
-        return Status::InvalidArgument(StrFormat(
-            "parameter '%s' must be a number, boolean or string",
-            name.c_str()));
-    }
-  }
-  return Status::OK();
-}
-
-/// A label an insert op mentions that the column does not know yet; it is
-/// registered only once the rest of the op has validated, so a rejected
-/// line leaves the table untouched.
-struct PendingLabel {
-  int col = 0;
-  std::string label;
-};
-
-/// Converts an insert op's "cats" object ({column: label}) into a full
-/// code vector without mutating the dataset; columns not mentioned
-/// default to code 0, unseen labels land in `pending` with their future
-/// codes already in `codes`.
-StatusOr<std::vector<int>> CodesFromCats(const cli::JsonValue* cats,
-                                         const Dataset& data,
-                                         std::vector<PendingLabel>* pending) {
-  std::vector<int> codes(static_cast<size_t>(data.num_categorical()), 0);
-  if (cats == nullptr) return codes;
-  if (!cats->is_object()) {
-    return Status::InvalidArgument(
-        "\"cats\" must be an object mapping column names to labels");
-  }
-  // Future code per column = current label count + pending labels there.
-  std::vector<int> next_code(static_cast<size_t>(data.num_categorical()));
-  for (int c = 0; c < data.num_categorical(); ++c) {
-    next_code[static_cast<size_t>(c)] =
-        static_cast<int>(data.categorical(c).labels.size());
-  }
-  for (const auto& [name, value] : cats->members()) {
-    FAIRHMS_ASSIGN_OR_RETURN(const int col, data.FindCategorical(name));
-    if (!value.is_string()) {
-      return Status::InvalidArgument(
-          StrFormat("\"cats\" entry '%s' must be a string label",
-                    name.c_str()));
-    }
-    const CategoricalColumn& column = data.categorical(col);
-    int code = -1;
-    for (size_t i = 0; i < column.labels.size(); ++i) {
-      if (column.labels[i] == value.string_value()) {
-        code = static_cast<int>(i);
-        break;
-      }
-    }
-    if (code < 0) {
-      code = next_code[static_cast<size_t>(col)]++;
-      pending->push_back({col, value.string_value()});
-    }
-    codes[static_cast<size_t>(col)] = code;
-  }
-  return codes;
-}
-
-/// Serves one {"op": "insert"} line: appends the point, routes it to its
-/// group, and reports the new row id plus the table's version and live
-/// size so streams can assert their view of the data. `group_columns` is
-/// the --group_by list: when the group is derived from it, the op's
-/// "cats" must name every grouping column (a defaulted code would
-/// silently misroute the row).
-StatusOr<std::string> ServeInsert(const cli::JsonValue& op,
-                                  const std::vector<std::string>& group_columns,
-                                  Dataset* data, SolverSession* session) {
-  const cli::JsonValue* point = op.Find("point");
-  if (point == nullptr || !point->is_array()) {
-    return Status::InvalidArgument(
-        "insert needs a \"point\" array of numeric attributes");
-  }
-  std::vector<double> coords;
-  for (const cli::JsonValue& v : point->items()) {
-    if (!v.is_number()) {
-      return Status::InvalidArgument("\"point\" entries must be numbers");
-    }
-    coords.push_back(v.number_value());
-  }
-  // Pre-validate the point so a bad line is rejected before this op
-  // mutates anything (in particular before new labels register below).
-  if (coords.size() != static_cast<size_t>(data->dim())) {
-    return Status::InvalidArgument(
-        StrFormat("\"point\" has %zu coordinates but the dataset is %d-d",
-                  coords.size(), data->dim()));
-  }
-  for (size_t j = 0; j < coords.size(); ++j) {
-    if (!std::isfinite(coords[j]) || coords[j] < 0.0) {
-      return Status::InvalidArgument(StrFormat(
-          "\"point\" entry %zu (%g) must be finite and nonnegative", j,
-          coords[j]));
-    }
-  }
-  const cli::JsonValue* cats = op.Find("cats");
-  std::vector<PendingLabel> pending;
-  FAIRHMS_ASSIGN_OR_RETURN(std::vector<int> codes,
-                           CodesFromCats(cats, *data, &pending));
-  // With --group_by the grouping columns' values must always be given —
-  // a defaulted code would misroute a derived insert or poison the
-  // combination table consulted by explicit ones.
-  for (const std::string& col : group_columns) {
-    if (cats == nullptr || cats->Find(col) == nullptr) {
-      return Status::InvalidArgument(StrFormat(
-          "inserts must give \"cats\" values for every --group_by column "
-          "(missing '%s')", col.c_str()));
-    }
-  }
-  int group = -1;
-  if (const cli::JsonValue* g = op.Find("group"); g != nullptr) {
-    if (g->is_string()) {
-      const Grouping& grouping = session->grouping();
-      for (int c = 0; c < grouping.num_groups; ++c) {
-        if (grouping.names[static_cast<size_t>(c)] == g->string_value()) {
-          group = c;
-          break;
-        }
-      }
-      if (group < 0) {
-        return Status::InvalidArgument(StrFormat(
-            "unknown group '%s'", g->string_value().c_str()));
-      }
-    } else {
-      FAIRHMS_ASSIGN_OR_RETURN(const int64_t id, g->AsInt64());
-      // Range-check before narrowing so huge values fail instead of
-      // wrapping onto a valid group id.
-      if (id < 0 || id >= session->grouping().num_groups) {
-        return Status::InvalidArgument(StrFormat(
-            "\"group\" %lld out of range (the grouping has %d groups)",
-            static_cast<long long>(id), session->grouping().num_groups));
-      }
-      group = static_cast<int>(id);
-    }
-  }
-  // Run the session's own routing checks (contradicting explicit group,
-  // missing provenance) before this op mutates anything; only then
-  // register the labels it introduced and insert.
-  FAIRHMS_RETURN_IF_ERROR(session->ResolveInsertGroup(codes, group).status());
-  for (const PendingLabel& p : pending) {
-    data->AddCategoricalLabel(p.col, p.label);
-  }
-  FAIRHMS_ASSIGN_OR_RETURN(const int row,
-                           session->Insert(coords, codes, group));
-  const int assigned =
-      session->grouping().group_of[static_cast<size_t>(row)];
-  return StrFormat(
-      "\"op\": \"insert\", \"row\": %d, \"group\": %d, "
-      "\"group_name\": \"%s\", \"version\": %llu, \"live_rows\": %zu", row,
-      assigned,
-      cli::JsonEscape(session->grouping().names[static_cast<size_t>(assigned)])
-          .c_str(),
-      static_cast<unsigned long long>(session->version()),
-      session->data().live_size());
-}
-
-/// Serves one {"op": "delete"} line.
-StatusOr<std::string> ServeDelete(const cli::JsonValue& op,
-                                  SolverSession* session) {
-  const cli::JsonValue* rows_field = op.Find("rows");
-  if (rows_field == nullptr || !rows_field->is_array()) {
-    return Status::InvalidArgument(
-        "delete needs a \"rows\" array of row indices");
-  }
-  std::vector<int> rows;
-  for (const cli::JsonValue& v : rows_field->items()) {
-    FAIRHMS_ASSIGN_OR_RETURN(const int64_t row, v.AsInt64());
-    // Range-check before narrowing so huge values fail instead of
-    // wrapping onto (and tombstoning) a valid row.
-    if (row < 0 || static_cast<size_t>(row) >= session->data().size()) {
-      return Status::OutOfRange(StrFormat(
-          "cannot erase row %lld of a %zu-row dataset",
-          static_cast<long long>(row), session->data().size()));
-    }
-    rows.push_back(static_cast<int>(row));
-  }
-  FAIRHMS_RETURN_IF_ERROR(session->Erase(rows));
-  return StrFormat(
-      "\"op\": \"delete\", \"erased\": %zu, \"version\": %llu, "
-      "\"live_rows\": %zu",
-      rows.size(), static_cast<unsigned long long>(session->version()),
-      session->data().live_size());
-}
-
-/// Serves one parsed batch query; the returned string is the one-line JSON
-/// body (without the id/ok envelope, which the caller emits).
-StatusOr<std::string> ServeQuery(const cli::JsonValue& query,
-                                 SolverSession* session, uint64_t default_seed,
-                                 int default_threads) {
-  const cli::JsonValue* algo = query.Find("algorithm");
-  if (algo == nullptr) algo = query.Find("algo");
-  if (algo == nullptr || !algo->is_string()) {
-    return Status::InvalidArgument(
-        "each query needs a string \"algorithm\" field");
-  }
-  const cli::JsonValue* k_field = query.Find("k");
-  if (k_field == nullptr) {
-    return Status::InvalidArgument("each query needs an integer \"k\" field");
-  }
-  FAIRHMS_ASSIGN_OR_RETURN(const int64_t k64, k_field->AsInt64());
-  if (k64 < 1 || k64 > 1'000'000) {
-    return Status::InvalidArgument(
-        StrFormat("k must be in [1, 1000000], got %lld",
-                  static_cast<long long>(k64)));
-  }
-  const int k = static_cast<int>(k64);
-
-  SolverRequest request;  // data/grouping stay null: the session pins them.
-  request.algorithm = algo->string_value();
-  request.seed = default_seed;
-  request.threads = default_threads;
-  if (const cli::JsonValue* s = query.Find("seed"); s != nullptr) {
-    FAIRHMS_ASSIGN_OR_RETURN(const int64_t seed, s->AsInt64());
-    if (seed < 0) return Status::InvalidArgument("\"seed\" must be >= 0");
-    request.seed = static_cast<uint64_t>(seed);
-  }
-  if (const cli::JsonValue* t = query.Find("threads"); t != nullptr) {
-    FAIRHMS_ASSIGN_OR_RETURN(const int64_t threads, t->AsInt64());
-    // Range-check before narrowing so huge values fail like the flag does
-    // instead of wrapping into the valid range.
-    if (threads < 0 || threads > 4096) {
-      return Status::InvalidArgument(StrFormat(
-          "\"threads\" must be in [0, 4096] (0 = all hardware threads), "
-          "got %lld", static_cast<long long>(threads)));
-    }
-    request.threads = static_cast<int>(threads);
-  }
-  FAIRHMS_ASSIGN_OR_RETURN(request.bounds,
-                           BoundsFromQuery(query, k, session));
-  if (const cli::JsonValue* params = query.Find("params"); params != nullptr) {
-    FAIRHMS_RETURN_IF_ERROR(ParamsFromQuery(
-        *params, AlgorithmRegistry::Instance().Find(request.algorithm),
-        &request.params));
-  }
-
-  FAIRHMS_ASSIGN_OR_RETURN(SolverResult run, session->Solve(request));
-
-  // Reference evaluation against the pinned dataset's global skyline —
-  // both the skyline and any evaluation net come from the session cache.
-  const Dataset& data = session->data();
-  EvalOptions eval_opts;
-  eval_opts.threads = request.threads;
-  eval_opts.cache = session->cache();
-  const double mhr = EvaluateMhr(data, session->cache()->Skyline(data),
-                                 run.solution.rows, eval_opts);
-
-  std::string out = StrFormat(
-      "\"algorithm\": \"%s\", \"k\": %d, \"seed\": %llu, \"threads\": %d, "
-      "\"solution_size\": %zu, \"rows\": [",
-      cli::JsonEscape(run.algorithm).c_str(), k,
-      static_cast<unsigned long long>(request.seed), request.threads,
-      run.solution.rows.size());
-  for (size_t i = 0; i < run.solution.rows.size(); ++i) {
-    out += StrFormat("%s%d", i == 0 ? "" : ", ", run.solution.rows[i]);
-  }
-  out += StrFormat(
-      "], \"happiness_ratio\": %.17g, \"algo_mhr_estimate\": %.17g, "
-      "\"violations\": %d, \"group_counts\": [",
-      mhr, run.solution.mhr, run.violations);
-  for (size_t c = 0; c < run.group_counts.size(); ++c) {
-    out += StrFormat("%s%d", c == 0 ? "" : ", ", run.group_counts[c]);
-  }
-  out += "]";
-  if (!run.note.empty()) {
-    out += StrFormat(", \"note\": \"%s\"", cli::JsonEscape(run.note).c_str());
-  }
-  out += StrFormat(", \"solve_ms\": %.3f, \"total_ms\": %.3f", run.solve_ms,
-                   run.total_ms);
-  return out;
-}
-
-/// Serves one {"op": "register"} line: builds a synthetic dataset (or
-/// restores a snapshot file) and registers it in the catalog under the
-/// line's "name". `dataset_label` gets the target name for the envelope
-/// even when registration fails partway.
-StatusOr<std::string> ServeRegister(const cli::JsonValue& op,
-                                    uint64_t default_seed,
-                                    DatasetCatalog* catalog,
-                                    std::string* dataset_label) {
-  const cli::JsonValue* name_field = op.Find("name");
-  if (name_field == nullptr || !name_field->is_string()) {
-    return Status::InvalidArgument("register needs a string \"name\"");
-  }
-  const std::string name = name_field->string_value();
-  *dataset_label = name;
-  const cli::JsonValue* snap = op.Find("snapshot");
-  const cli::JsonValue* syn = op.Find("synthetic");
-  if (snap != nullptr && syn != nullptr) {
-    return Status::InvalidArgument(
-        "register takes \"snapshot\" or \"synthetic\", not both");
-  }
-  if (snap != nullptr) {
-    if (!snap->is_string()) {
-      return Status::InvalidArgument("\"snapshot\" must be a path string");
-    }
-    FAIRHMS_RETURN_IF_ERROR(catalog->Load(name, snap->string_value()));
-  } else {
-    if (syn == nullptr || !syn->is_string()) {
-      return Status::InvalidArgument(
-          "register needs a string \"synthetic\" (generator family) or "
-          "\"snapshot\" (file path) source");
-    }
-    int64_t n = 0;
-    int64_t dim = 4;
-    uint64_t seed = default_seed;
-    if (const cli::JsonValue* v = op.Find("n"); v != nullptr) {
-      FAIRHMS_ASSIGN_OR_RETURN(n, v->AsInt64());
-    }
-    if (const cli::JsonValue* v = op.Find("dim"); v != nullptr) {
-      FAIRHMS_ASSIGN_OR_RETURN(dim, v->AsInt64());
-    }
-    if (const cli::JsonValue* v = op.Find("seed"); v != nullptr) {
-      FAIRHMS_ASSIGN_OR_RETURN(const int64_t s, v->AsInt64());
-      if (s < 0) return Status::InvalidArgument("\"seed\" must be >= 0");
-      seed = static_cast<uint64_t>(s);
-    }
-    Rng rng(seed);
-    FAIRHMS_ASSIGN_OR_RETURN(Dataset raw,
-                             MakeSynthetic(syn->string_value(), n, dim, &rng));
-    std::string norm = "minmax";
-    if (const cli::JsonValue* v = op.Find("normalize"); v != nullptr) {
-      if (!v->is_string()) {
-        return Status::InvalidArgument("\"normalize\" must be a string");
-      }
-      norm = v->string_value();
-    }
-    FAIRHMS_ASSIGN_OR_RETURN(Dataset data,
-                             NormalizeByName(norm, std::move(raw)));
-    std::vector<std::string> group_columns;
-    Grouping grouping;
-    if (const cli::JsonValue* gb = op.Find("group_by"); gb != nullptr) {
-      if (!gb->is_array()) {
-        return Status::InvalidArgument(
-            "\"group_by\" must be an array of categorical column names");
-      }
-      for (const cli::JsonValue& item : gb->items()) {
-        if (!item.is_string()) {
-          return Status::InvalidArgument(
-              "\"group_by\" entries must be column-name strings");
-        }
-        group_columns.push_back(item.string_value());
-      }
-      FAIRHMS_ASSIGN_OR_RETURN(grouping,
-                               GroupByCategoricalProduct(data, group_columns));
-    } else {
-      int64_t groups = 1;
-      if (const cli::JsonValue* v = op.Find("groups"); v != nullptr) {
-        FAIRHMS_ASSIGN_OR_RETURN(groups, v->AsInt64());
-      }
-      if (groups < 1 || groups > static_cast<int64_t>(data.size())) {
-        return Status::InvalidArgument(StrFormat(
-            "\"groups\" must be in [1, %zu]", data.size()));
-      }
-      if (groups == 1) {
-        grouping = SingleGroup(data.size());
-      } else {
-        grouping = GroupBySumRank(data, static_cast<int>(groups));
-      }
-    }
-    FAIRHMS_RETURN_IF_ERROR(catalog->Register(
-        name, std::move(data), std::move(grouping), group_columns));
-  }
-  FAIRHMS_ASSIGN_OR_RETURN(SolverSession * session, catalog->Session(name));
-  return StrFormat(
-      "\"op\": \"register\", \"name\": \"%s\", \"rows\": %zu, \"dim\": %d, "
-      "\"groups\": %d",
-      cli::JsonEscape(name).c_str(), session->data().live_size(),
-      session->data().dim(), session->grouping().num_groups);
-}
-
-/// Serves one {"op": "save"} line: snapshots a catalog entry to disk.
-StatusOr<std::string> ServeSave(const cli::JsonValue& op,
-                                DatasetCatalog* catalog,
-                                std::string* dataset_label) {
-  const cli::JsonValue* name_field = op.Find("name");
-  if (name_field == nullptr || !name_field->is_string()) {
-    return Status::InvalidArgument("save needs a string \"name\"");
-  }
-  const cli::JsonValue* path_field = op.Find("path");
-  if (path_field == nullptr || !path_field->is_string()) {
-    return Status::InvalidArgument("save needs a string \"path\"");
-  }
-  *dataset_label = name_field->string_value();
-  FAIRHMS_RETURN_IF_ERROR(
-      catalog->Save(name_field->string_value(), path_field->string_value()));
-  return StrFormat("\"op\": \"save\", \"name\": \"%s\", \"path\": \"%s\"",
-                   cli::JsonEscape(name_field->string_value()).c_str(),
-                   cli::JsonEscape(path_field->string_value()).c_str());
-}
-
-/// Serves one {"op": "drop"} line.
-StatusOr<std::string> ServeDrop(const cli::JsonValue& op,
-                                DatasetCatalog* catalog,
-                                std::string* dataset_label) {
-  const cli::JsonValue* name_field = op.Find("name");
-  if (name_field == nullptr || !name_field->is_string()) {
-    return Status::InvalidArgument("drop needs a string \"name\"");
-  }
-  *dataset_label = name_field->string_value();
-  FAIRHMS_RETURN_IF_ERROR(catalog->Drop(name_field->string_value()));
-  return StrFormat("\"op\": \"drop\", \"name\": \"%s\"",
-                   cli::JsonEscape(name_field->string_value()).c_str());
-}
-
-/// Serves one {"op": "list"} line.
-std::string ServeList(const DatasetCatalog& catalog) {
-  std::string out = "\"op\": \"list\", \"datasets\": [";
-  bool first = true;
-  for (const std::string& name : catalog.List()) {
-    out += StrFormat("%s\"%s\"", first ? "" : ", ",
-                     cli::JsonEscape(name).c_str());
-    first = false;
-  }
-  out += "]";
-  return out;
-}
-
 /// --snapshot_info: print a snapshot file's summary and exit.
 int RunSnapshotInfo(const std::string& path) {
   auto snapshot = ReadSnapshotFile(path);
@@ -952,7 +337,7 @@ int RunBatch(const cli::Flags& flags, uint64_t seed, int threads) {
   // per line forever. The arbiter evicts the coldest sessions' caches
   // when the global total crosses it (results are bit-identical either
   // way); 0 disables.
-  auto budget_bytes = ResolveCacheBudgetBytes(flags);
+  auto budget_bytes = cli::ResolveCacheBudgetBytes(flags, "fairhms_cli");
   if (!budget_bytes.ok()) return Fail(budget_bytes.status());
   DatasetCatalog catalog(DatasetCatalog::Options{*budget_bytes});
 
@@ -973,11 +358,11 @@ int RunBatch(const cli::Flags& flags, uint64_t seed, int threads) {
     }
   } else {
     Rng rng(seed);
-    auto raw = LoadDataset(flags, &rng);
+    auto raw = cli::LoadDatasetFromFlags(flags, &rng);
     if (!raw.ok()) return Fail(raw.status());
-    auto data = NormalizeDataset(flags, std::move(*raw));
+    auto data = cli::NormalizeDatasetFromFlags(flags, std::move(*raw));
     if (!data.ok()) return Fail(data.status());
-    auto grouping = MakeGrouping(flags, *data);
+    auto grouping = cli::MakeGroupingFromFlags(flags, *data);
     if (!grouping.ok()) return Fail(grouping.status());
     if (Status st = catalog.Register("default", std::move(*data),
                                      std::move(*grouping),
@@ -1008,125 +393,29 @@ int RunBatch(const cli::Flags& flags, uint64_t seed, int threads) {
   // sweep against the default grouping).
   WarnUnusedFlags(flags);
 
-  size_t line_no = 0;
-  size_t served = 0;
-  size_t failed = 0;
-  size_t updates = 0;
+  // The batch driver is one of two thin transports over the shared
+  // ProtocolService (the fairhms_serve daemon is the other): parsing,
+  // execution and rendering all live in the library, so the wire format
+  // cannot fork between them. The default-constructed EnvelopeOptions keep
+  // the legacy version-0 envelope — batch output stays bit-identical.
+  ServiceOptions service_opts;
+  service_opts.default_seed = seed;
+  service_opts.default_threads = threads;
+  ProtocolService service(&catalog, service_opts);
+
+  uint64_t line_no = 0;
   std::string line;
   while (std::getline(in, line)) {
     ++line_no;
     if (Trim(line).empty()) continue;
-    // The line's own "id" (echoed verbatim when scalar) falls back to the
-    // 1-based line number.
-    std::string id = StrFormat("%zu", line_no);
-    Status status = Status::OK();
-    std::string body;
-    std::string dataset_label;
-    auto parsed = cli::ParseJson(line);
-    if (!parsed.ok()) {
-      status = parsed.status();
-    } else if (!parsed->is_object()) {
-      status = Status::InvalidArgument("each query line must be an object");
-    } else {
-      if (const cli::JsonValue* id_field = parsed->Find("id");
-          id_field != nullptr) {
-        if (id_field->is_string()) {
-          id = "\"" + cli::JsonEscape(id_field->string_value()) + "\"";
-        } else if (id_field->is_number()) {
-          id = StrFormat("%.17g", id_field->number_value());
-        }
-      }
-      std::string op = "query";
-      if (const cli::JsonValue* op_field = parsed->Find("op");
-          op_field != nullptr) {
-        if (op_field->is_string()) {
-          op = op_field->string_value();
-        } else {
-          op = "";  // Forces the unknown-op error below.
-        }
-      }
-      // Per-dataset ops route by the line's "dataset" field; catalog ops
-      // (register/save/drop/list) name their target themselves.
-      std::string route = "default";
-      bool route_ok = true;
-      if (const cli::JsonValue* d = parsed->Find("dataset"); d != nullptr) {
-        if (d->is_string()) {
-          route = d->string_value();
-        } else {
-          route_ok = false;
-        }
-      }
-      StatusOr<std::string> result =
-          Status::InvalidArgument(StrFormat(
-              "unknown \"op\" '%s' (want query, insert, delete, register, "
-              "save, drop or list)",
-              op.c_str()));
-      if (!route_ok) {
-        result = Status::InvalidArgument(
-            "\"dataset\" must be a string (a catalog name)");
-      } else if (op == "query" || op == "solve" || op == "insert" ||
-                 op == "delete") {
-        dataset_label = route;
-        auto session_or = catalog.Session(route);
-        if (!session_or.ok()) {
-          result = session_or.status();
-        } else {
-          SolverSession* session = *session_or;
-          // Serving marks this session hot; the global budget settles
-          // *after* the line, never mid-solve (cache references handed to
-          // the algorithm must stay valid), evicting the coldest sessions
-          // first and the serving one only as a last resort.
-          catalog.arbiter()->Touch(session->cache());
-          if (op == "insert") {
-            result = ServeInsert(*parsed, session->group_column_names(),
-                                 session->mutable_data(), session);
-            if (result.ok()) ++updates;
-          } else if (op == "delete") {
-            result = ServeDelete(*parsed, session);
-            if (result.ok()) ++updates;
-          } else {
-            result = ServeQuery(*parsed, session, seed, threads);
-          }
-          catalog.arbiter()->Rebalance(session->cache());
-        }
-      } else if (op == "register") {
-        result = ServeRegister(*parsed, seed, &catalog, &dataset_label);
-        if (result.ok()) ++updates;
-      } else if (op == "save") {
-        result = ServeSave(*parsed, &catalog, &dataset_label);
-      } else if (op == "drop") {
-        result = ServeDrop(*parsed, &catalog, &dataset_label);
-        if (result.ok()) ++updates;
-      } else if (op == "list") {
-        result = ServeList(catalog);
-      }
-      if (result.ok()) {
-        body = std::move(*result);
-      } else {
-        status = result.status();
-      }
-    }
-    if (status.ok()) {
-      ++served;
-      // The envelope stamps which dataset served the line and the catalog
-      // mutation counter, so responses pin the exact catalog state.
-      const std::string ds =
-          dataset_label.empty()
-              ? std::string()
-              : StrFormat("\"dataset\": \"%s\", ",
-                          cli::JsonEscape(dataset_label).c_str());
-      std::printf("{\"id\": %s, \"ok\": true, %s\"catalog_version\": %llu, "
-                  "%s}\n",
-                  id.c_str(), ds.c_str(),
-                  static_cast<unsigned long long>(catalog.version()),
-                  body.c_str());
-    } else {
-      ++failed;
-      std::printf("{\"id\": %s, \"ok\": false, \"error\": \"%s\"}\n",
-                  id.c_str(), cli::JsonEscape(status.ToString()).c_str());
-    }
+    const std::string response = service.HandleLine(line, line_no);
+    std::fwrite(response.data(), 1, response.size(), stdout);
+    std::fputc('\n', stdout);
     std::fflush(stdout);
   }
+  const size_t served = static_cast<size_t>(service.served());
+  const size_t failed = static_cast<size_t>(service.failed());
+  const size_t updates = static_cast<size_t>(service.updates());
 
   if (!snapshot_save.empty()) {
     if (Status st = catalog.Save("default", snapshot_save); !st.ok()) {
@@ -1231,14 +520,14 @@ int Run(int argc, char** argv) {
   }
 
   Rng rng(static_cast<uint64_t>(seed_raw));
-  auto raw = LoadDataset(flags, &rng);
+  auto raw = cli::LoadDatasetFromFlags(flags, &rng);
   if (!raw.ok()) return Fail(raw.status());
 
-  auto normalized = NormalizeDataset(flags, std::move(*raw));
+  auto normalized = cli::NormalizeDatasetFromFlags(flags, std::move(*raw));
   if (!normalized.ok()) return Fail(normalized.status());
   Dataset data = std::move(*normalized);
 
-  auto grouping = MakeGrouping(flags, data);
+  auto grouping = cli::MakeGroupingFromFlags(flags, data);
   if (!grouping.ok()) return Fail(grouping.status());
 
   auto bounds = MakeBounds(flags, k, *grouping);
