@@ -1,0 +1,33 @@
+# CTest smoke for the planner pipeline: run the warm-start/auto bench on a
+# tiny sweep, feed its CSV through bench_to_json, and require the JSON
+# report. The checksum gate inside bench_to_json makes this two
+# bit-identity checks at once — warm-started re-solves vs cold binary
+# searches, and planned ("auto") solves vs naming the algorithm directly
+# (speedup is not gated at smoke size — CI's bench-planner job gates the
+# full sweep at >= 2x).
+# Expects -DBENCH=..., -DEMIT=..., -DOUT_DIR=... .
+
+execute_process(
+  COMMAND ${BENCH} --n=600 --dim=4 --groups=2 --k_min=4 --k_max=8
+          --sweeps=1
+  OUTPUT_FILE ${OUT_DIR}/bench_planner_smoke.csv
+  RESULT_VARIABLE bench_rc)
+if(NOT bench_rc EQUAL 0)
+  message(FATAL_ERROR "bench_planner failed (rc=${bench_rc})")
+endif()
+
+execute_process(
+  COMMAND ${EMIT} --in=${OUT_DIR}/bench_planner_smoke.csv
+          --out=${OUT_DIR}/BENCH_planner_smoke.json
+          --min_speedup=warm_k_sweep:2:0.0
+  RESULT_VARIABLE emit_rc)
+if(NOT emit_rc EQUAL 0)
+  message(FATAL_ERROR "bench_to_json failed (rc=${emit_rc}); a non-zero "
+          "exit here means a warm-started or planned solve diverged from "
+          "its cold/direct twin (checksum gate) or the report could not "
+          "be written")
+endif()
+
+if(NOT EXISTS ${OUT_DIR}/BENCH_planner_smoke.json)
+  message(FATAL_ERROR "bench_to_json exited 0 but wrote no JSON report")
+endif()

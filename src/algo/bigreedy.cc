@@ -175,21 +175,79 @@ StatusOr<Solution> BiGreedyOnNet(const ProblemInput& input,
   };
 
   if (opts.tau_search == TauSearch::kBinary) {
-    // Find the smallest grid index (largest tau) that certifies.
-    int lo = 0;
-    int hi = grid_size - 1;
-    while (lo <= hi) {
-      const int mid = lo + (hi - lo) / 2;
+    // Warm path: walk the grid outward from the hinted index, looking for
+    // the smallest certifying index — the same index the cold binary
+    // search below lands on (both rely on certification being monotone in
+    // tau). Successive session queries move the certified index by at most
+    // a step or two, so the walk typically resolves in 2-3 MRGreedy calls
+    // versus ~log2(grid) cold. A hint that drifted beyond the walk budget
+    // is discarded and the solve falls through to the cold search, keeping
+    // results bit-identical either way.
+    bool resolved = false;
+    if (opts.warm_tau_index >= 0 && grid_size > 0) {
+      constexpr int kWarmWalkBudget = 4;  // Probes after the first.
+      int j = std::min(opts.warm_tau_index, grid_size - 1);
       std::vector<int> rows;
       int rounds = 0;
-      if (attempt(mid, &rows, &rounds)) {
-        best_rows = std::move(rows);
-        best_tau = tau_at(mid);
-        best_rounds = rounds;
-        hi = mid - 1;
+      bool certified = attempt(j, &rows, &rounds);
+      int extra = 0;
+      if (certified) {
+        // Walk towards larger tau (smaller index) until j - 1 fails.
+        while (j > 0 && extra < kWarmWalkBudget) {
+          std::vector<int> below_rows;
+          int below_rounds = 0;
+          ++extra;
+          if (attempt(j - 1, &below_rows, &below_rounds)) {
+            --j;
+            rows = std::move(below_rows);
+            rounds = below_rounds;
+          } else {
+            resolved = true;
+            break;
+          }
+        }
+        if (j == 0) resolved = true;
       } else {
-        lo = mid + 1;
+        while (j + 1 < grid_size && extra < kWarmWalkBudget) {
+          ++j;
+          ++extra;
+          if (attempt(j, &rows, &rounds)) {
+            certified = true;
+            resolved = true;
+            break;
+          }
+        }
       }
+      if (resolved && certified) {
+        best_rows = std::move(rows);
+        best_tau = tau_at(j);
+        best_rounds = rounds;
+        run.tau_index = j;
+        run.warm_start_used = true;
+      } else {
+        resolved = false;
+      }
+    }
+    if (!resolved) {
+      // Cold path: binary search for the smallest grid index (largest
+      // tau) that certifies.
+      int lo = 0;
+      int hi = grid_size - 1;
+      while (lo <= hi) {
+        const int mid = lo + (hi - lo) / 2;
+        std::vector<int> rows;
+        int rounds = 0;
+        if (attempt(mid, &rows, &rounds)) {
+          best_rows = std::move(rows);
+          best_tau = tau_at(mid);
+          best_rounds = rounds;
+          run.tau_index = mid;
+          hi = mid - 1;
+        } else {
+          lo = mid + 1;
+        }
+      }
+      run.warm_start_used = false;
     }
   } else {
     // Paper's literal scan: try every tau descending, keep the best by net
@@ -205,6 +263,7 @@ StatusOr<Solution> BiGreedyOnNet(const ProblemInput& input,
         best_rows = std::move(rows);
         best_tau = tau_at(j);
         best_rounds = rounds;
+        run.tau_index = j;
       }
     }
   }
@@ -334,6 +393,7 @@ BiGreedyOptions BiGreedyOptionsFromContext(const SolveContext& ctx) {
   opts.seed = ctx.seed;
   opts.threads = ctx.threads;
   opts.cache = ctx.cache;
+  opts.warm_tau_index = ctx.warm_tau_index;
   return opts;
 }
 
@@ -367,10 +427,18 @@ const AlgorithmRegistrar bigreedy_registrar([] {
       "dimension)";
   info.caps.fairness_aware = true;
   info.caps.randomized = true;
+  info.caps.warm_startable = true;
   info.params = BiGreedyParamSchema();
-  info.solve = [](const SolveContext& ctx) {
-    return BiGreedy(*ctx.data, *ctx.grouping, *ctx.bounds,
-                    BiGreedyOptionsFromContext(ctx));
+  info.solve = [](const SolveContext& ctx) -> StatusOr<Solution> {
+    BiGreedyRunInfo run;
+    FAIRHMS_ASSIGN_OR_RETURN(
+        Solution sol, BiGreedy(*ctx.data, *ctx.grouping, *ctx.bounds,
+                               BiGreedyOptionsFromContext(ctx), &run));
+    if (ctx.run_info != nullptr) {
+      ctx.run_info->tau_index = run.tau_index;
+      ctx.run_info->warm_start_used = run.warm_start_used;
+    }
+    return sol;
   };
   return info;
 }());
@@ -396,6 +464,10 @@ const AlgorithmRegistrar bigreedy_plus_registrar([] {
   info.solve = [](const SolveContext& ctx) {
     BiGreedyPlusOptions opts;
     opts.base = BiGreedyOptionsFromContext(ctx);
+    // Net-doubling rounds each solve a different net; a tau index from a
+    // previous run is meaningless across them, so BiGreedy+ always runs
+    // cold (and does not declare warm_startable).
+    opts.base.warm_tau_index = -1;
     opts.max_net_size = static_cast<size_t>(ctx.params->IntOr(
         "max_net_size", static_cast<int64_t>(opts.max_net_size)));
     opts.m0_fraction = ctx.params->DoubleOr("m0_fraction", opts.m0_fraction);

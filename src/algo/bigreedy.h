@@ -69,6 +69,13 @@ struct BiGreedyOptions {
   /// Cross-query memoization of nets / evaluators / pools (not owned; null
   /// = build per call). Results are bit-identical either way.
   ArtifactCache* cache = nullptr;
+  /// Warm-start hint: the certified capped-value grid index of a previous
+  /// compatible solution (-1 = cold). Only honored by the binary tau
+  /// search, which walks the grid outward from the hint instead of binary
+  /// searching; the walk re-certifies every step, so an accepted warm
+  /// solve lands on the same grid index — and therefore the same rows —
+  /// as the cold search, and a stale hint degrades to the cold search.
+  int warm_tau_index = -1;
 };
 
 /// Options specific to BiGreedy+.
@@ -88,6 +95,8 @@ struct BiGreedyRunInfo {
   size_t net_size = 0;    ///< m actually used.
   int rounds_used = 0;    ///< Greedy rounds of the returned solution.
   int mrgreedy_calls = 0; ///< Outer-loop decision calls.
+  int tau_index = -1;     ///< Certified grid index (-1 = greedy fallback).
+  bool warm_start_used = false;  ///< Warm hint accepted; cold search skipped.
 };
 
 /// Runs BiGreedy end to end (builds the net internally).

@@ -1,10 +1,24 @@
 #include "api/catalog.h"
 
+#include <fstream>
+#include <sstream>
 #include <utility>
 
 #include "common/string_util.h"
 
 namespace fairhms {
+
+namespace {
+
+/// Cost-model sidecar next to a snapshot. Kept out of the versioned
+/// binary snapshot format on purpose: the model is an optimization, not
+/// serving state, so a missing or unreadable sidecar must never fail a
+/// restore.
+std::string CostModelSidecarPath(const std::string& snapshot_path) {
+  return snapshot_path + ".plan";
+}
+
+}  // namespace
 
 StatusOr<Snapshot> SnapshotSession(SolverSession* session) {
   if (session == nullptr) {
@@ -86,6 +100,14 @@ Status DatasetCatalog::Load(const std::string& name, const std::string& path) {
                                     std::move(snapshot.combo_to_group),
                                     std::move(index)));
   entry.session = std::make_unique<SolverSession>(std::move(session));
+  // Lenient by design (see CostModelSidecarPath): a snapshot without a
+  // sidecar — or with a corrupt one — restores with a cold planner.
+  std::ifstream sidecar(CostModelSidecarPath(path));
+  if (sidecar) {
+    std::ostringstream text;
+    text << sidecar.rdbuf();
+    (void)entry.session->cost_model()->Restore(text.str());
+  }
   return Commit(name, std::move(entry));
 }
 
@@ -97,7 +119,17 @@ Status DatasetCatalog::Save(const std::string& name, const std::string& path) {
   }
   FAIRHMS_ASSIGN_OR_RETURN(Snapshot snapshot,
                            SnapshotSession(it->second.session.get()));
-  return WriteSnapshotFile(snapshot, path);
+  FAIRHMS_RETURN_IF_ERROR(WriteSnapshotFile(snapshot, path));
+  // The planner's cost model rides along in a text sidecar so a restored
+  // session plans as well as the one that was saved.
+  std::ofstream sidecar(CostModelSidecarPath(path),
+                        std::ios::out | std::ios::trunc);
+  sidecar << it->second.session->cost_model()->Serialize();
+  if (!sidecar.good()) {
+    return Status::IOError(StrFormat("cannot write cost-model sidecar '%s'",
+                                     CostModelSidecarPath(path).c_str()));
+  }
+  return Status::OK();
 }
 
 Status DatasetCatalog::Drop(const std::string& name) {

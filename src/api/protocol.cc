@@ -142,6 +142,29 @@ Status ParseQuery(const JsonValue& line, QueryRequest* out) {
         *params, AlgorithmRegistry::Instance().Find(out->algorithm),
         &out->params));
   }
+  if (const JsonValue* budget = line.Find("latency_budget_ms");
+      budget != nullptr) {
+    if (!budget->is_number() || budget->number_value() < 0.0) {
+      return Status::InvalidArgument(
+          "\"latency_budget_ms\" must be a number >= 0");
+    }
+    out->latency_budget_ms = budget->number_value();
+  }
+  if (const JsonValue* target = line.Find("quality_target");
+      target != nullptr) {
+    if (!target->is_number() || target->number_value() < 0.0 ||
+        target->number_value() > 1.0) {
+      return Status::InvalidArgument(
+          "\"quality_target\" must be a number in [0, 1]");
+    }
+    out->quality_target = target->number_value();
+  }
+  if (const JsonValue* warm = line.Find("warm_start"); warm != nullptr) {
+    if (!warm->is_bool()) {
+      return Status::InvalidArgument("\"warm_start\" must be a boolean");
+    }
+    out->warm_start = warm->bool_value();
+  }
   return Status::OK();
 }
 
@@ -299,6 +322,22 @@ std::string RenderQueryBody(const QueryResponse& r) {
   if (!r.note.empty()) {
     out += StrFormat(", \"note\": \"%s\"", JsonEscape(r.note).c_str());
   }
+  if (r.planned) {
+    // Prediction and actual cost side by side, so clients can judge the
+    // model without correlating fields across the payload.
+    out += StrFormat(
+        ", \"plan\": {\"requested\": \"auto\", \"algorithm\": \"%s\", "
+        "\"predicted_ms\": %.3f, \"predicted_hr\": %.17g, "
+        "\"actual_ms\": %.3f, \"reason\": \"%s\"",
+        JsonEscape(r.algorithm).c_str(), r.predicted_ms, r.predicted_hr,
+        r.solve_ms, JsonEscape(r.plan_reason).c_str());
+    if (!r.plan_params.empty()) {
+      out += StrFormat(", \"params\": \"%s\"",
+                       JsonEscape(r.plan_params).c_str());
+    }
+    out += "}";
+  }
+  if (r.warm_start) out += ", \"warm_start\": true";
   out += StrFormat(", \"solve_ms\": %.3f, \"total_ms\": %.3f", r.solve_ms,
                    r.total_ms);
   return out;
@@ -363,7 +402,7 @@ std::string RenderStatsBody(const StatsResponse& r) {
     out += StrFormat(
         "%s{\"name\": \"%s\", \"live_rows\": %llu, \"rows\": %llu, "
         "\"dim\": %d, \"groups\": %d, \"version\": %llu, "
-        "\"cache_hits\": %llu, \"cache_misses\": %llu, \"cache_bytes\": %llu}",
+        "\"cache_hits\": %llu, \"cache_misses\": %llu, \"cache_bytes\": %llu",
         i == 0 ? "" : ", ", JsonEscape(d.name).c_str(),
         static_cast<unsigned long long>(d.live_rows),
         static_cast<unsigned long long>(d.total_rows), d.dim, d.groups,
@@ -371,13 +410,36 @@ std::string RenderStatsBody(const StatsResponse& r) {
         static_cast<unsigned long long>(d.cache_hits),
         static_cast<unsigned long long>(d.cache_misses),
         static_cast<unsigned long long>(d.cache_bytes));
+    if (!d.cache_classes.empty()) {
+      out += ", \"cache_classes\": {";
+      for (size_t c = 0; c < d.cache_classes.size(); ++c) {
+        const auto& cls = d.cache_classes[c];
+        out += StrFormat(
+            "%s\"%s\": {\"hits\": %llu, \"misses\": %llu, \"bytes\": %llu}",
+            c == 0 ? "" : ", ", JsonEscape(cls.name).c_str(),
+            static_cast<unsigned long long>(cls.hits),
+            static_cast<unsigned long long>(cls.misses),
+            static_cast<unsigned long long>(cls.bytes));
+      }
+      out += "}";
+    }
+    out += "}";
   }
   out += StrFormat(
       "], \"cache\": {\"budget_bytes\": %llu, \"total_bytes\": %llu, "
-      "\"evictions\": %llu}, \"ops\": [",
+      "\"evictions\": %llu, \"sessions\": [",
       static_cast<unsigned long long>(r.cache_budget_bytes),
       static_cast<unsigned long long>(r.cache_total_bytes),
       static_cast<unsigned long long>(r.cache_evictions));
+  for (size_t i = 0; i < r.cache_sessions.size(); ++i) {
+    const StatsResponse::CacheSessionStats& s = r.cache_sessions[i];
+    out += StrFormat(
+        "%s{\"name\": \"%s\", \"charged_bytes\": %llu, \"last_touch\": %llu}",
+        i == 0 ? "" : ", ", JsonEscape(s.name).c_str(),
+        static_cast<unsigned long long>(s.charged_bytes),
+        static_cast<unsigned long long>(s.last_touch));
+  }
+  out += "]}, \"ops\": [";
   for (size_t i = 0; i < r.ops.size(); ++i) {
     const StatsResponse::OpStats& o = r.ops[i];
     out += StrFormat(
@@ -554,14 +616,10 @@ std::string RenderResponse(const Response& response,
       out += StrFormat("\"dataset\": \"%s\", ",
                        JsonEscape(response.dataset).c_str());
     }
-    // Structured error plus, for one release, the legacy free-text
-    // rendering (see README, protocol compatibility).
     out += StrFormat(
-        "\"error\": {\"code\": \"%s\", \"message\": \"%s\"}, "
-        "\"error_string\": \"%s\"}",
+        "\"error\": {\"code\": \"%s\", \"message\": \"%s\"}}",
         StatusCodeToString(response.error.code()),
-        JsonEscape(response.error.message()).c_str(),
-        JsonEscape(response.error.ToString()).c_str());
+        JsonEscape(response.error.message()).c_str());
     return out;
   }
   std::string out = StrFormat("{\"id\": %s, \"ok\": true, ",

@@ -23,12 +23,12 @@
 //       {"id": 3, "ok": true, "dataset": "d", "catalog_version": 1, ...}
 //       {"id": 3, "ok": false, "error": "InvalidArgument: ..."}
 //   * version 1 (kProtocolVersion) — every response carries
-//     "protocol_version", errors become structured objects whose "code" is
-//     the canonical StatusCode spelling (common/status.h), and the legacy
-//     free-text rendering rides along as "error_string" for one release:
+//     "protocol_version" and errors become structured objects whose
+//     "code" is the canonical StatusCode spelling (common/status.h):
 //       {"id": 3, "ok": false, "protocol_version": 1,
-//        "error": {"code": "InvalidArgument", "message": "..."},
-//        "error_string": "InvalidArgument: ..."}
+//        "error": {"code": "InvalidArgument", "message": "..."}}
+//     (The transitional "error_string" free-text duplicate was removed
+//     after its announced one-release deprecation window.)
 //
 // Payload fields are rendered identically under both envelope versions, so
 // upgrading only changes the envelope, never the results.
@@ -77,7 +77,7 @@ const char* ProtocolOpName(ProtocolOp op);
 /// structurally (kind + alpha + explicit lists); the service constructs the
 /// GroupBounds against the live group counts at execution time.
 struct QueryRequest {
-  std::string algorithm;
+  std::string algorithm;  ///< Registry name, or "auto" for the planner.
   int k = 0;
   enum class Bounds { kProportional, kBalanced, kExplicit };
   Bounds bounds = Bounds::kProportional;
@@ -89,6 +89,11 @@ struct QueryRequest {
   bool has_threads = false;
   int threads = 0;
   AlgoParams params;
+  /// Planner constraints ("auto" only; 0 = unset).
+  double latency_budget_ms = 0.0;
+  double quality_target = 0.0;
+  /// Allow warm-started re-solves from the session's previous solution.
+  bool warm_start = true;
 };
 
 /// One appended row. `cats` preserves the request's member order (including
@@ -184,6 +189,17 @@ struct QueryResponse {
   int violations = 0;
   std::vector<int> group_counts;
   std::string note;  ///< Omitted from the wire when empty.
+  /// Planner echo ("algorithm": "auto" requests only): rendered as a
+  /// "plan" object carrying the choice, the model's prediction and the
+  /// actual solve time side by side. Omitted when planned == false.
+  bool planned = false;
+  double predicted_ms = -1.0;
+  double predicted_hr = -1.0;
+  std::string plan_reason;
+  std::string plan_params;  ///< Params the planner set; "" = none.
+  /// The solve was warm-started from the session's previous solution.
+  /// Rendered only when true (bit-identity makes it purely diagnostic).
+  bool warm_start = false;
   double solve_ms = 0.0;
   double total_ms = 0.0;
 };
@@ -236,6 +252,16 @@ struct StatsResponse {
     uint64_t cache_hits = 0;
     uint64_t cache_misses = 0;
     uint64_t cache_bytes = 0;
+    /// Per-artifact-class cache accounting (nets, evaluators, skylines,
+    /// ...), in the session's fixed class order — the observable the
+    /// planner's cache-warmth signal derives from.
+    struct CacheClassStats {
+      std::string name;
+      uint64_t hits = 0;
+      uint64_t misses = 0;
+      uint64_t bytes = 0;
+    };
+    std::vector<CacheClassStats> cache_classes;
   };
   struct OpStats {
     ProtocolOp op = ProtocolOp::kQuery;
@@ -249,6 +275,14 @@ struct StatsResponse {
   uint64_t cache_budget_bytes = 0;
   uint64_t cache_total_bytes = 0;
   uint64_t cache_evictions = 0;
+  /// The CacheArbiter's per-session ledger (charged bytes + logical
+  /// last-touch tick), sorted by session name.
+  struct CacheSessionStats {
+    std::string name;
+    uint64_t charged_bytes = 0;
+    uint64_t last_touch = 0;
+  };
+  std::vector<CacheSessionStats> cache_sessions;
   uint64_t served = 0;
   uint64_t failed = 0;
   double uptime_ms = 0.0;

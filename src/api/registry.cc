@@ -37,6 +37,7 @@ std::string CapabilitiesToString(const AlgoCapabilities& caps) {
   if (caps.exact_2d) parts.push_back("exact-2d");
   if (caps.randomized) parts.push_back("randomized");
   if (caps.supports_lambda) parts.push_back("lambda");
+  if (caps.warm_startable) parts.push_back("warm");
   return parts.empty() ? "-" : Join(parts, ",");
 }
 

@@ -44,10 +44,29 @@ struct AlgoCapabilities {
   bool randomized = false;
   /// Accepts the BiGreedy+ adaptive-sampling 'lambda' parameter.
   bool supports_lambda = false;
+  /// Can seed a solve from a previous session solution (via
+  /// SolveContext::warm_tau_index) and self-validate the hint, falling
+  /// back to a cold solve when validation fails. Warm results must be
+  /// bit-identical to cold ones.
+  bool warm_startable = false;
 };
 
 /// Renders set capabilities as "fair,exact-2d,..." (or "-" when none).
+/// Token order is fixed (fair, exact-2d, randomized, lambda, warm); the
+/// CLI's --list_algos prints this as a machine-parseable column and CI
+/// greps it.
 std::string CapabilitiesToString(const AlgoCapabilities& caps);
+
+/// Per-solve diagnostics an algorithm reports back through
+/// SolveContext::run_info (when non-null). Used by SolverSession to decide
+/// warm-start eligibility for the *next* solve.
+struct SolveRunInfo {
+  /// Certified tau-grid index of the returned solution (-1 when the solve
+  /// did not certify one, e.g. greedy fallback paths).
+  int tau_index = -1;
+  /// The warm-start hint was accepted; the solve skipped its cold search.
+  bool warm_start_used = false;
+};
 
 /// Everything Solver::Solve hands an algorithm. `data` is the dataset to
 /// select from (already projected to 2D for exact_2d algorithms);
@@ -66,6 +85,13 @@ struct SolveContext {
   /// SolverSession (api/session.h); null on the one-shot cold path.
   /// Algorithms must produce bit-identical results either way.
   ArtifactCache* cache = nullptr;
+  /// Warm-start hint for warm_startable algorithms: the certified tau-grid
+  /// index of the session's previous compatible solution, or -1 for a cold
+  /// solve. Purely advisory — the algorithm re-validates it and must
+  /// return bit-identical results whether or not the hint is used.
+  int warm_tau_index = -1;
+  /// When non-null, the algorithm fills per-solve diagnostics here.
+  SolveRunInfo* run_info = nullptr;
 };
 
 /// An algorithm's entry point: builds its Options from the context's params

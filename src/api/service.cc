@@ -268,6 +268,9 @@ Status ProtocolService::ExecuteQuery(const QueryRequest& request,
     }
   }
   solve.params = request.params;
+  solve.latency_budget_ms = request.latency_budget_ms;
+  solve.quality_target = request.quality_target;
+  solve.allow_warm_start = request.warm_start;
 
   FAIRHMS_ASSIGN_OR_RETURN(SolverResult run, session->Solve(solve));
 
@@ -290,6 +293,12 @@ Status ProtocolService::ExecuteQuery(const QueryRequest& request,
   out->violations = run.violations;
   out->group_counts = run.group_counts;
   out->note = run.note;
+  out->planned = run.plan.planned;
+  out->predicted_ms = run.plan.predicted_ms;
+  out->predicted_hr = run.plan.predicted_hr;
+  out->plan_reason = run.plan.reason;
+  out->plan_params = run.plan.params;
+  out->warm_start = run.warm_start_used;
   out->solve_ms = run.solve_ms;
   out->total_ms = run.total_ms;
   return Status::OK();
@@ -460,6 +469,23 @@ void ProtocolService::ExecuteStats(StatsResponse* out) {
     ds.cache_hits = cache.TotalHits();
     ds.cache_misses = cache.TotalMisses();
     ds.cache_bytes = cache.TotalBytes();
+    const std::pair<const char*, const CacheStats::Counter*> classes[] = {
+        {"nets", &cache.nets},
+        {"evaluators", &cache.evaluators},
+        {"skylines", &cache.skylines},
+        {"group_skylines", &cache.group_skylines},
+        {"pools", &cache.pools},
+        {"groups", &cache.groups},
+        {"projections", &cache.projections},
+    };
+    for (const auto& [cls_name, counter] : classes) {
+      StatsResponse::DatasetStats::CacheClassStats cls;
+      cls.name = cls_name;
+      cls.hits = counter->hits;
+      cls.misses = counter->misses;
+      cls.bytes = counter->bytes;
+      ds.cache_classes.push_back(std::move(cls));
+    }
     out->datasets.push_back(std::move(ds));
   }
   {
@@ -468,6 +494,10 @@ void ProtocolService::ExecuteStats(StatsResponse* out) {
     out->cache_budget_bytes = arbiter->budget_bytes();
     out->cache_total_bytes = arbiter->total_bytes();
     out->cache_evictions = arbiter->evictions();
+    for (const CacheArbiter::LedgerEntry& entry : arbiter->Ledger()) {
+      out->cache_sessions.push_back(
+          {entry.name, entry.charged_bytes, entry.last_touch});
+    }
   }
   const OpMetrics::Snapshot metrics = metrics_.snapshot();
   out->served = metrics.served;

@@ -1,9 +1,13 @@
 #include "api/session.h"
 
+#include <cmath>
+#include <cstdlib>
 #include <utility>
+#include <variant>
 
 #include "common/stopwatch.h"
 #include "common/string_util.h"
+#include "plan/planner.h"
 #include "skyline/skyline.h"
 
 namespace fairhms {
@@ -45,6 +49,18 @@ Status ValidateRequestShape(const SolverRequest& req,
         "threads must be in [0, 4096] (0 = all hardware threads), got %d",
         req.threads));
   }
+  if (req.algorithm == "auto") {
+    // Planner placeholder: SolverSession::Solve rewrites it to a concrete
+    // registry name (plan/planner.h) and re-validates, so the algorithm-
+    // specific checks (schema, exact-2D dimension) run against the actual
+    // choice. Only the algorithm-independent checks apply here.
+    FAIRHMS_RETURN_IF_ERROR(req.bounds.Validate(
+        cache != nullptr ? cache->GroupCounts(*req.data, *req.grouping)
+                         : req.grouping->LiveCounts(*req.data),
+        &req.grouping->names));
+    if (info_out != nullptr) *info_out = nullptr;
+    return Status::OK();
+  }
   const AlgorithmRegistry& registry = AlgorithmRegistry::Instance();
   const AlgorithmInfo* info = registry.Find(req.algorithm);
   if (info == nullptr) {
@@ -73,10 +89,50 @@ Status ValidateRequestShape(const SolverRequest& req,
 
 }  // namespace internal
 
+namespace {
+
+/// How much of the solution the lower bounds pin down, in [0, 1]. The
+/// cost-model signature and the planner both bucket on this.
+double BoundsTightness(const GroupBounds& bounds) {
+  if (bounds.k <= 0) return 0.0;
+  long long lower_sum = 0;
+  for (const int lo : bounds.lower) lower_sum += lo;
+  double t = static_cast<double>(lower_sum) / static_cast<double>(bounds.k);
+  if (t < 0.0) t = 0.0;
+  if (t > 1.0) t = 1.0;
+  return t;
+}
+
+/// Deterministic fingerprint of a params bag; warm-start memos compare it
+/// so a hint never crosses a parameter change.
+std::string ParamsFingerprint(const AlgoParams& params) {
+  std::string out;
+  for (const auto& [key, value] : params.values()) {
+    out += key;
+    out += '=';
+    if (const auto* i = std::get_if<int64_t>(&value)) {
+      out += StrFormat("i%lld", static_cast<long long>(*i));
+    } else if (const auto* d = std::get_if<double>(&value)) {
+      out += StrFormat("d%.17g", *d);
+    } else if (const auto* b = std::get_if<bool>(&value)) {
+      out += *b ? "b1" : "b0";
+    } else if (const auto* s = std::get_if<std::string>(&value)) {
+      out += 's';
+      out += *s;
+    }
+    out += ';';
+  }
+  return out;
+}
+
+}  // namespace
+
 SolverSession::SolverSession(const Dataset* data, const Grouping* grouping)
     : data_(data),
       grouping_(grouping),
       cache_(new ArtifactCache()),
+      cost_model_(new CostModel()),
+      warm_mu_(new std::mutex()),
       projection_mu_(new std::mutex()) {}
 
 StatusOr<SolverSession> SolverSession::Create(const Dataset* data,
@@ -380,11 +436,41 @@ StatusOr<SolverResult> SolverSession::Solve(const SolverRequest& request) {
   // artifacts now, so the cache lookups below hit instead of recomputing.
   PublishIndexIfStale();
 
+  // Captured before the solve touches the cache: the cost model records
+  // each observation under the warmth the solve actually started from.
+  const bool cache_warm = cache_->stats().TotalBytes() > 0;
+
+  SolverResult result;
+  if (req.algorithm == "auto") {
+    // Shape-check first (ValidateRequestShape accepts the "auto"
+    // placeholder) so the planner only ever sees well-formed requests,
+    // then plan and fall through to the full validation of the choice.
+    FAIRHMS_RETURN_IF_ERROR(
+        internal::ValidateRequestShape(req, nullptr, cache_.get()));
+    PlanRequest plan_req;
+    plan_req.d = req.data->dim();
+    plan_req.n = req.data->live_size();
+    plan_req.k = req.bounds.k;
+    plan_req.num_groups = req.grouping->num_groups;
+    plan_req.bounds_tightness = BoundsTightness(req.bounds);
+    plan_req.cache_warm = cache_warm;
+    plan_req.latency_budget_ms = req.latency_budget_ms;
+    plan_req.quality_target = req.quality_target;
+    plan_req.seed = req.seed;
+    FAIRHMS_ASSIGN_OR_RETURN(
+        Plan plan, Planner::PlanQuery(plan_req, *cost_model_, &req.params));
+    req.algorithm = plan.algorithm;
+    result.plan.planned = true;
+    result.plan.predicted_ms = plan.predicted_ms;
+    result.plan.predicted_hr = plan.predicted_hr;
+    result.plan.reason = plan.reason;
+    result.plan.params = plan.params_note;
+  }
+
   const AlgorithmInfo* info = nullptr;
   FAIRHMS_RETURN_IF_ERROR(
       internal::ValidateRequestShape(req, &info, cache_.get()));
 
-  SolverResult result;
   result.algorithm = info->name;
   result.bounds = req.bounds;
 
@@ -415,6 +501,33 @@ StatusOr<SolverResult> SolverSession::Solve(const SolverRequest& request) {
     }
   }
 
+  // Warm-start hint: hand a warm_startable algorithm the certified grid
+  // index of the session's previous compatible solution. Compatible =
+  // identical seed/threads/params and at most one k step on the same data
+  // version, or the same k across a data/grouping version change. The
+  // hint is advisory (the algorithm re-validates and falls back to a cold
+  // search), so eligibility only filters out hopeless probes.
+  const std::string params_key = ParamsFingerprint(req.params);
+  SolveRunInfo run_info;
+  int warm_hint = -1;
+  if (req.allow_warm_start && info->caps.warm_startable) {
+    std::lock_guard<std::mutex> lock(*warm_mu_);
+    const auto it = warm_memo_.find(info->name);
+    if (it != warm_memo_.end()) {
+      const WarmMemo& memo = it->second;
+      const bool same_config = memo.seed == req.seed &&
+                               memo.threads == req.threads &&
+                               memo.params_key == params_key;
+      const bool k_step = std::abs(memo.k - req.bounds.k) <= 1 &&
+                          memo.data_version == data_->version() &&
+                          memo.grouping_version == grouping_->version;
+      const bool version_step = memo.k == req.bounds.k;
+      if (same_config && memo.tau_index >= 0 && (k_step || version_step)) {
+        warm_hint = memo.tau_index;
+      }
+    }
+  }
+
   SolveContext ctx;
   ctx.data = solve_data;
   ctx.grouping = req.grouping;
@@ -424,10 +537,24 @@ StatusOr<SolverResult> SolverSession::Solve(const SolverRequest& request) {
   ctx.threads = req.threads;
   ctx.params = &req.params;
   ctx.cache = cache_.get();
+  ctx.warm_tau_index = warm_hint;
+  ctx.run_info = &run_info;
 
   FAIRHMS_ASSIGN_OR_RETURN(result.solution, info->solve(ctx));
   if (result.solution.algorithm.empty()) {
     result.solution.algorithm = info->display_name;
+  }
+  result.warm_start_used = run_info.warm_start_used;
+  if (info->caps.warm_startable) {
+    std::lock_guard<std::mutex> lock(*warm_mu_);
+    WarmMemo& memo = warm_memo_[info->name];
+    memo.tau_index = run_info.tau_index;
+    memo.k = req.bounds.k;
+    memo.seed = req.seed;
+    memo.threads = req.threads;
+    memo.data_version = data_->version();
+    memo.grouping_version = grouping_->version;
+    memo.params_key = params_key;
   }
   // Hand the skyline back so callers need not recompute it — but only when
   // it belongs to the caller's dataset (not a 2D projection).
@@ -438,6 +565,14 @@ StatusOr<SolverResult> SolverSession::Solve(const SolverRequest& request) {
       CountViolations(result.solution.rows, *req.grouping, req.bounds);
   result.solve_ms = result.solution.elapsed_ms;
   result.total_ms = total.ElapsedMillis();
+  // Every solve feeds the planner's cost model — including explicit
+  // algorithm requests, so "auto" learns from mixed workloads.
+  cost_model_->Observe(
+      info->name,
+      CostSignature::Make(req.data->dim(), req.data->live_size(),
+                          req.bounds.k, req.grouping->num_groups,
+                          BoundsTightness(req.bounds), cache_warm),
+      result.solve_ms, result.solution.mhr);
   return result;
 }
 

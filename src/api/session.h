@@ -54,6 +54,7 @@
 #include "core/artifact_cache.h"
 #include "data/dataset.h"
 #include "data/grouping.h"
+#include "plan/cost_model.h"
 #include "skyline/incremental.h"
 
 namespace fairhms {
@@ -164,6 +165,12 @@ class SolverSession {
   /// same pinned dataset (e.g. the batch driver's reference mhr).
   ArtifactCache* cache() { return cache_.get(); }
 
+  /// The session's measured cost model: every successful solve records an
+  /// observation, and `algorithm: "auto"` requests plan against it.
+  /// DatasetCatalog persists it next to snapshots (`<path>.plan`).
+  CostModel* cost_model() { return cost_model_.get(); }
+  const CostModel* cost_model() const { return cost_model_.get(); }
+
   /// Drops every memoized artifact (hit/miss history survives). Must not
   /// race in-flight solves.
   void ClearCache();
@@ -187,9 +194,26 @@ class SolverSession {
   /// mutations publishes lazily on the next query.
   void PublishIndexIfStale();
 
+  /// Last compatible solve of a warm_startable algorithm, keyed by
+  /// algorithm name. The hint is advisory (the algorithm re-validates),
+  /// so the memo survives ClearCache and bounds drift; eligibility only
+  /// filters the cases where probing would be wasted work.
+  struct WarmMemo {
+    int tau_index = -1;
+    int k = 0;
+    uint64_t seed = 0;
+    int threads = 0;
+    uint64_t data_version = 0;
+    uint64_t grouping_version = 0;
+    std::string params_key;  ///< Fingerprint of the validated params bag.
+  };
+
   const Dataset* data_;
   const Grouping* grouping_;
   std::unique_ptr<ArtifactCache> cache_;
+  std::unique_ptr<CostModel> cost_model_;
+  std::unique_ptr<std::mutex> warm_mu_;
+  std::map<std::string, WarmMemo> warm_memo_;
   std::unique_ptr<std::mutex> projection_mu_;
   std::unique_ptr<Dataset> projection2d_;
   uint64_t projection_synced_version_ = 0;

@@ -41,7 +41,10 @@ struct SolverRequest {
   /// Per-group bounds; bounds.k is the result size.
   GroupBounds bounds;
   /// Registry name, e.g. "intcov", "bigreedy+", "g_dmm" (see
-  /// AlgorithmRegistry::Names() or `fairhms_cli --list_algos`).
+  /// AlgorithmRegistry::Names() or `fairhms_cli --list_algos`), or
+  /// "auto" to let the session's planner (plan/planner.h) choose from the
+  /// cost model; the chosen name and prediction are echoed in
+  /// SolverResult::plan.
   std::string algorithm;
   /// Seed for every randomized part (direction nets). >= 0.
   uint64_t seed = 42;
@@ -49,7 +52,29 @@ struct SolverRequest {
   /// Results are bit-identical across thread counts.
   int threads = 0;
   /// Algorithm-specific knobs, validated against the registered schema.
+  /// With "auto", validation happens against the planner's choice (and the
+  /// planner may fill keys left unset).
   AlgoParams params;
+  /// Planner constraints, honored only with algorithm == "auto". 0 = unset.
+  double latency_budget_ms = 0.0;
+  /// Minimum predicted happiness ratio, only with "auto". 0 = unset.
+  double quality_target = 0.0;
+  /// Allow warm_startable algorithms to seed from the session's previous
+  /// compatible solution (results stay bit-identical; see
+  /// AlgoCapabilities::warm_startable). One-shot Solver::Solve calls run
+  /// in a throwaway session, so this only matters for held sessions.
+  bool allow_warm_start = true;
+};
+
+/// The planner's decision for an `algorithm: "auto"` request, echoed next
+/// to the result (and over the wire) so callers can compare predicted vs
+/// actual cost.
+struct SolverPlanEcho {
+  bool planned = false;        ///< True iff the request said "auto".
+  double predicted_ms = -1.0;  ///< Model prediction; -1 when cold.
+  double predicted_hr = -1.0;  ///< Predicted happiness ratio; -1 when cold.
+  std::string reason;          ///< Human-readable why (not stable API).
+  std::string params;          ///< Params the planner set, "" when none.
 };
 
 /// The outcome of a solve, ready for reporting.
@@ -70,6 +95,12 @@ struct SolverResult {
   std::vector<int> skyline;
   double solve_ms = 0.0;  ///< Algorithm wall-clock (== solution.elapsed_ms).
   double total_ms = 0.0;  ///< Facade wall-clock incl. skyline/projection.
+  /// Planner echo for `algorithm: "auto"` requests (plan.planned == false
+  /// otherwise).
+  SolverPlanEcho plan;
+  /// The solve was warm-started from the session's previous solution
+  /// (bit-identical to the cold solve it replaced).
+  bool warm_start_used = false;
 };
 
 /// The facade. Stateless; all methods are safe for concurrent use once

@@ -566,6 +566,21 @@ std::string CacheArbiter::ToString() const {
   return out;
 }
 
+std::vector<CacheArbiter::LedgerEntry> CacheArbiter::Ledger() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<LedgerEntry> ledger;
+  ledger.reserve(entries_.size());
+  for (const auto& [addr, entry] : entries_) {
+    (void)addr;
+    ledger.push_back({entry.name, entry.charged, entry.last_touch});
+  }
+  std::sort(ledger.begin(), ledger.end(),
+            [](const LedgerEntry& a, const LedgerEntry& b) {
+              return a.name < b.name;
+            });
+  return ledger;
+}
+
 std::shared_ptr<const UtilityNet> GetOrSampleNet(ArtifactCache* cache, int d,
                                                  size_t m, Rng* rng) {
   if (cache != nullptr) return cache->Net(d, m, rng);

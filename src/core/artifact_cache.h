@@ -255,6 +255,16 @@ class CacheArbiter {
   /// CacheStats::ToString (the per-session byte figures agree).
   std::string ToString() const;
 
+  /// Structured form of the ledger for the `stats` op: one entry per
+  /// registered cache, sorted by name. `last_touch` is the logical
+  /// recency tick Rebalance evicts by (higher = warmer).
+  struct LedgerEntry {
+    std::string name;
+    uint64_t charged_bytes = 0;
+    uint64_t last_touch = 0;
+  };
+  std::vector<LedgerEntry> Ledger() const;
+
  private:
   struct Entry {
     std::string name;

@@ -1,0 +1,167 @@
+#include "plan/cost_model.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+#include <tuple>
+#include <vector>
+
+namespace fairhms {
+namespace {
+
+int Log2Bucket(uint64_t v) {
+  int b = 0;
+  while (v > 1) {
+    v >>= 1;
+    ++b;
+  }
+  return b;
+}
+
+}  // namespace
+
+CostSignature CostSignature::Make(int d, uint64_t n, int k, int num_groups,
+                                  double bounds_tightness, bool cache_warm) {
+  CostSignature sig;
+  sig.d = d;
+  sig.n_bucket = Log2Bucket(n);
+  sig.k_bucket = Log2Bucket(k > 0 ? static_cast<uint64_t>(k) : 1);
+  sig.groups_bucket =
+      Log2Bucket(num_groups > 0 ? static_cast<uint64_t>(num_groups) : 1);
+  double t = bounds_tightness;
+  if (t < 0.0) t = 0.0;
+  if (t > 1.0) t = 1.0;
+  sig.tightness_bucket = static_cast<int>(t * 4.0 + 0.5);
+  sig.warm = cache_warm;
+  return sig;
+}
+
+bool CostSignature::operator<(const CostSignature& o) const {
+  return std::tie(d, n_bucket, k_bucket, groups_bucket, tightness_bucket,
+                  warm) < std::tie(o.d, o.n_bucket, o.k_bucket,
+                                   o.groups_bucket, o.tightness_bucket,
+                                   o.warm);
+}
+
+bool CostSignature::operator==(const CostSignature& o) const {
+  return d == o.d && n_bucket == o.n_bucket && k_bucket == o.k_bucket &&
+         groups_bucket == o.groups_bucket &&
+         tightness_bucket == o.tightness_bucket && warm == o.warm;
+}
+
+void CostModel::Observe(const std::string& algorithm,
+                        const CostSignature& sig, double solve_ms,
+                        double happiness_ratio) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Cell& cell = cells_[Key(algorithm, sig)];
+  ++cell.count;
+  cell.mean_ms += (solve_ms - cell.mean_ms) / static_cast<double>(cell.count);
+  cell.mean_hr +=
+      (happiness_ratio - cell.mean_hr) / static_cast<double>(cell.count);
+}
+
+CostModel::Estimate CostModel::Predict(const std::string& algorithm,
+                                       const CostSignature& sig) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Tier predicates, from most to least specific. Each tier combines the
+  // matching cells by sample-weighted mean; the first non-empty tier wins.
+  const auto matches_tier = [&sig](const CostSignature& s, int tier) {
+    switch (tier) {
+      case 0:
+        return s == sig;
+      case 1:
+        return s.d == sig.d && s.n_bucket == sig.n_bucket &&
+               s.k_bucket == sig.k_bucket &&
+               s.groups_bucket == sig.groups_bucket &&
+               s.tightness_bucket == sig.tightness_bucket;
+      case 2:
+        return s.d == sig.d && s.n_bucket == sig.n_bucket &&
+               s.k_bucket == sig.k_bucket;
+      case 3:
+        return s.d == sig.d;
+      default:
+        return true;
+    }
+  };
+  for (int tier = 0; tier <= 4; ++tier) {
+    uint64_t total = 0;
+    double ms_sum = 0.0;
+    double hr_sum = 0.0;
+    for (const auto& [key, cell] : cells_) {
+      if (key.first != algorithm) continue;
+      if (!matches_tier(key.second, tier)) continue;
+      total += cell.count;
+      ms_sum += cell.mean_ms * static_cast<double>(cell.count);
+      hr_sum += cell.mean_hr * static_cast<double>(cell.count);
+    }
+    if (total > 0) {
+      Estimate est;
+      est.ms = ms_sum / static_cast<double>(total);
+      est.happiness_ratio = hr_sum / static_cast<double>(total);
+      est.samples = total;
+      est.tier = tier;
+      return est;
+    }
+  }
+  return Estimate{};
+}
+
+uint64_t CostModel::observations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const auto& [key, cell] : cells_) {
+    (void)key;
+    total += cell.count;
+  }
+  return total;
+}
+
+std::string CostModel::Serialize() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "fairhms-cost-model v1\n";
+  char buf[256];
+  for (const auto& [key, cell] : cells_) {
+    const CostSignature& s = key.second;
+    std::snprintf(buf, sizeof(buf),
+                  " %d %d %d %d %d %d %" PRIu64 " %.17g %.17g\n", s.d,
+                  s.n_bucket, s.k_bucket, s.groups_bucket,
+                  s.tightness_bucket, s.warm ? 1 : 0, cell.count,
+                  cell.mean_ms, cell.mean_hr);
+    out += key.first;
+    out += buf;
+  }
+  return out;
+}
+
+Status CostModel::Restore(const std::string& text) {
+  std::istringstream in(text);
+  std::string header;
+  if (!std::getline(in, header) || header != "fairhms-cost-model v1") {
+    return Status::InvalidArgument("cost model: bad header");
+  }
+  std::map<Key, Cell> parsed;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    std::string algorithm;
+    CostSignature sig;
+    int warm = 0;
+    Cell cell;
+    if (!(fields >> algorithm >> sig.d >> sig.n_bucket >> sig.k_bucket >>
+          sig.groups_bucket >> sig.tightness_bucket >> warm >> cell.count >>
+          cell.mean_ms >> cell.mean_hr)) {
+      return Status::InvalidArgument("cost model: bad cell line: " + line);
+    }
+    if (cell.count == 0) {
+      return Status::InvalidArgument("cost model: zero-count cell: " + line);
+    }
+    sig.warm = warm != 0;
+    parsed[Key(algorithm, sig)] = cell;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  cells_ = std::move(parsed);
+  return Status::OK();
+}
+
+}  // namespace fairhms

@@ -1,0 +1,107 @@
+// CostModel: the measured half of the `algorithm: "auto"` query planner.
+//
+// Every solve executed through SolverSession (and therefore through
+// Solver::Solve, the batch CLI and the fairhms_serve daemon) records one
+// observation — which algorithm ran, on what shape of problem, how long it
+// took and what happiness ratio it achieved. Observations aggregate into
+// per-(algorithm, signature) cells, where the signature buckets the
+// request shape (dimension, log2 row/ k / group counts, bounds tightness,
+// cache warmth) so a handful of queries generalizes to the neighborhood
+// the planner (plan/planner.h) must predict for.
+//
+// The model is deliberately tiny and deterministic: cells keep a running
+// mean (no decay, no randomness), predictions fall back through coarser
+// signature tiers before giving up, and Serialize() emits a stable
+// line-oriented text form that DatasetCatalog persists next to snapshots
+// (`<path>.plan`) so a restored session plans as well as the one that was
+// saved.
+//
+// Thread-safety: Observe/Predict/Serialize/Restore are mutex-guarded and
+// safe for concurrent callers.
+
+#ifndef FAIRHMS_PLAN_COST_MODEL_H_
+#define FAIRHMS_PLAN_COST_MODEL_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "common/status.h"
+
+namespace fairhms {
+
+/// Bucketed problem shape of one solve. Exact field equality defines a
+/// model cell; the planner's fallback tiers relax fields right-to-left.
+struct CostSignature {
+  int d = 0;                 ///< Dataset dimension (exact).
+  int n_bucket = 0;          ///< floor(log2(live rows)).
+  int k_bucket = 0;          ///< floor(log2(k)).
+  int groups_bucket = 0;     ///< floor(log2(num_groups)).
+  int tightness_bucket = 0;  ///< round(4 * sum(lower)/k), clamped to [0, 4].
+  bool warm = false;         ///< Session cache had resident artifacts.
+
+  static CostSignature Make(int d, uint64_t n, int k, int num_groups,
+                            double bounds_tightness, bool cache_warm);
+
+  bool operator<(const CostSignature& o) const;
+  bool operator==(const CostSignature& o) const;
+};
+
+class CostModel {
+ public:
+  CostModel() = default;
+  CostModel(const CostModel&) = delete;
+  CostModel& operator=(const CostModel&) = delete;
+
+  /// Folds one measured solve into the (algorithm, signature) cell's
+  /// running means.
+  void Observe(const std::string& algorithm, const CostSignature& sig,
+               double solve_ms, double happiness_ratio);
+
+  struct Estimate {
+    double ms = 0.0;
+    double happiness_ratio = 0.0;
+    uint64_t samples = 0;  ///< 0 = cold (no data for this algorithm).
+    int tier = -1;         ///< Fallback tier the estimate came from (0 = exact).
+  };
+
+  /// Prediction for running `algorithm` on a problem shaped like `sig`.
+  /// Falls back through progressively coarser matches:
+  ///   tier 0 — exact signature;
+  ///   tier 1 — ignore cache warmth;
+  ///   tier 2 — additionally ignore tightness and group count;
+  ///   tier 3 — any cell of the algorithm with the same dimension;
+  ///   tier 4 — any cell of the algorithm.
+  /// Multi-cell tiers combine by sample-weighted mean. samples == 0 means
+  /// the model has never seen the algorithm at all.
+  Estimate Predict(const std::string& algorithm,
+                   const CostSignature& sig) const;
+
+  /// Total observations across every cell.
+  uint64_t observations() const;
+
+  /// Stable text form: a header line followed by one sorted line per cell.
+  /// Equal model states serialize to equal bytes.
+  std::string Serialize() const;
+
+  /// Replaces the model's contents with a previously Serialize()d form.
+  /// InvalidArgument on malformed input, leaving the model unchanged.
+  Status Restore(const std::string& text);
+
+ private:
+  struct Cell {
+    uint64_t count = 0;
+    double mean_ms = 0.0;
+    double mean_hr = 0.0;
+  };
+  using Key = std::pair<std::string, CostSignature>;
+
+  mutable std::mutex mu_;
+  std::map<Key, Cell> cells_;
+};
+
+}  // namespace fairhms
+
+#endif  // FAIRHMS_PLAN_COST_MODEL_H_

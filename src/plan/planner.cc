@@ -1,0 +1,166 @@
+#include "plan/planner.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "api/registry.h"
+#include "common/string_util.h"
+
+namespace fairhms {
+namespace {
+
+/// Seeded, platform-independent tie-break hash (splitmix64 over the seed,
+/// FNV-1a over the name). Equal-score candidates rank by this, then by
+/// name, so plans are deterministic yet not alphabetically biased.
+uint64_t TieBreakHash(uint64_t seed, const std::string& name) {
+  uint64_t h = seed + 0x9E3779B97F4A7C15ull;
+  h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9ull;
+  h = (h ^ (h >> 27)) * 0x94D049BB133111EBull;
+  h ^= h >> 31;
+  for (const char c : name) {
+    h = (h ^ static_cast<uint64_t>(static_cast<unsigned char>(c))) *
+        0x100000001B3ull;
+  }
+  return h;
+}
+
+struct Candidate {
+  const AlgorithmInfo* info = nullptr;
+  CostModel::Estimate est;
+  uint64_t tie = 0;
+};
+
+/// Higher happiness first; equal happiness → faster first; then tie hash,
+/// then name.
+bool BetterQuality(const Candidate& a, const Candidate& b) {
+  if (a.est.happiness_ratio != b.est.happiness_ratio) {
+    return a.est.happiness_ratio > b.est.happiness_ratio;
+  }
+  if (a.est.ms != b.est.ms) return a.est.ms < b.est.ms;
+  if (a.tie != b.tie) return a.tie < b.tie;
+  return a.info->name < b.info->name;
+}
+
+/// Faster first; equal time → higher happiness first; then tie hash, name.
+bool BetterLatency(const Candidate& a, const Candidate& b) {
+  if (a.est.ms != b.est.ms) return a.est.ms < b.est.ms;
+  if (a.est.happiness_ratio != b.est.happiness_ratio) {
+    return a.est.happiness_ratio > b.est.happiness_ratio;
+  }
+  if (a.tie != b.tie) return a.tie < b.tie;
+  return a.info->name < b.info->name;
+}
+
+}  // namespace
+
+StatusOr<Plan> Planner::PlanQuery(const PlanRequest& request,
+                                  const CostModel& model,
+                                  AlgoParams* params) {
+  const AlgorithmRegistry& registry = AlgorithmRegistry::Instance();
+  std::vector<Candidate> eligible;
+  for (const AlgorithmInfo* info : registry.All()) {
+    if (!info->caps.fairness_aware) continue;
+    if (info->caps.exact_2d && request.d != 2) continue;
+    Candidate c;
+    c.info = info;
+    c.est = model.Predict(
+        info->name,
+        CostSignature::Make(request.d, request.n, request.k,
+                            request.num_groups, request.bounds_tightness,
+                            request.cache_warm));
+    c.tie = TieBreakHash(request.seed, info->name);
+    eligible.push_back(c);
+  }
+  if (eligible.empty()) {
+    return Status::InvalidArgument(
+        "planner: no eligible algorithm registered (known: " +
+        registry.NamesForError() + ")");
+  }
+
+  std::vector<Candidate> known;
+  for (const Candidate& c : eligible) {
+    if (c.est.samples > 0) known.push_back(c);
+  }
+
+  Plan plan;
+  if (known.empty()) {
+    // Cold model: capability-driven defaults. IntCov is exact on 2-D
+    // data; BiGreedy is the paper's general-d workhorse.
+    const Candidate* pick = nullptr;
+    for (const Candidate& c : eligible) {
+      if (request.d == 2 && c.info->name == "intcov") pick = &c;
+    }
+    if (pick == nullptr) {
+      for (const Candidate& c : eligible) {
+        if (c.info->name == "bigreedy") pick = &c;
+      }
+    }
+    if (pick == nullptr) {
+      pick = &*std::min_element(eligible.begin(), eligible.end(),
+                                BetterQuality);
+    }
+    plan.algorithm = pick->info->name;
+    plan.reason = StrFormat("cold model: default for %d-d data", request.d);
+    return plan;
+  }
+
+  // Warm model: score the measured candidates.
+  const Candidate* pick = nullptr;
+  std::string reason;
+  const bool has_budget = request.latency_budget_ms > 0.0;
+  const bool has_target = request.quality_target > 0.0;
+  std::vector<Candidate> in_budget;
+  std::vector<Candidate> on_target;
+  for (const Candidate& c : known) {
+    if (!has_budget || c.est.ms <= request.latency_budget_ms) {
+      in_budget.push_back(c);
+    }
+    if ((!has_budget || c.est.ms <= request.latency_budget_ms) &&
+        (!has_target || c.est.happiness_ratio >= request.quality_target)) {
+      on_target.push_back(c);
+    }
+  }
+  if (has_target && !on_target.empty()) {
+    // Meet the quality target as cheaply as possible.
+    pick = &*std::min_element(on_target.begin(), on_target.end(),
+                              BetterLatency);
+    reason = "fastest candidate meeting the quality target";
+  } else if (!in_budget.empty()) {
+    // Best quality within the latency budget (or unconstrained).
+    pick = &*std::min_element(in_budget.begin(), in_budget.end(),
+                              BetterQuality);
+    reason = has_budget ? "best quality within the latency budget"
+                        : "best measured quality";
+    if (has_target) reason += " (quality target unreachable)";
+  } else {
+    // Budget infeasible for every measured candidate: degrade to the
+    // fastest one rather than failing the query.
+    pick = &*std::min_element(known.begin(), known.end(), BetterLatency);
+    reason = "latency budget infeasible; fastest candidate";
+  }
+
+  plan.algorithm = pick->info->name;
+  plan.predicted_ms = pick->est.ms;
+  plan.predicted_hr = pick->est.happiness_ratio;
+  plan.reason = StrFormat("%s (tier %d, %llu samples)", reason.c_str(),
+                          pick->est.tier,
+                          static_cast<unsigned long long>(pick->est.samples));
+
+  // Parameter choice: when the chosen BiGreedy variant is predicted over
+  // budget and the caller didn't pin a net size, trade net resolution for
+  // speed. Caller-set keys always win.
+  if (params != nullptr && has_budget &&
+      pick->est.ms > request.latency_budget_ms &&
+      (plan.algorithm == "bigreedy" || plan.algorithm == "bigreedy+") &&
+      !params->Has("net_size")) {
+    const int64_t net =
+        std::max<int64_t>(request.d + 1,
+                          4ll * request.k * std::max(request.d, 1));
+    params->SetInt("net_size", net);
+    plan.params_note = StrFormat("net_size=%lld",
+                                 static_cast<long long>(net));
+  }
+  return plan;
+}
+
+}  // namespace fairhms

@@ -1,0 +1,73 @@
+// Planner: resolves `algorithm: "auto"` requests into a concrete
+// registered algorithm (and optionally parameters), driven by the
+// registry's capability flags and the session's measured CostModel.
+//
+// The contract the rest of the stack depends on:
+//
+//  * **Deterministic.** The same PlanRequest against the same model state
+//    yields the same Plan, across threads and repeat runs. Ties between
+//    indistinguishable candidates break by a seeded hash of the request
+//    seed and the algorithm name, then by name — never by iteration
+//    order, wall clock, or randomness.
+//  * **Transparent.** The planner only *selects*; it never changes solve
+//    semantics. A planned solve is bit-identical to sending the chosen
+//    algorithm (with the echoed params) directly.
+//  * **Safe when cold.** With no observations the planner falls back to
+//    capability-driven defaults (exact IntCov for 2-D data, BiGreedy
+//    otherwise) instead of guessing from an empty model.
+//
+// Candidate set: fairness-aware algorithms, minus exact-2D solvers when
+// the data is not 2-D (the facade would silently project and lose
+// exactness — the planner refuses to pick a lossy plan on the caller's
+// behalf; explicit requests can still do it).
+
+#ifndef FAIRHMS_PLAN_PLANNER_H_
+#define FAIRHMS_PLAN_PLANNER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "api/params.h"
+#include "common/statusor.h"
+#include "plan/cost_model.h"
+
+namespace fairhms {
+
+/// Everything the planner may inspect. Assembled by SolverSession from the
+/// pinned dataset/grouping, the request, and ArtifactCache warmth.
+struct PlanRequest {
+  int d = 0;
+  uint64_t n = 0;  ///< Live rows.
+  int k = 0;
+  int num_groups = 0;
+  double bounds_tightness = 0.0;  ///< sum(lower bounds) / k, in [0, 1].
+  bool cache_warm = false;        ///< Session cache holds artifacts.
+  double latency_budget_ms = 0.0; ///< 0 = no budget.
+  double quality_target = 0.0;    ///< Required happiness ratio; 0 = none.
+  uint64_t seed = 42;             ///< Request seed; feeds the tie-break only.
+};
+
+/// The planner's decision, echoed over the wire next to the result.
+struct Plan {
+  std::string algorithm;
+  double predicted_ms = -1.0;  ///< -1 when the model was cold.
+  double predicted_hr = -1.0;  ///< -1 when the model was cold.
+  std::string reason;          ///< Human-readable why (not stable API).
+  std::string params_note;     ///< Params the planner set, "" when none.
+};
+
+class Planner {
+ public:
+  /// Picks an algorithm for `request` using `model`. When `params` is
+  /// non-null the planner may additionally set parameter keys the caller
+  /// left unset (currently: a smaller `net_size` for BiGreedy when the
+  /// predicted time exceeds the latency budget); caller-set keys always
+  /// win. InvalidArgument when no registered algorithm is eligible.
+  static StatusOr<Plan> PlanQuery(const PlanRequest& request,
+                                  const CostModel& model,
+                                  AlgoParams* params = nullptr);
+};
+
+}  // namespace fairhms
+
+#endif  // FAIRHMS_PLAN_PLANNER_H_

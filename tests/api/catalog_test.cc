@@ -172,6 +172,7 @@ TEST(CatalogTest, SaveLoadPreservesSolveResultsForEveryAlgorithm) {
   DatasetCatalog restored_catalog;
   ASSERT_TRUE(restored_catalog.Load("d", path).ok());
   std::remove(path.c_str());
+  std::remove((path + ".plan").c_str());
 
   for (size_t i = 0; i < warm.size(); ++i) {
     auto restored =
@@ -196,6 +197,47 @@ TEST(CatalogTest, SaveLoadPreservesSolveResultsForEveryAlgorithm) {
     EXPECT_EQ(before.per_group[g].skyline, after.per_group[g].skyline);
     EXPECT_EQ(before.per_group[g].dominated, after.per_group[g].dominated);
   }
+}
+
+TEST(CatalogTest, CostModelSidecarSurvivesSaveLoad) {
+  // Save writes the session's cost model next to the snapshot
+  // (`<path>.plan`); Load restores it, so a reloaded catalog plans
+  // `algorithm: "auto"` queries as well as the one that was saved.
+  Instance inst = MakeInstance(/*seed=*/505, /*n=*/200, /*dim=*/3);
+  DatasetCatalog live;
+  ASSERT_TRUE(live.Register("d", inst.data, inst.grouping).ok());
+  ASSERT_TRUE(live.Solve("d", MakeRequest("bigreedy", 8, inst)).ok());
+  ASSERT_TRUE(live.Solve("d", MakeRequest("fair_greedy", 8, inst)).ok());
+  auto session = live.Session("d");
+  ASSERT_TRUE(session.ok());
+  EXPECT_EQ((*session)->cost_model()->observations(), 2u);
+  const std::string serialized = (*session)->cost_model()->Serialize();
+
+  const std::string path =
+      ::testing::TempDir() + "fairhms_catalog_costmodel.snap";
+  ASSERT_TRUE(live.Save("d", path).ok());
+
+  DatasetCatalog restored;
+  ASSERT_TRUE(restored.Load("d", path).ok());
+  auto restored_session = restored.Session("d");
+  ASSERT_TRUE(restored_session.ok());
+  EXPECT_EQ((*restored_session)->cost_model()->Serialize(), serialized);
+
+  // An "auto" query against the restored catalog plans from measurements,
+  // not from the cold defaults (the echo carries a real prediction).
+  auto planned = restored.Solve("d", MakeRequest("auto", 8, inst));
+  ASSERT_TRUE(planned.ok()) << planned.status().ToString();
+  EXPECT_TRUE(planned->plan.planned);
+  EXPECT_GE(planned->plan.predicted_ms, 0.0);
+
+  // A missing sidecar is not an error — the session just starts cold.
+  std::remove((path + ".plan").c_str());
+  DatasetCatalog cold;
+  ASSERT_TRUE(cold.Load("d", path).ok());
+  auto cold_session = cold.Session("d");
+  ASSERT_TRUE(cold_session.ok());
+  EXPECT_EQ((*cold_session)->cost_model()->observations(), 0u);
+  std::remove(path.c_str());
 }
 
 TEST(CatalogTest, EmptiedComboRouteSurvivesRestore) {

@@ -57,8 +57,10 @@ std::vector<std::string> ReadLines(const std::string& path) {
 /// one binary but not across compilers).
 std::string Normalize(std::string s) {
   static const char* const kKeys[] = {
-      "solve_ms", "total_ms", "uptime_ms",       "qps",
-      "p50_ms",   "p99_ms",   "happiness_ratio", "algo_mhr_estimate"};
+      "solve_ms",     "total_ms",  "uptime_ms",
+      "qps",          "p50_ms",    "p99_ms",
+      "happiness_ratio", "algo_mhr_estimate", "predicted_ms",
+      "predicted_hr", "actual_ms"};
   for (const char* key : kKeys) {
     const std::string needle = std::string("\"") + key + "\": ";
     size_t pos = 0;
@@ -102,9 +104,11 @@ std::vector<std::string> ServeBattery(int version, bool normalize = true) {
     responses.push_back(normalize ? Normalize(std::move(response))
                                   : std::move(response));
   }
-  // The battery's save op writes next to the test binary; drop the file so
-  // reruns start clean (the bytes are covered by snapshot tests).
+  // The battery's save op writes next to the test binary; drop the file
+  // (and its cost-model sidecar) so reruns start clean (the bytes are
+  // covered by snapshot tests).
   std::remove("protocol_golden_tiny.snap");
+  std::remove("protocol_golden_tiny.snap.plan");
   return responses;
 }
 
@@ -162,8 +166,8 @@ TEST(ProtocolGoldenTest, VersionedEnvelopeOnlyChangesTheEnvelope) {
       // Success payloads must be byte-identical under both envelopes.
       EXPECT_EQ(stripped, v0[i]) << "line " << i + 1;
     } else {
-      // Error lines: the v0 free-text rendering must ride along verbatim
-      // as error_string.
+      // Error lines: the v1 structured error must carry the same code and
+      // message that the v0 free-text rendering concatenates.
       const std::string prefix = "\"error\": \"";
       pos = v0[i].find(prefix);
       ASSERT_NE(pos, std::string::npos) << v0[i];
@@ -171,8 +175,13 @@ TEST(ProtocolGoldenTest, VersionedEnvelopeOnlyChangesTheEnvelope) {
       const size_t end = v0[i].rfind("\"}");
       ASSERT_NE(end, std::string::npos);
       const std::string legacy = v0[i].substr(start, end - start);
-      EXPECT_NE(v1[i].find("\"error_string\": \"" + legacy + "\"}"),
-                std::string::npos)
+      const size_t sep = legacy.find(": ");
+      ASSERT_NE(sep, std::string::npos) << legacy;
+      const std::string structured = "\"error\": {\"code\": \"" +
+                                     legacy.substr(0, sep) +
+                                     "\", \"message\": \"" +
+                                     legacy.substr(sep + 2) + "\"}}";
+      EXPECT_NE(v1[i].find(structured), std::string::npos)
           << "line " << i + 1 << ": " << v1[i] << " vs legacy " << legacy;
     }
   }
@@ -195,7 +204,8 @@ TEST(ProtocolGoldenTest, VersionedResponsesAreValidJson) {
       ASSERT_TRUE(error->is_object()) << line;
       EXPECT_NE(error->Find("code"), nullptr) << line;
       EXPECT_NE(error->Find("message"), nullptr) << line;
-      EXPECT_NE(parsed->Find("error_string"), nullptr) << line;
+      // The deprecated flat rendering is gone from the v1 envelope.
+      EXPECT_EQ(parsed->Find("error_string"), nullptr) << line;
     }
   }
 }
@@ -319,9 +329,8 @@ TEST(RenderErrorLineTest, EveryErrorClassUnderBothEnvelopes) {
     EXPECT_EQ(RenderErrorLine("\"x\"", status, v1),
               StrFormat("{\"id\": \"x\", \"ok\": false, "
                         "\"protocol_version\": 1, \"error\": {\"code\": "
-                        "\"%s\", \"message\": \"m\"}, \"error_string\": "
-                        "\"%s: m\"}",
-                        code, code));
+                        "\"%s\", \"message\": \"m\"}}",
+                        code));
   }
 }
 

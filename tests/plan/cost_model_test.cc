@@ -1,0 +1,172 @@
+// CostModel: signature bucketing, running-mean cells, tiered prediction
+// fallback, and the stable text form the catalog persists next to
+// snapshots. Equal model states must serialize to equal bytes, and a
+// round-trip must predict identically to the original.
+
+#include "plan/cost_model.h"
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+
+namespace fairhms {
+namespace {
+
+CostSignature Sig(int d, uint64_t n, int k, int groups, double tightness,
+                  bool warm) {
+  return CostSignature::Make(d, n, k, groups, tightness, warm);
+}
+
+TEST(CostSignatureTest, BucketsAreLogarithmicAndClamped) {
+  const CostSignature s = Sig(6, 10000, 16, 4, 0.5, true);
+  EXPECT_EQ(s.d, 6);
+  EXPECT_EQ(s.n_bucket, 13);  // floor(log2(10000)).
+  EXPECT_EQ(s.k_bucket, 4);
+  EXPECT_EQ(s.groups_bucket, 2);
+  EXPECT_EQ(s.tightness_bucket, 2);  // round(4 * 0.5).
+  EXPECT_TRUE(s.warm);
+
+  // Degenerate inputs stay in range instead of under/overflowing.
+  const CostSignature zero = Sig(1, 0, 0, 0, -3.0, false);
+  EXPECT_EQ(zero.n_bucket, 0);
+  EXPECT_EQ(zero.k_bucket, 0);
+  EXPECT_EQ(zero.groups_bucket, 0);
+  EXPECT_EQ(zero.tightness_bucket, 0);
+  EXPECT_EQ(Sig(1, 1, 1, 1, 9.0, false).tightness_bucket, 4);
+}
+
+TEST(CostSignatureTest, OrderingIsConsistentWithEquality) {
+  const CostSignature a = Sig(3, 100, 5, 2, 0.0, false);
+  const CostSignature b = Sig(3, 100, 5, 2, 0.0, true);
+  EXPECT_TRUE(a == a);
+  EXPECT_FALSE(a == b);
+  EXPECT_TRUE(a < b || b < a);
+  EXPECT_FALSE(a < a);
+}
+
+TEST(CostModelTest, ObserveAccumulatesRunningMeans) {
+  CostModel model;
+  const CostSignature sig = Sig(4, 1000, 8, 2, 0.3, false);
+  model.Observe("bigreedy", sig, 10.0, 0.9);
+  model.Observe("bigreedy", sig, 20.0, 0.7);
+  EXPECT_EQ(model.observations(), 2u);
+
+  const CostModel::Estimate est = model.Predict("bigreedy", sig);
+  EXPECT_EQ(est.samples, 2u);
+  EXPECT_EQ(est.tier, 0);
+  EXPECT_DOUBLE_EQ(est.ms, 15.0);
+  EXPECT_DOUBLE_EQ(est.happiness_ratio, 0.8);
+}
+
+TEST(CostModelTest, PredictFallsBackThroughTiers) {
+  CostModel model;
+  const CostSignature exact = Sig(4, 1000, 8, 2, 0.3, false);
+  model.Observe("bigreedy", exact, 10.0, 0.9);
+
+  // Tier 0: exact signature.
+  EXPECT_EQ(model.Predict("bigreedy", exact).tier, 0);
+  // Tier 1: only cache warmth differs.
+  EXPECT_EQ(model.Predict("bigreedy", Sig(4, 1000, 8, 2, 0.3, true)).tier, 1);
+  // Tier 2: tightness/groups differ, d/n/k buckets match.
+  EXPECT_EQ(model.Predict("bigreedy", Sig(4, 1000, 8, 5, 1.0, true)).tier, 2);
+  // Tier 3: same dimension only.
+  EXPECT_EQ(model.Predict("bigreedy", Sig(4, 64, 2, 5, 1.0, true)).tier, 3);
+  // Tier 4: any cell of the algorithm.
+  EXPECT_EQ(model.Predict("bigreedy", Sig(9, 64, 2, 5, 1.0, true)).tier, 4);
+  // Unknown algorithm: cold.
+  const CostModel::Estimate cold = model.Predict("fair_greedy", exact);
+  EXPECT_EQ(cold.samples, 0u);
+  EXPECT_EQ(cold.tier, -1);
+}
+
+TEST(CostModelTest, MultiCellTiersCombineBySampleWeight) {
+  CostModel model;
+  // Two cells differing only in warmth: 1 sample at 10ms, 3 at 30ms.
+  model.Observe("hs", Sig(4, 1000, 8, 2, 0.3, false), 10.0, 1.0);
+  for (int i = 0; i < 3; ++i) {
+    model.Observe("hs", Sig(4, 1000, 8, 2, 0.3, true), 30.0, 0.5);
+  }
+  // A probe with a different groups bucket skips tiers 0-1 and lands on
+  // tier 2, which spans both cells.
+  const CostModel::Estimate est =
+      model.Predict("hs", Sig(4, 1000, 8, 16, 0.3, false));
+  EXPECT_EQ(est.tier, 2);
+  EXPECT_EQ(est.samples, 4u);
+  EXPECT_DOUBLE_EQ(est.ms, (10.0 + 3 * 30.0) / 4.0);
+  EXPECT_DOUBLE_EQ(est.happiness_ratio, (1.0 + 3 * 0.5) / 4.0);
+}
+
+TEST(CostModelTest, SerializeRoundTripPreservesPredictions) {
+  CostModel model;
+  model.Observe("bigreedy", Sig(4, 1000, 8, 2, 0.3, false), 12.5, 0.875);
+  model.Observe("bigreedy", Sig(4, 1000, 8, 2, 0.3, true), 3.25, 0.875);
+  model.Observe("intcov", Sig(2, 500, 5, 2, 0.6, false), 40.0, 1.0);
+
+  const std::string text = model.Serialize();
+  EXPECT_EQ(text.rfind("fairhms-cost-model v1\n", 0), 0u) << text;
+
+  CostModel restored;
+  ASSERT_TRUE(restored.Restore(text).ok());
+  EXPECT_EQ(restored.observations(), model.observations());
+  EXPECT_EQ(restored.Serialize(), text);  // Byte-stable round trip.
+
+  const CostSignature probe = Sig(4, 1000, 8, 2, 0.3, true);
+  const CostModel::Estimate a = model.Predict("bigreedy", probe);
+  const CostModel::Estimate b = restored.Predict("bigreedy", probe);
+  EXPECT_EQ(a.tier, b.tier);
+  EXPECT_EQ(a.samples, b.samples);
+  EXPECT_DOUBLE_EQ(a.ms, b.ms);
+  EXPECT_DOUBLE_EQ(a.happiness_ratio, b.happiness_ratio);
+}
+
+TEST(CostModelTest, RestoreRejectsMalformedInputAndKeepsState) {
+  CostModel model;
+  model.Observe("bigreedy", Sig(4, 1000, 8, 2, 0.3, false), 10.0, 0.9);
+  const std::string before = model.Serialize();
+
+  EXPECT_EQ(model.Restore("").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(model.Restore("some other header\n").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(model.Restore("fairhms-cost-model v1\nbigreedy 1 2\n").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(
+      model.Restore("fairhms-cost-model v1\nhs 1 1 1 1 1 0 0 1.0 1.0\n")
+          .code(),
+      StatusCode::kInvalidArgument)
+      << "zero-count cell must be rejected";
+
+  // Failed restores leave the model untouched.
+  EXPECT_EQ(model.Serialize(), before);
+
+  // An empty (header-only) form is a valid cold model.
+  ASSERT_TRUE(model.Restore("fairhms-cost-model v1\n").ok());
+  EXPECT_EQ(model.observations(), 0u);
+}
+
+TEST(CostModelTest, ConcurrentObserversProduceTheFullCount) {
+  CostModel model;
+  const CostSignature sig = Sig(4, 1000, 8, 2, 0.3, false);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 200;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&model, &sig] {
+      for (int i = 0; i < kPerThread; ++i) {
+        model.Observe("bigreedy", sig, 5.0, 0.5);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(model.observations(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  const CostModel::Estimate est = model.Predict("bigreedy", sig);
+  EXPECT_DOUBLE_EQ(est.ms, 5.0);
+  EXPECT_DOUBLE_EQ(est.happiness_ratio, 0.5);
+}
+
+}  // namespace
+}  // namespace fairhms

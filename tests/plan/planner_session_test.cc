@@ -1,0 +1,192 @@
+// End-to-end `algorithm: "auto"` and warm-started re-solves through
+// SolverSession: planned solves must be bit-identical to invoking the
+// chosen algorithm directly, warm-started k-sweeps must be bit-identical
+// to cold solves, and every ineligible warm hint (k jumps, seed changes,
+// warm starts disabled) must fall back to the cold path — with every solve
+// feeding the session's cost model.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "api/session.h"
+#include "api/solver.h"
+#include "common/random.h"
+#include "data/generators.h"
+#include "data/grouping.h"
+#include "fairness/group_bounds.h"
+#include "plan/cost_model.h"
+
+namespace fairhms {
+namespace {
+
+struct Instance {
+  Dataset data{1};
+  Grouping grouping;
+};
+
+Instance MakeInstance(int dim = 4, uint64_t seed = 11, size_t n = 400) {
+  Instance inst;
+  Rng rng(seed);
+  inst.data = GenIndependent(n, dim, &rng).NormalizedMinMax();
+  inst.grouping = GroupBySumRank(inst.data, 2);
+  return inst;
+}
+
+SolverRequest MakeRequest(const Instance& inst, const std::string& algo,
+                          int k) {
+  SolverRequest req;
+  req.data = &inst.data;
+  req.grouping = &inst.grouping;
+  req.bounds = GroupBounds::Proportional(k, inst.grouping.Counts(), 0.3);
+  req.algorithm = algo;
+  req.threads = 1;
+  return req;
+}
+
+void ExpectSameSolution(const SolverResult& a, const SolverResult& b,
+                        const std::string& label) {
+  EXPECT_EQ(a.solution.rows, b.solution.rows) << label;
+  EXPECT_EQ(a.solution.mhr, b.solution.mhr) << label;  // Bit-identical.
+  EXPECT_EQ(a.group_counts, b.group_counts) << label;
+  EXPECT_EQ(a.violations, b.violations) << label;
+}
+
+TEST(PlannerSessionTest, AutoSolveIsBitIdenticalToDirectSolve) {
+  const Instance inst = MakeInstance();
+  auto session = SolverSession::Create(&inst.data, &inst.grouping);
+  ASSERT_TRUE(session.ok());
+
+  auto planned = session->Solve(MakeRequest(inst, "auto", 8));
+  ASSERT_TRUE(planned.ok()) << planned.status().ToString();
+  EXPECT_TRUE(planned->plan.planned);
+  EXPECT_EQ(planned->algorithm, "bigreedy");  // Cold default for 4-d data.
+  EXPECT_FALSE(planned->plan.reason.empty());
+
+  // Sending the chosen algorithm directly through a fresh session yields
+  // the same bytes — the planner only selects, never changes semantics.
+  auto direct_session = SolverSession::Create(&inst.data, &inst.grouping);
+  ASSERT_TRUE(direct_session.ok());
+  auto direct = direct_session->Solve(MakeRequest(inst, "bigreedy", 8));
+  ASSERT_TRUE(direct.ok()) << direct.status().ToString();
+  EXPECT_FALSE(direct->plan.planned);
+  ExpectSameSolution(*planned, *direct, "auto vs direct");
+}
+
+TEST(PlannerSessionTest, AutoPicksExactIntcovOn2dData) {
+  const Instance inst = MakeInstance(/*dim=*/2);
+  auto session = SolverSession::Create(&inst.data, &inst.grouping);
+  ASSERT_TRUE(session.ok());
+  auto planned = session->Solve(MakeRequest(inst, "auto", 6));
+  ASSERT_TRUE(planned.ok()) << planned.status().ToString();
+  EXPECT_EQ(planned->algorithm, "intcov");
+}
+
+TEST(PlannerSessionTest, EverySolveFeedsTheCostModel) {
+  const Instance inst = MakeInstance();
+  auto session = SolverSession::Create(&inst.data, &inst.grouping);
+  ASSERT_TRUE(session.ok());
+  EXPECT_EQ(session->cost_model()->observations(), 0u);
+  ASSERT_TRUE(session->Solve(MakeRequest(inst, "fair_greedy", 8)).ok());
+  EXPECT_EQ(session->cost_model()->observations(), 1u);
+  ASSERT_TRUE(session->Solve(MakeRequest(inst, "auto", 8)).ok());
+  EXPECT_EQ(session->cost_model()->observations(), 2u);
+
+  // With a fair_greedy observation banked, auto now plans from data, and
+  // the echo carries a prediction instead of the cold -1 sentinel.
+  auto planned = session->Solve(MakeRequest(inst, "auto", 8));
+  ASSERT_TRUE(planned.ok());
+  EXPECT_TRUE(planned->plan.planned);
+  EXPECT_GE(planned->plan.predicted_ms, 0.0);
+  EXPECT_GE(planned->plan.predicted_hr, 0.0);
+}
+
+TEST(PlannerSessionTest, WarmKSweepIsBitIdenticalToColdSolves) {
+  const Instance inst = MakeInstance();
+  auto warm_session = SolverSession::Create(&inst.data, &inst.grouping);
+  ASSERT_TRUE(warm_session.ok());
+
+  bool any_warm = false;
+  for (int k = 8; k <= 12; ++k) {
+    auto warm = warm_session->Solve(MakeRequest(inst, "bigreedy", k));
+    ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+    any_warm = any_warm || warm->warm_start_used;
+
+    // A fresh session has no memo: always a cold binary search.
+    auto cold_session = SolverSession::Create(&inst.data, &inst.grouping);
+    ASSERT_TRUE(cold_session.ok());
+    auto cold = cold_session->Solve(MakeRequest(inst, "bigreedy", k));
+    ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+    EXPECT_FALSE(cold->warm_start_used);
+    ExpectSameSolution(*warm, *cold, "k=" + std::to_string(k));
+  }
+  // The sweep steps k by one each time, so at least one re-solve must have
+  // accepted the warm hint (otherwise the fast path is dead code).
+  EXPECT_TRUE(any_warm);
+}
+
+TEST(PlannerSessionTest, IneligibleHintsFallBackToColdSolves) {
+  const Instance inst = MakeInstance();
+  auto session = SolverSession::Create(&inst.data, &inst.grouping);
+  ASSERT_TRUE(session.ok());
+
+  auto first = session->Solve(MakeRequest(inst, "bigreedy", 8));
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(first->warm_start_used);  // Nothing to warm-start from.
+
+  // A multi-step k jump is outside the memo's one-step contract.
+  auto jump = session->Solve(MakeRequest(inst, "bigreedy", 12));
+  ASSERT_TRUE(jump.ok());
+  EXPECT_FALSE(jump->warm_start_used);
+
+  // A different seed changes every direction net: the memo is useless.
+  SolverRequest reseeded = MakeRequest(inst, "bigreedy", 12);
+  reseeded.seed = 1234;
+  auto other_seed = session->Solve(reseeded);
+  ASSERT_TRUE(other_seed.ok());
+  EXPECT_FALSE(other_seed->warm_start_used);
+
+  // Changed params invalidate the memo too.
+  SolverRequest reparam = MakeRequest(inst, "bigreedy", 12);
+  reparam.params.SetInt("net_size", 64);
+  auto other_params = session->Solve(reparam);
+  ASSERT_TRUE(other_params.ok());
+  EXPECT_FALSE(other_params->warm_start_used);
+}
+
+TEST(PlannerSessionTest, AllowWarmStartFalseForcesTheColdPath) {
+  const Instance inst = MakeInstance();
+  auto session = SolverSession::Create(&inst.data, &inst.grouping);
+  ASSERT_TRUE(session.ok());
+
+  auto first = session->Solve(MakeRequest(inst, "bigreedy", 8));
+  ASSERT_TRUE(first.ok());
+
+  SolverRequest opted_out = MakeRequest(inst, "bigreedy", 8);
+  opted_out.allow_warm_start = false;
+  auto cold = session->Solve(opted_out);
+  ASSERT_TRUE(cold.ok());
+  EXPECT_FALSE(cold->warm_start_used);
+  ExpectSameSolution(*first, *cold, "warm start disabled");
+
+  // Re-enabled, the identical re-solve takes the warm path — and still
+  // returns the same bytes.
+  auto warm = session->Solve(MakeRequest(inst, "bigreedy", 8));
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm->warm_start_used);
+  ExpectSameSolution(*first, *warm, "warm re-solve");
+}
+
+TEST(PlannerSessionTest, OneShotSolverFacadeAcceptsAuto) {
+  // Solver::Solve runs in a throwaway session: "auto" must still resolve
+  // (cold defaults) even though no model state survives the call.
+  const Instance inst = MakeInstance();
+  auto result = Solver::Solve(MakeRequest(inst, "auto", 8));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->plan.planned);
+  EXPECT_EQ(result->algorithm, "bigreedy");
+}
+
+}  // namespace
+}  // namespace fairhms

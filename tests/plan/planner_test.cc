@@ -1,0 +1,213 @@
+// Planner: capability-driven candidate filtering, cold-model defaults,
+// budget/target selection and — the contract everything else leans on —
+// byte-for-byte deterministic plans for identical (request, model) pairs,
+// across repeats and across threads.
+
+#include "plan/planner.h"
+
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "api/params.h"
+#include "api/registry.h"
+#include "plan/cost_model.h"
+
+namespace fairhms {
+namespace {
+
+PlanRequest Req(int d, uint64_t n = 1000, int k = 8, int groups = 2,
+                double tightness = 0.3, bool warm = false) {
+  PlanRequest req;
+  req.d = d;
+  req.n = n;
+  req.k = k;
+  req.num_groups = groups;
+  req.bounds_tightness = tightness;
+  req.cache_warm = warm;
+  return req;
+}
+
+CostSignature SigFor(const PlanRequest& r) {
+  return CostSignature::Make(r.d, r.n, r.k, r.num_groups, r.bounds_tightness,
+                             r.cache_warm);
+}
+
+TEST(PlannerTest, ColdModelDefaultsByDimension) {
+  const CostModel cold;
+  auto plan2d = Planner::PlanQuery(Req(2), cold);
+  ASSERT_TRUE(plan2d.ok());
+  EXPECT_EQ(plan2d->algorithm, "intcov");
+  EXPECT_EQ(plan2d->predicted_ms, -1.0);
+  EXPECT_NE(plan2d->reason.find("cold model"), std::string::npos);
+
+  auto plan6d = Planner::PlanQuery(Req(6), cold);
+  ASSERT_TRUE(plan6d.ok());
+  EXPECT_EQ(plan6d->algorithm, "bigreedy");
+  EXPECT_NE(plan6d->reason.find("cold model"), std::string::npos);
+}
+
+TEST(PlannerTest, NeverPicksLossyExact2dOnHigherDimensionalData) {
+  // Train intcov as the apparently best algorithm, then ask for 5-d data:
+  // the planner must refuse the silent projection and pick elsewhere.
+  CostModel model;
+  const PlanRequest req = Req(5);
+  model.Observe("intcov", SigFor(req), 0.001, 1.0);
+  auto plan = Planner::PlanQuery(req, model);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_NE(plan->algorithm, "intcov");
+}
+
+TEST(PlannerTest, NeverPicksFairnessUnawareAlgorithms) {
+  CostModel model;
+  const PlanRequest req = Req(4);
+  // Make every unconstrained baseline look unbeatable.
+  for (const char* name : {"hs", "sphere", "rdp_greedy", "dmm"}) {
+    model.Observe(name, SigFor(req), 0.0001, 1.0);
+  }
+  model.Observe("fair_greedy", SigFor(req), 50.0, 0.8);
+  auto plan = Planner::PlanQuery(req, model);
+  ASSERT_TRUE(plan.ok());
+  const AlgorithmInfo* info =
+      AlgorithmRegistry::Instance().Find(plan->algorithm);
+  ASSERT_NE(info, nullptr);
+  EXPECT_TRUE(info->caps.fairness_aware) << plan->algorithm;
+}
+
+TEST(PlannerTest, PicksBestMeasuredQualityWithoutConstraints) {
+  CostModel model;
+  const PlanRequest req = Req(4);
+  model.Observe("bigreedy", SigFor(req), 5.0, 0.95);
+  model.Observe("fair_greedy", SigFor(req), 1.0, 0.80);
+  auto plan = Planner::PlanQuery(req, model);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->algorithm, "bigreedy");
+  EXPECT_DOUBLE_EQ(plan->predicted_ms, 5.0);
+  EXPECT_DOUBLE_EQ(plan->predicted_hr, 0.95);
+  EXPECT_NE(plan->reason.find("best measured quality"), std::string::npos);
+}
+
+TEST(PlannerTest, LatencyBudgetExcludesSlowCandidates) {
+  CostModel model;
+  PlanRequest req = Req(4);
+  model.Observe("bigreedy", SigFor(req), 50.0, 0.95);
+  model.Observe("fair_greedy", SigFor(req), 1.0, 0.80);
+  req.latency_budget_ms = 10.0;
+  auto plan = Planner::PlanQuery(req, model);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->algorithm, "fair_greedy");
+  EXPECT_NE(plan->reason.find("within the latency budget"),
+            std::string::npos);
+}
+
+TEST(PlannerTest, QualityTargetPicksCheapestSufficientCandidate) {
+  CostModel model;
+  PlanRequest req = Req(4);
+  model.Observe("bigreedy", SigFor(req), 50.0, 0.95);
+  model.Observe("fair_greedy", SigFor(req), 1.0, 0.85);
+  model.Observe("g_greedy", SigFor(req), 5.0, 0.90);
+  req.quality_target = 0.84;
+  auto plan = Planner::PlanQuery(req, model);
+  ASSERT_TRUE(plan.ok());
+  // Both fair_greedy and g_greedy meet the target; fair_greedy is cheaper.
+  EXPECT_EQ(plan->algorithm, "fair_greedy");
+  EXPECT_NE(plan->reason.find("meeting the quality target"),
+            std::string::npos);
+
+  req.quality_target = 0.99;  // Unreachable: degrade to best quality.
+  plan = Planner::PlanQuery(req, model);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->algorithm, "bigreedy");
+  EXPECT_NE(plan->reason.find("quality target unreachable"),
+            std::string::npos);
+}
+
+TEST(PlannerTest, InfeasibleBudgetDegradesToFastestAndShrinksNet) {
+  CostModel model;
+  PlanRequest req = Req(4);
+  model.Observe("bigreedy", SigFor(req), 50.0, 0.95);
+  req.latency_budget_ms = 0.5;  // Below every measured candidate.
+  AlgoParams params;
+  auto plan = Planner::PlanQuery(req, model, &params);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->algorithm, "bigreedy");
+  EXPECT_NE(plan->reason.find("latency budget infeasible"),
+            std::string::npos);
+  // Over budget + BiGreedy + no caller net_size: the planner trades net
+  // resolution for speed and says so.
+  ASSERT_TRUE(params.Has("net_size"));
+  EXPECT_NE(plan->params_note.find("net_size="), std::string::npos);
+
+  // Caller-set keys always win.
+  AlgoParams pinned;
+  pinned.SetInt("net_size", 999);
+  plan = Planner::PlanQuery(req, model, &pinned);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->params_note, "");
+}
+
+TEST(PlannerTest, TieBreakIsSeededAndDeterministic) {
+  // Two candidates with byte-identical estimates: only the seeded hash
+  // (then the name) can order them. The same seed must always produce the
+  // same winner; the winner must be one of the tied pair.
+  CostModel model;
+  const PlanRequest base = Req(4);
+  model.Observe("fair_greedy", SigFor(base), 10.0, 0.9);
+  model.Observe("g_greedy", SigFor(base), 10.0, 0.9);
+
+  std::set<std::string> winners;
+  for (uint64_t seed = 0; seed < 32; ++seed) {
+    PlanRequest req = base;
+    req.seed = seed;
+    auto first = Planner::PlanQuery(req, model);
+    ASSERT_TRUE(first.ok());
+    for (int repeat = 0; repeat < 3; ++repeat) {
+      auto again = Planner::PlanQuery(req, model);
+      ASSERT_TRUE(again.ok());
+      EXPECT_EQ(again->algorithm, first->algorithm) << "seed " << seed;
+    }
+    EXPECT_TRUE(first->algorithm == "fair_greedy" ||
+                first->algorithm == "g_greedy")
+        << first->algorithm;
+    winners.insert(first->algorithm);
+  }
+  // Not alphabetically biased: across seeds both candidates win sometimes.
+  EXPECT_EQ(winners.size(), 2u);
+}
+
+TEST(PlannerTest, PlansAreDeterministicAcrossThreads) {
+  CostModel model;
+  const PlanRequest req = Req(4);
+  model.Observe("bigreedy", SigFor(req), 5.0, 0.95);
+  model.Observe("fair_greedy", SigFor(req), 1.0, 0.80);
+
+  auto reference = Planner::PlanQuery(req, model);
+  ASSERT_TRUE(reference.ok());
+
+  constexpr int kThreads = 8;
+  constexpr int kRepeats = 50;
+  std::vector<std::string> got(kThreads);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&req, &model, &got, t] {
+      for (int i = 0; i < kRepeats; ++i) {
+        auto plan = Planner::PlanQuery(req, model);
+        if (!plan.ok() || (i > 0 && plan->algorithm != got[t])) {
+          got[t] = "<mismatch>";
+          return;
+        }
+        got[t] = plan->algorithm;
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(got[t], reference->algorithm) << "thread " << t;
+  }
+}
+
+}  // namespace
+}  // namespace fairhms

@@ -75,13 +75,21 @@ Constraint:
   --lower=l0,l1,... --upper=h0,h1,...   explicit per-group bounds
 
 Algorithm:
-  --algo=NAME              required; any registry name (see --list_algos)
+  --algo=NAME              required; any registry name (see --list_algos),
+                           or "auto" to let the cost-model planner choose
+                           (the choice and prediction are echoed as
+                           planned_algorithm / plan_* report fields)
   --list_algos             print every registered algorithm with its
                            capabilities and parameter schema, then exit
   --<param>=V              any parameter of the chosen algorithm's schema
                            becomes a flag (e.g. --net_size, --eps,
                            --lambda, --max_rounds; --list_algos shows
-                           names, types and defaults per algorithm)
+                           names, types and defaults per algorithm).
+                           Not combinable with --algo=auto
+  --latency_budget_ms=MS   --algo=auto only: prefer the best-quality
+                           algorithm predicted to finish within MS
+  --quality_target=Q       --algo=auto only: prefer the fastest algorithm
+                           predicted to reach happiness ratio >= Q
 
 Output:
   --format=F               plain (default) | csv | json
@@ -98,10 +106,13 @@ Batch serving (many queries over a catalog of named datasets):
                               "bounds": "proportional|balanced|explicit",
                               "alpha": 0.1, "lower": [..], "upper": [..],
                               "seed": 42, "threads": 0, "id": any,
-                              "params": {"net_size": 500, ...}}
-                           k and algorithm are required; seed/threads
-                           default to the --seed/--threads flags; bounds
-                           defaults to proportional. One result JSON is
+                              "params": {"net_size": 500, ...},
+                              "latency_budget_ms": 50, "quality_target": 0.8,
+                              "warm_start": true}
+                           k and algorithm are required ("auto" plans per
+                           session cost model and echoes a "plan" object);
+                           seed/threads default to the --seed/--threads
+                           flags; bounds defaults to proportional. One result JSON is
                            streamed to stdout per line as
                              {"id": .., "ok": true, "dataset": "name",
                               "catalog_version": V, ...result fields...}
@@ -185,8 +196,10 @@ int Fail(const Status& status) {
 /// parameter schema (name, type, default, description). The algorithm name
 /// is the first token of its line so scripts can match on field 1.
 int ListAlgos() {
+  // Column 2 is the machine-parseable capability list (awk '$2'): bare
+  // comma-separated tokens in a fixed order, "-" when none. CI greps it.
   for (const AlgorithmInfo* info : AlgorithmRegistry::Instance().All()) {
-    std::printf("%-12s [%s]  %s — %s\n", info->name.c_str(),
+    std::printf("%-12s %-32s %s — %s\n", info->name.c_str(),
                 CapabilitiesToString(info->caps).c_str(),
                 info->display_name.c_str(), info->summary.c_str());
     for (const ParamSpec& p : info->params) {
@@ -281,6 +294,7 @@ void WarnUnusedFlags(const cli::Flags& flags) {
   documented.insert({"csv", "numeric", "categorical", "synthetic", "n",
                      "dim", "seed", "normalize", "groups", "group_by", "k",
                      "bounds", "alpha", "lower", "upper", "algo", "format",
+                     "latency_budget_ms", "quality_target",
                      "threads", "list_algos", "queries", "cache_budget_mb",
                      "global_cache_budget_mb", "snapshot_save",
                      "snapshot_load", "snapshot_info", "help"});
@@ -504,10 +518,15 @@ int Run(int argc, char** argv) {
         "--algo is required (one of: %s; see --list_algos or --help)",
         AlgorithmRegistry::Instance().NamesForError().c_str())));
   }
-  const AlgorithmInfo* info = AlgorithmRegistry::Instance().Find(algo);
-  if (info == nullptr) {
+  // "auto" defers the choice to the session planner (src/plan) — there is
+  // no schema to resolve here; the chosen algorithm is echoed in the
+  // report's plan fields.
+  const bool auto_algo = algo == "auto";
+  const AlgorithmInfo* info =
+      auto_algo ? nullptr : AlgorithmRegistry::Instance().Find(algo);
+  if (info == nullptr && !auto_algo) {
     return Fail(Status::InvalidArgument(
-        StrFormat("unknown --algo '%s' (valid: %s)", algo.c_str(),
+        StrFormat("unknown --algo '%s' (valid: auto, %s)", algo.c_str(),
                   AlgorithmRegistry::Instance().NamesForError().c_str())));
   }
   const int k = static_cast<int>(flags.GetInt("k", 10));
@@ -540,9 +559,23 @@ int Run(int argc, char** argv) {
   request.algorithm = algo;
   request.seed = static_cast<uint64_t>(seed_raw);
   request.threads = static_cast<int>(threads_raw);
-  if (Status st = FillParamsFromFlags(flags, *info, &request.params);
-      !st.ok()) {
-    return Fail(st);
+  const double latency_budget = flags.GetDouble("latency_budget_ms", 0.0);
+  const double quality_target = flags.GetDouble("quality_target", 0.0);
+  if (latency_budget < 0.0) {
+    return Fail(Status::InvalidArgument("--latency_budget_ms must be >= 0"));
+  }
+  if (quality_target < 0.0 || quality_target > 1.0) {
+    return Fail(Status::InvalidArgument("--quality_target must be in [0, 1]"));
+  }
+  request.latency_budget_ms = latency_budget;
+  request.quality_target = quality_target;
+  if (!auto_algo) {
+    // With --algo=auto there is no schema yet: parameter flags would be
+    // ambiguous across candidates, so only the planner may set params.
+    if (Status st = FillParamsFromFlags(flags, *info, &request.params);
+        !st.ok()) {
+      return Fail(st);
+    }
   }
   // Refuse to solve with defaults substituted for malformed numeric flags.
   if (Status st = flags.ParseError(); !st.ok()) return Fail(st);
@@ -573,6 +606,14 @@ int Run(int argc, char** argv) {
   report.AddDouble("happiness_ratio", mhr);
   report.AddDouble("algo_mhr_estimate", sol.mhr);
   report.AddInt("violations", run->violations);
+  if (run->plan.planned) {
+    report.AddString("planned_algorithm", run->algorithm);
+    report.AddDouble("plan_predicted_ms", run->plan.predicted_ms);
+    report.AddString("plan_reason", run->plan.reason);
+    if (!run->plan.params.empty()) {
+      report.AddString("plan_params", run->plan.params);
+    }
+  }
   for (int c = 0; c < grouping->num_groups; ++c) {
     const auto& name = grouping->names[static_cast<size_t>(c)];
     report.AddString(
