@@ -46,8 +46,16 @@ namespace fairhms {
 namespace {
 
 /// Replaces the numeric value of every order- or clock-dependent field
-/// with `T`, leaving the payload bytes to the digest.
+/// with `T`, leaving the payload bytes to the digest. The warm_start
+/// telemetry flag is stripped outright: whether a solve found a warm
+/// memo hint depends on which queries happened to finish first, so it is
+/// execution-history metadata, not payload — the hint is advisory and
+/// the solution bytes are identical either way.
 std::string NormalizeResponse(std::string s) {
+  static const std::string kWarmStart = ", \"warm_start\": true";
+  for (size_t pos; (pos = s.find(kWarmStart)) != std::string::npos;) {
+    s.erase(pos, kWarmStart.size());
+  }
   for (const char* key : {"seq", "solve_ms", "total_ms"}) {
     const std::string needle = std::string("\"") + key + "\": ";
     size_t pos = 0;

@@ -18,7 +18,7 @@ double Percentile(std::vector<double> samples, double pct) {
 }  // namespace
 
 void OpMetrics::Record(ProtocolOp op, bool ok, double ms) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   PerOp& per_op = ops_[static_cast<size_t>(op)];
   ++per_op.count;
   if (!ok) ++per_op.errors;
@@ -32,7 +32,7 @@ void OpMetrics::Record(ProtocolOp op, bool ok, double ms) {
 }
 
 OpMetrics::Snapshot OpMetrics::snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   Snapshot snap;
   for (size_t i = 0; i < ops_.size(); ++i) {
     const PerOp& per_op = ops_[i];

@@ -10,11 +10,11 @@
 #include <array>
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
 #include "api/protocol.h"
 #include "common/stopwatch.h"
+#include "common/thread_annotations.h"
 
 namespace fairhms {
 
@@ -26,7 +26,7 @@ class OpMetrics {
   static constexpr size_t kLatencyWindow = 2048;
 
   /// Records one served request (ok or failed) taking `ms` milliseconds.
-  void Record(ProtocolOp op, bool ok, double ms);
+  void Record(ProtocolOp op, bool ok, double ms) FAIRHMS_EXCLUDES(mu_);
 
   struct OpSnapshot {
     uint64_t count = 0;
@@ -43,7 +43,7 @@ class OpMetrics {
     /// Requests (ok + failed) per second of uptime.
     double qps = 0.0;
   };
-  Snapshot snapshot() const;
+  Snapshot snapshot() const FAIRHMS_EXCLUDES(mu_);
 
  private:
   struct PerOp {
@@ -54,9 +54,9 @@ class OpMetrics {
     size_t next = 0;
   };
 
-  mutable std::mutex mu_;
-  Stopwatch uptime_;
-  std::array<PerOp, kNumProtocolOps> ops_;
+  mutable Mutex mu_;
+  Stopwatch uptime_;  ///< Immutable after construction (reads are const).
+  std::array<PerOp, kNumProtocolOps> ops_ FAIRHMS_GUARDED_BY(mu_);
 };
 
 }  // namespace fairhms

@@ -46,14 +46,15 @@ struct Server::Connection {
 
   int fd = -1;
   std::atomic<bool> alive{true};
-  std::mutex write_mu;  ///< Keeps concurrently written responses line-atomic.
-  /// Token bucket (guarded by bucket_mu): refilled by wall time, one token
-  /// per admitted line.
-  std::mutex bucket_mu;
-  double tokens = 0.0;
-  double last_refill_ms = 0.0;
-  bool bucket_primed = false;
-  uint64_t lines = 0;  ///< 1-based request counter (the default id).
+  Mutex write_mu;  ///< Keeps concurrently written responses line-atomic.
+  /// Token bucket: refilled by wall time, one token per admitted line.
+  Mutex bucket_mu;
+  double tokens FAIRHMS_GUARDED_BY(bucket_mu) = 0.0;
+  double last_refill_ms FAIRHMS_GUARDED_BY(bucket_mu) = 0.0;
+  bool bucket_primed FAIRHMS_GUARDED_BY(bucket_mu) = false;
+  /// 1-based request counter (the default id); touched only by the one
+  /// reader thread, so unguarded.
+  uint64_t lines = 0;
 };
 
 Server::Server(ProtocolService* service, ServerOptions opts)
@@ -62,7 +63,7 @@ Server::Server(ProtocolService* service, ServerOptions opts)
 Server::~Server() { Drain(); }
 
 Status Server::Start() {
-  std::lock_guard<std::mutex> lock(drain_mu_);
+  MutexLock lock(&drain_mu_);
   if (started_) return Status::FailedPrecondition("server already started");
   if (opts_.unix_path.empty() && opts_.tcp_port < 0) {
     return Status::InvalidArgument(
@@ -149,7 +150,7 @@ Status Server::Start() {
 }
 
 void Server::Drain() {
-  std::lock_guard<std::mutex> drain_lock(drain_mu_);
+  MutexLock drain_lock(&drain_mu_);
   if (!started_ || drained_) return;
   drained_ = true;
 
@@ -165,26 +166,26 @@ void Server::Drain() {
   // 2. Stop reading: half-close every connection (responses still flow
   //    out) and wait for the reader threads to run dry.
   {
-    std::unique_lock<std::mutex> lock(conns_mu_);
+    MutexLock lock(&conns_mu_);
     for (const std::shared_ptr<Connection>& conn : conns_) {
       ::shutdown(conn->fd, SHUT_RD);
     }
-    readers_cv_.wait(lock, [this] { return active_readers_ == 0; });
+    while (active_readers_ != 0) readers_cv_.Wait(conns_mu_);
   }
 
   // 3. Serve everything admitted, then stop the workers.
   {
-    std::lock_guard<std::mutex> lock(queue_mu_);
+    MutexLock lock(&queue_mu_);
     draining_ = true;
   }
-  queue_cv_.notify_all();
+  queue_cv_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
   workers_.clear();
 
   // 4. Release the remaining connection references; each fd closes with
   //    its last owner.
   {
-    std::lock_guard<std::mutex> lock(conns_mu_);
+    MutexLock lock(&conns_mu_);
     conns_.clear();
   }
   CloseFd(&wake_pipe_[0]);
@@ -209,7 +210,7 @@ void Server::AcceptLoop() {
       if (client < 0) continue;  // Transient (ECONNABORTED, EMFILE, ...).
       auto conn = std::make_shared<Connection>(client);
       {
-        std::lock_guard<std::mutex> lock(conns_mu_);
+        MutexLock lock(&conns_mu_);
         conns_.push_back(conn);
         ++active_readers_;
       }
@@ -254,24 +255,27 @@ void Server::ReadLoop(std::shared_ptr<Connection> conn) {
   }
   conn->alive.store(false);
   {
-    std::lock_guard<std::mutex> lock(conns_mu_);
+    MutexLock lock(&conns_mu_);
     conns_.erase(std::remove(conns_.begin(), conns_.end(), conn),
                  conns_.end());
     --active_readers_;
+    // Notify while still holding conns_mu_: this detached thread's last
+    // touch of server memory must be the mutex release, because the
+    // moment Drain observes active_readers_ == 0 the Server (and this
+    // condvar) may be destroyed.
+    readers_cv_.NotifyAll();
   }
-  readers_cv_.notify_all();
 }
 
 bool Server::Admit(const std::shared_ptr<Connection>& conn, std::string line,
                    uint64_t request_no) {
-  auto reject = [&](const Status& status) {
-    ++rejected_;
-    Reply(conn, RenderErrorLine(RenderRequestId(line, request_no), status,
-                                service_->options().envelope));
-    return false;
-  };
+  // Refusals are computed under the locks but answered only after both are
+  // released: Reply blocks on the client socket, and stalling queue_mu_
+  // (the global admission lock) on a slow reader would wedge every other
+  // connection's admission and the worker pool's dequeue.
+  Status refusal = Status::OK();
   if (opts_.rate_limit_per_sec > 0.0) {
-    std::lock_guard<std::mutex> lock(conn->bucket_mu);
+    MutexLock lock(&conn->bucket_mu);
     const double now = NowMs();
     const double burst = opts_.rate_limit_burst > 0.0
                              ? opts_.rate_limit_burst
@@ -286,29 +290,36 @@ bool Server::Admit(const std::shared_ptr<Connection>& conn, std::string line,
                                   opts_.rate_limit_per_sec);
     conn->last_refill_ms = now;
     if (conn->tokens < 1.0) {
-      return reject(Status::ResourceExhausted(StrFormat(
+      refusal = Status::ResourceExhausted(StrFormat(
           "rate limit exceeded (%g requests/s per connection)",
-          opts_.rate_limit_per_sec)));
+          opts_.rate_limit_per_sec));
+    } else {
+      conn->tokens -= 1.0;
     }
-    conn->tokens -= 1.0;
   }
-  {
-    std::lock_guard<std::mutex> lock(queue_mu_);
+  if (refusal.ok()) {
+    MutexLock lock(&queue_mu_);
     if (draining_) {
-      return reject(Status::Unavailable("server is draining"));
+      refusal = Status::Unavailable("server is draining");
+    } else if (queue_.size() >= opts_.max_queue) {
+      refusal = Status::Unavailable(StrFormat(
+          "admission queue full (%zu pending lines)", queue_.size()));
+    } else {
+      Task task;
+      task.conn = conn;
+      task.line = std::move(line);
+      task.request_no = request_no;
+      task.enqueued_ms = NowMs();
+      queue_.push_back(std::move(task));
     }
-    if (queue_.size() >= opts_.max_queue) {
-      return reject(Status::Unavailable(StrFormat(
-          "admission queue full (%zu pending lines)", queue_.size())));
-    }
-    Task task;
-    task.conn = conn;
-    task.line = std::move(line);
-    task.request_no = request_no;
-    task.enqueued_ms = NowMs();
-    queue_.push_back(std::move(task));
   }
-  queue_cv_.notify_one();
+  if (!refusal.ok()) {
+    ++rejected_;
+    Reply(conn, RenderErrorLine(RenderRequestId(line, request_no), refusal,
+                                service_->options().envelope));
+    return false;
+  }
+  queue_cv_.NotifyOne();
   return true;
 }
 
@@ -316,8 +327,8 @@ void Server::WorkerLoop() {
   for (;;) {
     Task task;
     {
-      std::unique_lock<std::mutex> lock(queue_mu_);
-      queue_cv_.wait(lock, [this] { return !queue_.empty() || draining_; });
+      MutexLock lock(&queue_mu_);
+      while (queue_.empty() && !draining_) queue_cv_.Wait(queue_mu_);
       if (queue_.empty()) return;  // draining_ and nothing left.
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -348,7 +359,7 @@ void Server::WorkerLoop() {
 
 void Server::Reply(const std::shared_ptr<Connection>& conn,
                    const std::string& line) {
-  std::lock_guard<std::mutex> lock(conn->write_mu);
+  MutexLock lock(&conn->write_mu);
   std::string out = line;
   out += '\n';
   size_t sent = 0;

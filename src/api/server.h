@@ -31,17 +31,16 @@
 #define FAIRHMS_API_SERVER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "api/service.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace fairhms {
 
@@ -79,11 +78,11 @@ class Server {
 
   /// Binds the listeners and starts the accept/worker threads. Fails
   /// without side effects when no listener is configured or a bind fails.
-  Status Start();
+  Status Start() FAIRHMS_EXCLUDES(drain_mu_);
 
   /// Graceful shutdown: stop accepting, stop reading, serve everything
   /// admitted, join every thread. Idempotent.
-  void Drain();
+  void Drain() FAIRHMS_EXCLUDES(drain_mu_, conns_mu_, queue_mu_);
 
   /// The bound TCP port (resolves an ephemeral request), or -1.
   int tcp_port() const { return tcp_port_; }
@@ -104,18 +103,23 @@ class Server {
     double enqueued_ms = 0.0;
   };
 
-  void AcceptLoop();
-  void ReadLoop(std::shared_ptr<Connection> conn);
-  void WorkerLoop();
-  /// Admission control for one line; returns true when queued.
+  void AcceptLoop() FAIRHMS_EXCLUDES(conns_mu_);
+  void ReadLoop(std::shared_ptr<Connection> conn) FAIRHMS_EXCLUDES(conns_mu_);
+  void WorkerLoop() FAIRHMS_EXCLUDES(queue_mu_);
+  /// Admission control for one line; returns true when queued. Refusal
+  /// responses are written after every lock is released (Reply can block
+  /// on a slow client).
   bool Admit(const std::shared_ptr<Connection>& conn, std::string line,
-             uint64_t request_no);
+             uint64_t request_no) FAIRHMS_EXCLUDES(queue_mu_);
   void Reply(const std::shared_ptr<Connection>& conn,
              const std::string& line);
 
   ProtocolService* service_;
   const ServerOptions opts_;
 
+  // The fds are written by Start/Drain only while no accept thread runs;
+  // AcceptLoop reads them lock-free — the thread spawn/join pair is the
+  // happens-before edge, so they are deliberately not GUARDED_BY.
   int unix_fd_ = -1;
   int tcp_fd_ = -1;
   int tcp_port_ = -1;
@@ -123,21 +127,26 @@ class Server {
 
   std::thread accept_thread_;
   std::vector<std::thread> workers_;
+
+  // Lock order: drain_mu_ before conns_mu_ / queue_mu_ (Drain holds it
+  // across both); conns_mu_ and queue_mu_ never nest with each other.
   /// Live connections + the count of their (detached) reader threads;
   /// Drain waits on readers_cv_ until every reader has exited.
-  std::mutex conns_mu_;
-  std::vector<std::shared_ptr<Connection>> conns_;
-  std::condition_variable readers_cv_;
-  int active_readers_ = 0;
+  Mutex conns_mu_;
+  std::vector<std::shared_ptr<Connection>> conns_
+      FAIRHMS_GUARDED_BY(conns_mu_);
+  CondVar readers_cv_;
+  int active_readers_ FAIRHMS_GUARDED_BY(conns_mu_) = 0;
 
-  std::mutex queue_mu_;
-  std::condition_variable queue_cv_;
-  std::deque<Task> queue_;
-  bool draining_ = false;
+  Mutex queue_mu_;
+  CondVar queue_cv_;
+  std::deque<Task> queue_ FAIRHMS_GUARDED_BY(queue_mu_);
+  bool draining_ FAIRHMS_GUARDED_BY(queue_mu_) = false;
 
-  std::mutex drain_mu_;  ///< Serializes Start/Drain; makes Drain idempotent.
-  bool started_ = false;
-  bool drained_ = false;
+  /// Serializes Start/Drain; makes Drain idempotent.
+  Mutex drain_mu_ FAIRHMS_ACQUIRED_BEFORE(conns_mu_, queue_mu_);
+  bool started_ FAIRHMS_GUARDED_BY(drain_mu_) = false;
+  bool drained_ FAIRHMS_GUARDED_BY(drain_mu_) = false;
 
   std::atomic<uint64_t> connections_{0};
   std::atomic<uint64_t> rejected_{0};

@@ -116,54 +116,24 @@ Response ProtocolService::Execute(const Request& request) {
     response.dataset = request.dataset;
     bool mutated = false;
     {
-      std::shared_lock<std::shared_mutex> catalog_lock(catalog_mu_);
-      std::shared_ptr<std::shared_mutex> dataset_mu = LockFor(request.dataset);
+      ReaderMutexLock catalog_lock(&catalog_mu_);
+      const std::shared_ptr<SharedMutex> dataset_mu = LockFor(request.dataset);
       // Queries share the dataset lock (the session's cache lookups are
-      // internally synchronized); mutations hold it exclusively.
-      std::shared_lock<std::shared_mutex> read_lock(*dataset_mu,
-                                                    std::defer_lock);
-      std::unique_lock<std::shared_mutex> write_lock(*dataset_mu,
-                                                     std::defer_lock);
+      // internally synchronized); mutations hold it exclusively. Two
+      // explicit lock scopes around one shared body — the thread-safety
+      // analysis cannot follow a lock acquired on only one branch.
       if (request.op == ProtocolOp::kQuery) {
-        read_lock.lock();
+        ReaderMutexLock dataset_lock(dataset_mu.get());
+        status = ExecutePerDataset(request, &response, &mutated);
       } else {
-        write_lock.lock();
+        WriterMutexLock dataset_lock(dataset_mu.get());
+        status = ExecutePerDataset(request, &response, &mutated);
       }
-      auto session_or = catalog_->Session(request.dataset);
-      if (!session_or.ok()) {
-        status = session_or.status();
-      } else {
-        SolverSession* session = *session_or;
-        // Serving marks this session hot; the global budget settles
-        // *after* the op, never mid-solve (cache references handed to the
-        // algorithm must stay valid).
-        {
-          std::lock_guard<std::mutex> arbiter_lock(arbiter_mu_);
-          catalog_->arbiter()->Touch(session->cache());
-        }
-        switch (request.op) {
-          case ProtocolOp::kQuery:
-            status = ExecuteQuery(request.query, session, &response.query);
-            break;
-          case ProtocolOp::kInsert:
-            status = ExecuteInsert(request.insert, session, &response.insert);
-            mutated = status.ok();
-            break;
-          default:
-            status = ExecuteDelete(request.erase, session, &response.erase);
-            mutated = status.ok();
-            break;
-        }
-      }
-      response.has_seq = true;
-      response.seq = ++seq_;
-      response.has_catalog_version = true;
-      response.catalog_version = catalog_->version();
     }
     MaybeRebalance(request.dataset);
     if (mutated) ++updates_;
   } else if (request.op == ProtocolOp::kList) {
-    std::shared_lock<std::shared_mutex> catalog_lock(catalog_mu_);
+    ReaderMutexLock catalog_lock(&catalog_mu_);
     response.list.datasets = catalog_->List();
     response.has_seq = true;
     response.seq = ++seq_;
@@ -174,7 +144,7 @@ Response ProtocolService::Execute(const Request& request) {
     // entry map under live sessions, save needs a stable table, and stats
     // reads per-session cache counters that in-flight solves would be
     // writing.
-    std::unique_lock<std::shared_mutex> catalog_lock(catalog_mu_);
+    WriterMutexLock catalog_lock(&catalog_mu_);
     switch (request.op) {
       case ProtocolOp::kRegister:
         response.dataset = request.reg.name;
@@ -214,17 +184,55 @@ Response ProtocolService::Execute(const Request& request) {
   return response;
 }
 
-std::shared_ptr<std::shared_mutex> ProtocolService::LockFor(
+Status ProtocolService::ExecutePerDataset(const Request& request,
+                                          Response* response, bool* mutated) {
+  Status status;
+  auto session_or = catalog_->Session(request.dataset);
+  if (!session_or.ok()) {
+    status = session_or.status();
+  } else {
+    SolverSession* session = *session_or;
+    // Serving marks this session hot; the global budget settles *after*
+    // the op, never mid-solve (cache references handed to the algorithm
+    // must stay valid).
+    {
+      MutexLock arbiter_lock(&arbiter_mu_);
+      catalog_->arbiter()->Touch(session->cache());
+    }
+    switch (request.op) {
+      case ProtocolOp::kQuery:
+        status = ExecuteQuery(request.query, session, &response->query);
+        break;
+      case ProtocolOp::kInsert:
+        status = ExecuteInsert(request.insert, session, &response->insert);
+        *mutated = status.ok();
+        break;
+      default:
+        status = ExecuteDelete(request.erase, session, &response->erase);
+        *mutated = status.ok();
+        break;
+    }
+  }
+  // seq is drawn while the serving locks are still held — the
+  // linearization contract replay depends on (docs/concurrency.md).
+  response->has_seq = true;
+  response->seq = ++seq_;
+  response->has_catalog_version = true;
+  response->catalog_version = catalog_->version();
+  return status;
+}
+
+std::shared_ptr<SharedMutex> ProtocolService::LockFor(
     const std::string& name) {
-  std::lock_guard<std::mutex> lock(locks_mu_);
-  std::shared_ptr<std::shared_mutex>& slot = dataset_locks_[name];
-  if (slot == nullptr) slot = std::make_shared<std::shared_mutex>();
+  MutexLock lock(&locks_mu_);
+  std::shared_ptr<SharedMutex>& slot = dataset_locks_[name];
+  if (slot == nullptr) slot = std::make_shared<SharedMutex>();
   return slot;
 }
 
 void ProtocolService::MaybeRebalance(const std::string& route) {
   {
-    std::lock_guard<std::mutex> arbiter_lock(arbiter_mu_);
+    MutexLock arbiter_lock(&arbiter_mu_);
     const CacheArbiter* arbiter = catalog_->arbiter();
     if (arbiter->budget_bytes() == 0 ||
         arbiter->total_bytes() <= arbiter->budget_bytes()) {
@@ -233,8 +241,8 @@ void ProtocolService::MaybeRebalance(const std::string& route) {
   }
   // Eviction drops other sessions' caches wholesale — quiesce every
   // dataset so no in-flight solve holds references into one.
-  std::unique_lock<std::shared_mutex> catalog_lock(catalog_mu_);
-  std::lock_guard<std::mutex> arbiter_lock(arbiter_mu_);
+  WriterMutexLock catalog_lock(&catalog_mu_);
+  MutexLock arbiter_lock(&arbiter_mu_);
   auto session_or = catalog_->Session(route);
   catalog_->arbiter()->Rebalance(
       session_or.ok() ? (*session_or)->cache() : nullptr);
@@ -489,7 +497,7 @@ void ProtocolService::ExecuteStats(StatsResponse* out) {
     out->datasets.push_back(std::move(ds));
   }
   {
-    std::lock_guard<std::mutex> arbiter_lock(arbiter_mu_);
+    MutexLock arbiter_lock(&arbiter_mu_);
     const CacheArbiter* arbiter = catalog_->arbiter();
     out->cache_budget_bytes = arbiter->budget_bytes();
     out->cache_total_bytes = arbiter->total_bytes();
@@ -519,7 +527,7 @@ void ProtocolService::ExecuteStats(StatsResponse* out) {
 }
 
 Status ProtocolService::SnapshotReload(const std::string& dir) {
-  std::unique_lock<std::shared_mutex> catalog_lock(catalog_mu_);
+  WriterMutexLock catalog_lock(&catalog_mu_);
   const std::vector<std::string> names = catalog_->List();
   // Validate and save everything before the first drop, so a bad name or
   // unwritable directory aborts with the catalog untouched.

@@ -33,8 +33,6 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <string_view>
 
@@ -42,6 +40,7 @@
 #include "api/metrics.h"
 #include "api/protocol.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace fairhms {
 
@@ -89,13 +88,24 @@ class ProtocolService {
   /// snapshot — the daemon's SIGHUP handler. Names must be
   /// filesystem-safe (no '/'); saves run for all datasets before any
   /// drop, so a failed save aborts with the catalog untouched.
-  Status SnapshotReload(const std::string& dir);
+  Status SnapshotReload(const std::string& dir) FAIRHMS_EXCLUDES(catalog_mu_);
 
  private:
-  std::shared_ptr<std::shared_mutex> LockFor(const std::string& name);
+  std::shared_ptr<SharedMutex> LockFor(const std::string& name)
+      FAIRHMS_EXCLUDES(locks_mu_);
   /// Settles the global cache budget after a per-dataset op, outside that
   /// op's locks; prefers keeping `route`'s cache when it must evict.
-  void MaybeRebalance(const std::string& route);
+  void MaybeRebalance(const std::string& route)
+      FAIRHMS_EXCLUDES(catalog_mu_, arbiter_mu_);
+
+  /// The locked body of a per-dataset op: session lookup, arbiter Touch,
+  /// dispatch, and the seq / catalog_version stamp — all while the caller
+  /// holds the catalog lock shared AND the routed dataset's lock (shared
+  /// for queries, exclusive for mutations; the dataset lock is dynamic,
+  /// so only the catalog capability is expressible here).
+  Status ExecutePerDataset(const Request& request, Response* response,
+                           bool* mutated)
+      FAIRHMS_REQUIRES_SHARED(catalog_mu_);
 
   Status ExecuteQuery(const QueryRequest& request, SolverSession* session,
                       QueryResponse* out);
@@ -103,18 +113,24 @@ class ProtocolService {
                        InsertResponse* out);
   Status ExecuteDelete(const DeleteRequest& request, SolverSession* session,
                        DeleteResponse* out);
-  Status ExecuteRegister(const RegisterRequest& request,
-                         RegisterResponse* out);
-  void ExecuteStats(StatsResponse* out);
+  Status ExecuteRegister(const RegisterRequest& request, RegisterResponse* out)
+      FAIRHMS_REQUIRES(catalog_mu_);
+  void ExecuteStats(StatsResponse* out) FAIRHMS_REQUIRES(catalog_mu_);
 
   DatasetCatalog* catalog_;
   const ServiceOptions opts_;
   OpMetrics metrics_;
 
-  std::shared_mutex catalog_mu_;
-  std::mutex locks_mu_;
-  std::map<std::string, std::shared_ptr<std::shared_mutex>> dataset_locks_;
-  std::mutex arbiter_mu_;
+  // Lock order (docs/concurrency.md): catalog_mu_ -> locks_mu_, and
+  // catalog_mu_ -> (per-dataset lock) -> arbiter_mu_. locks_mu_ and
+  // arbiter_mu_ are leaves of their chains and never nest with each other.
+  SharedMutex catalog_mu_ FAIRHMS_ACQUIRED_BEFORE(locks_mu_, arbiter_mu_);
+  Mutex locks_mu_;
+  std::map<std::string, std::shared_ptr<SharedMutex>> dataset_locks_
+      FAIRHMS_GUARDED_BY(locks_mu_);
+  /// Serializes the arbiter's Touch/Rebalance decision windows; the
+  /// CacheArbiter itself is internally locked.
+  Mutex arbiter_mu_;
   std::atomic<uint64_t> seq_{0};
   std::atomic<uint64_t> served_{0};
   std::atomic<uint64_t> failed_{0};

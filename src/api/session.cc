@@ -132,8 +132,8 @@ SolverSession::SolverSession(const Dataset* data, const Grouping* grouping)
       grouping_(grouping),
       cache_(new ArtifactCache()),
       cost_model_(new CostModel()),
-      warm_mu_(new std::mutex()),
-      projection_mu_(new std::mutex()) {}
+      warm_mu_(new Mutex()),
+      projection_mu_(new Mutex()) {}
 
 StatusOr<SolverSession> SolverSession::Create(const Dataset* data,
                                               const Grouping* grouping) {
@@ -164,7 +164,7 @@ StatusOr<SolverSession> SolverSession::CreateDynamic(
     FAIRHMS_ASSIGN_OR_RETURN(int col, data->FindCategorical(name));
     session.group_cols_.push_back(col);
   }
-  session.publish_mu_ = std::make_unique<std::mutex>();
+  session.publish_mu_ = std::make_unique<Mutex>();
   // The combo table and SkylineIndex are built lazily on the first actual
   // mutation (EnsureDynamicState): an update-free dynamic session costs
   // exactly what a static one does.
@@ -258,7 +258,7 @@ void SolverSession::PublishIndexIfStale() {
   // cache computes (version-keyed) artifacts on miss just like a static
   // session's.
   if (!dynamic() || index_ == nullptr) return;
-  std::lock_guard<std::mutex> lock(*publish_mu_);
+  MutexLock lock(*publish_mu_);
   if (published_data_version_ == data_->version() &&
       published_grouping_version_ == grouping_->version) {
     return;
@@ -372,7 +372,7 @@ Status SolverSession::Erase(const std::vector<int>& rows) {
 }
 
 const Dataset& SolverSession::Projection2D() {
-  std::lock_guard<std::mutex> lock(*projection_mu_);
+  MutexLock lock(*projection_mu_);
   const bool hit = projection2d_ != nullptr &&
                    projection_synced_version_ == data_->version();
   // Account only the rows added by this (re)build: the projection is one
@@ -511,7 +511,7 @@ StatusOr<SolverResult> SolverSession::Solve(const SolverRequest& request) {
   SolveRunInfo run_info;
   int warm_hint = -1;
   if (req.allow_warm_start && info->caps.warm_startable) {
-    std::lock_guard<std::mutex> lock(*warm_mu_);
+    MutexLock lock(*warm_mu_);
     const auto it = warm_memo_.find(info->name);
     if (it != warm_memo_.end()) {
       const WarmMemo& memo = it->second;
@@ -546,7 +546,7 @@ StatusOr<SolverResult> SolverSession::Solve(const SolverRequest& request) {
   }
   result.warm_start_used = run_info.warm_start_used;
   if (info->caps.warm_startable) {
-    std::lock_guard<std::mutex> lock(*warm_mu_);
+    MutexLock lock(*warm_mu_);
     WarmMemo& memo = warm_memo_[info->name];
     memo.tau_index = run_info.tau_index;
     memo.k = req.bounds.k;
@@ -582,11 +582,11 @@ void SolverSession::ClearCache() {
     // The drop also removed the published SkylineIndex artifacts: reset
     // the sentinels so the next query republishes them instead of paying
     // a cold recompute.
-    std::lock_guard<std::mutex> lock(*publish_mu_);
+    MutexLock lock(*publish_mu_);
     published_data_version_ = ~uint64_t{0};
     published_grouping_version_ = ~uint64_t{0};
   }
-  std::lock_guard<std::mutex> lock(*projection_mu_);
+  MutexLock lock(*projection_mu_);
   projection2d_.reset();
 }
 

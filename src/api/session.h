@@ -44,12 +44,12 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "api/solver.h"
+#include "common/thread_annotations.h"
 #include "common/statusor.h"
 #include "core/artifact_cache.h"
 #include "data/dataset.h"
@@ -173,7 +173,7 @@ class SolverSession {
 
   /// Drops every memoized artifact (hit/miss history survives). Must not
   /// race in-flight solves.
-  void ClearCache();
+  void ClearCache() FAIRHMS_EXCLUDES(*projection_mu_);
 
  private:
   SolverSession(const Dataset* data, const Grouping* grouping);
@@ -181,7 +181,7 @@ class SolverSession {
   /// The pinned dataset projected to its first two attributes, built on
   /// first use (exact-2D algorithms on dim > 2 data) and kept in sync
   /// with mutations: appended rows extend it, tombstones are mirrored.
-  const Dataset& Projection2D();
+  const Dataset& Projection2D() FAIRHMS_EXCLUDES(*projection_mu_);
 
   /// Builds the dynamic machinery (combo table + SkylineIndex) on the
   /// first actual mutation, so update-free dynamic sessions cost exactly
@@ -212,11 +212,14 @@ class SolverSession {
   const Grouping* grouping_;
   std::unique_ptr<ArtifactCache> cache_;
   std::unique_ptr<CostModel> cost_model_;
-  std::unique_ptr<std::mutex> warm_mu_;
-  std::map<std::string, WarmMemo> warm_memo_;
-  std::unique_ptr<std::mutex> projection_mu_;
-  std::unique_ptr<Dataset> projection2d_;
-  uint64_t projection_synced_version_ = 0;
+  // SolverSession is movable (returned by value from the factories), so
+  // its mutexes live behind unique_ptr; members are annotated against the
+  // pointee (`*warm_mu_`) and locked as `MutexLock lock(*warm_mu_)`.
+  std::unique_ptr<Mutex> warm_mu_;
+  std::map<std::string, WarmMemo> warm_memo_ FAIRHMS_GUARDED_BY(*warm_mu_);
+  std::unique_ptr<Mutex> projection_mu_;
+  std::unique_ptr<Dataset> projection2d_ FAIRHMS_GUARDED_BY(*projection_mu_);
+  uint64_t projection_synced_version_ FAIRHMS_GUARDED_BY(*projection_mu_) = 0;
 
   // Dynamic-session state (null/empty for Create'd sessions).
   Dataset* mutable_data_ = nullptr;
@@ -224,9 +227,11 @@ class SolverSession {
   std::vector<int> group_cols_;  ///< Categorical column indices.
   std::map<std::vector<int>, int> combo_to_group_;
   std::unique_ptr<SkylineIndex> index_;
-  std::unique_ptr<std::mutex> publish_mu_;
-  uint64_t published_data_version_ = ~uint64_t{0};
-  uint64_t published_grouping_version_ = ~uint64_t{0};
+  std::unique_ptr<Mutex> publish_mu_;
+  uint64_t published_data_version_ FAIRHMS_GUARDED_BY(*publish_mu_) =
+      ~uint64_t{0};
+  uint64_t published_grouping_version_ FAIRHMS_GUARDED_BY(*publish_mu_) =
+      ~uint64_t{0};
 };
 
 namespace internal {

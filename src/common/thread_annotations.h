@@ -1,0 +1,218 @@
+// Clang Thread Safety Analysis support: annotation macros plus annotated
+// mutex / lock-scope / condition-variable wrappers over the <mutex> and
+// <shared_mutex> primitives. See docs/concurrency.md for the lock inventory
+// and the rules for annotating new concurrent code.
+//
+// Under clang the macros expand to the thread-safety attributes and the CI
+// clang legs compile with -Werror=thread-safety, so an access to a
+// FAIRHMS_GUARDED_BY member without its lock is a build error (the
+// negative-compilation test tests/negative/ proves the check is live).
+// Under every other compiler they expand to nothing, keeping the
+// -Wall -Wextra -Werror gcc baseline clean.
+
+#ifndef FAIRHMS_COMMON_THREAD_ANNOTATIONS_H_
+#define FAIRHMS_COMMON_THREAD_ANNOTATIONS_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#if defined(__clang__)
+#define FAIRHMS_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define FAIRHMS_THREAD_ANNOTATION(x)
+#endif
+
+/// Marks a class as a lockable capability (mutexes below).
+#define FAIRHMS_CAPABILITY(x) FAIRHMS_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor releases.
+#define FAIRHMS_SCOPED_CAPABILITY FAIRHMS_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member readable/writable only while holding the given mutex.
+#define FAIRHMS_GUARDED_BY(x) FAIRHMS_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose *pointee* is guarded by the given mutex.
+#define FAIRHMS_PT_GUARDED_BY(x) FAIRHMS_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Declares lock-ordering edges; enforced under -Wthread-safety-beta,
+/// documentation otherwise. List every mutex legally acquired while this
+/// one is held.
+#define FAIRHMS_ACQUIRED_BEFORE(...) \
+  FAIRHMS_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define FAIRHMS_ACQUIRED_AFTER(...) \
+  FAIRHMS_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// Function precondition: caller must hold the mutex(es) exclusively /
+/// shared. The function does not release them.
+#define FAIRHMS_REQUIRES(...) \
+  FAIRHMS_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define FAIRHMS_REQUIRES_SHARED(...) \
+  FAIRHMS_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires / releases the mutex(es) itself.
+#define FAIRHMS_ACQUIRE(...) \
+  FAIRHMS_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define FAIRHMS_ACQUIRE_SHARED(...) \
+  FAIRHMS_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define FAIRHMS_RELEASE(...) \
+  FAIRHMS_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define FAIRHMS_RELEASE_SHARED(...) \
+  FAIRHMS_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define FAIRHMS_RELEASE_GENERIC(...) \
+  FAIRHMS_THREAD_ANNOTATION(release_generic_capability(__VA_ARGS__))
+
+/// Function acquires the mutex iff it returns the given value.
+#define FAIRHMS_TRY_ACQUIRE(...) \
+  FAIRHMS_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Function must be called WITHOUT the mutex(es) held (it acquires them
+/// internally; calling with one held would self-deadlock).
+#define FAIRHMS_EXCLUDES(...) \
+  FAIRHMS_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Runtime assertion that the capability is held (trusted by the analysis).
+#define FAIRHMS_ASSERT_CAPABILITY(x) \
+  FAIRHMS_THREAD_ANNOTATION(assert_capability(x))
+
+/// Function returns a reference to the given mutex.
+#define FAIRHMS_RETURN_CAPABILITY(x) FAIRHMS_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: turns the analysis off for one function. Every use must
+/// carry a comment explaining why the code is correct anyway.
+#define FAIRHMS_NO_THREAD_SAFETY_ANALYSIS \
+  FAIRHMS_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace fairhms {
+
+class CondVar;
+
+/// std::mutex annotated as a capability. Lock it through MutexLock; the raw
+/// lock()/unlock() exist for the rare hand-over-hand or adopt cases.
+class FAIRHMS_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() FAIRHMS_ACQUIRE() { mu_.lock(); }
+  void unlock() FAIRHMS_RELEASE() { mu_.unlock(); }
+  bool try_lock() FAIRHMS_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// std::shared_mutex annotated as a capability: exclusive writers, shared
+/// readers. Lock through WriterMutexLock / ReaderMutexLock.
+class FAIRHMS_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() FAIRHMS_ACQUIRE() { mu_.lock(); }
+  void unlock() FAIRHMS_RELEASE() { mu_.unlock(); }
+  void lock_shared() FAIRHMS_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void unlock_shared() FAIRHMS_RELEASE_SHARED() { mu_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// RAII exclusive lock on a Mutex. The reference form exists so mutexes
+/// held through std::unique_ptr can be locked as `MutexLock lock(*mu_)`,
+/// which keeps the capability expression equal to the `*mu_` spelling used
+/// in FAIRHMS_GUARDED_BY.
+class FAIRHMS_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) FAIRHMS_ACQUIRE(mu) : mu_(mu) { mu_->lock(); }
+  explicit MutexLock(Mutex& mu) FAIRHMS_ACQUIRE(mu) : mu_(&mu) { mu_->lock(); }
+  ~MutexLock() FAIRHMS_RELEASE() { mu_->unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+/// RAII exclusive lock on a SharedMutex.
+class FAIRHMS_SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex* mu) FAIRHMS_ACQUIRE(mu) : mu_(mu) {
+    mu_->lock();
+  }
+  explicit WriterMutexLock(SharedMutex& mu) FAIRHMS_ACQUIRE(mu) : mu_(&mu) {
+    mu_->lock();
+  }
+  ~WriterMutexLock() FAIRHMS_RELEASE() { mu_->unlock(); }
+
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  SharedMutex* const mu_;
+};
+
+/// RAII shared (reader) lock on a SharedMutex. The destructor uses the
+/// generic release form, the documented pattern for shared scoped locks.
+class FAIRHMS_SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex* mu) FAIRHMS_ACQUIRE_SHARED(mu)
+      : mu_(mu) {
+    mu_->lock_shared();
+  }
+  explicit ReaderMutexLock(SharedMutex& mu) FAIRHMS_ACQUIRE_SHARED(mu)
+      : mu_(&mu) {
+    mu_->lock_shared();
+  }
+  ~ReaderMutexLock() FAIRHMS_RELEASE_GENERIC() { mu_->unlock_shared(); }
+
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  SharedMutex* const mu_;
+};
+
+/// Condition variable paired with Mutex. Wait takes the Mutex directly (the
+/// caller annotates the surrounding scope, so the analysis sees the lock as
+/// continuously held across the wait — which is the caller-visible truth).
+/// There is deliberately no predicate overload: a predicate lambda reading
+/// guarded state would be analyzed as an unannotated function and rejected;
+/// write the `while (!cond) cv.Wait(mu);` loop in the annotated caller.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, waits, and reacquires it before returning.
+  ///
+  /// The wait is capped at 100 ms, not because callers want a timeout but
+  /// because glibc's pthread_cond_signal (through at least 2.36; upstream
+  /// bug 25847, fixed in 2.39) can lose a wakeup raced against a
+  /// group-switching waiter — observed on this very codebase as a served
+  /// request sitting in the admission queue with every worker asleep. The
+  /// cap turns that lost notification into one extra trip around the
+  /// caller's predicate loop instead of a hang; an idle waiter re-checking
+  /// 10x/s costs nothing measurable.
+  void Wait(Mutex& mu) FAIRHMS_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait_for(lock, std::chrono::milliseconds(100));
+    lock.release();  // The caller's scope still owns the mutex.
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace fairhms
+
+#endif  // FAIRHMS_COMMON_THREAD_ANNOTATIONS_H_

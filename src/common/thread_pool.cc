@@ -26,10 +26,10 @@ struct ThreadPool::ForState {
   size_t chunks = 0;
   const std::function<void(size_t, size_t)>* fn = nullptr;
   std::atomic<size_t> next{0};
-  std::atomic<size_t> done{0};
-  std::mutex mu;
-  std::condition_variable done_cv;
-  std::exception_ptr first_error;
+  Mutex mu;
+  CondVar done_cv;
+  size_t done FAIRHMS_GUARDED_BY(mu) = 0;
+  std::exception_ptr first_error FAIRHMS_GUARDED_BY(mu);
 
   void RunChunks() {
     while (true) {
@@ -37,14 +37,15 @@ struct ThreadPool::ForState {
       if (i >= chunks) return;
       const size_t begin = total * i / chunks;
       const size_t end = total * (i + 1) / chunks;
+      std::exception_ptr error;
       try {
         if (begin < end) (*fn)(begin, end);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(mu);
-        if (!first_error) first_error = std::current_exception();
+        error = std::current_exception();
       }
-      std::lock_guard<std::mutex> lock(mu);
-      if (++done == chunks) done_cv.notify_all();
+      MutexLock lock(&mu);
+      if (error && !first_error) first_error = error;
+      if (++done == chunks) done_cv.NotifyAll();
     }
   }
 };
@@ -58,10 +59,10 @@ ThreadPool::ThreadPool(int num_workers) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     shutdown_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (std::thread& t : workers_) t.join();
 }
 
@@ -69,8 +70,8 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      MutexLock lock(&mu_);
+      while (!shutdown_ && queue_.empty()) work_cv_.Wait(mu_);
       if (queue_.empty()) return;  // Shutdown with a drained queue.
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -99,15 +100,15 @@ void ThreadPool::ParallelFor(size_t total, size_t max_chunks,
   // (queue backlog) find the cursor exhausted and return immediately.
   const size_t helpers = std::min(chunks - 1, workers_.size());
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     for (size_t i = 0; i < helpers; ++i) {
       queue_.emplace_back([state] { state->RunChunks(); });
     }
   }
   if (helpers == 1) {
-    work_cv_.notify_one();
+    work_cv_.NotifyOne();
   } else {
-    work_cv_.notify_all();
+    work_cv_.NotifyAll();
   }
 
   const bool was_inside = t_inside_pool_work;
@@ -115,8 +116,8 @@ void ThreadPool::ParallelFor(size_t total, size_t max_chunks,
   state->RunChunks();
   t_inside_pool_work = was_inside;
 
-  std::unique_lock<std::mutex> lock(state->mu);
-  state->done_cv.wait(lock, [&] { return state->done == state->chunks; });
+  MutexLock lock(&state->mu);
+  while (state->done != state->chunks) state->done_cv.Wait(state->mu);
   if (state->first_error) std::rethrow_exception(state->first_error);
 }
 

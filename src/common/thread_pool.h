@@ -10,13 +10,13 @@
 #ifndef FAIRHMS_COMMON_THREAD_POOL_H_
 #define FAIRHMS_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace fairhms {
 
@@ -53,11 +53,14 @@ class ThreadPool {
 
   void WorkerLoop();
 
+  // Immutable after the constructor returns; the spawn/join pair gives the
+  // happens-before edge, so workers_ needs no lock.
   std::vector<std::thread> workers_;
-  std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::deque<std::function<void()>> queue_;
-  bool shutdown_ = false;
+
+  Mutex mu_;
+  CondVar work_cv_;
+  std::deque<std::function<void()>> queue_ FAIRHMS_GUARDED_BY(mu_);
+  bool shutdown_ FAIRHMS_GUARDED_BY(mu_) = false;
 };
 
 /// max(1, std::thread::hardware_concurrency()).

@@ -74,7 +74,7 @@ bool ArtifactCache::EvalKey::operator<(const EvalKey& o) const {
 }
 
 void ArtifactCache::SetArbiter(CacheArbiter* arbiter) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   arbiter_ = arbiter;
 }
 
@@ -85,7 +85,7 @@ std::shared_ptr<const UtilityNet> ArtifactCache::Net(int d, size_t m,
   CacheArbiter* arbiter = nullptr;
   int64_t delta = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = nets_.find(key);
     if (it != nets_.end()) {
       ++stats_.nets.hits;
@@ -115,7 +115,7 @@ std::shared_ptr<const NetEvaluator> ArtifactCache::Evaluator(
   CacheArbiter* arbiter = nullptr;
   int64_t delta = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = evaluators_.find(key);
     if (it != evaluators_.end()) {
       ++stats_.evaluators.hits;
@@ -197,7 +197,7 @@ const std::vector<int>& ArtifactCache::Skyline(const Dataset& data) {
   CacheArbiter* arbiter = nullptr;
   int64_t delta = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = skylines_.find(key);
     if (it != skylines_.end()) {
       ++stats_.skylines.hits;
@@ -223,7 +223,7 @@ void ArtifactCache::PutSkyline(const Dataset& data, std::vector<int> skyline) {
   CacheArbiter* arbiter = nullptr;
   int64_t delta = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     PruneSuperseded(
         &skylines_, [&](const DataKey& k) { return k.first == &data; },
         &stats_.skylines.bytes, &delta);
@@ -257,7 +257,7 @@ const std::vector<std::vector<int>>& ArtifactCache::GroupSkylines(
   CacheArbiter* arbiter = nullptr;
   int64_t delta = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = group_skylines_.find(key);
     if (it != group_skylines_.end()) {
       ++stats_.group_skylines.hits;
@@ -285,7 +285,7 @@ const std::vector<int>& ArtifactCache::FairPool(const Dataset& data,
   CacheArbiter* arbiter = nullptr;
   int64_t delta = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = pools_.find(key);
     if (it != pools_.end()) {
       ++stats_.pools.hits;
@@ -313,7 +313,7 @@ const std::vector<int>& ArtifactCache::GroupCounts(const Dataset& data,
   CacheArbiter* arbiter = nullptr;
   int64_t delta = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = group_counts_.find(key);
     if (it != group_counts_.end()) {
       ++stats_.groups.hits;
@@ -341,7 +341,7 @@ const std::vector<std::vector<int>>& ArtifactCache::GroupMembers(
   CacheArbiter* arbiter = nullptr;
   int64_t delta = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = group_members_.find(key);
     if (it != group_members_.end()) {
       ++stats_.groups.hits;
@@ -372,7 +372,7 @@ void ArtifactCache::PutGroupArtifacts(
   CacheArbiter* arbiter = nullptr;
   int64_t delta = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     PruneSuperseded(&group_skylines_, same, &stats_.group_skylines.bytes,
                     &delta);
     PruneSuperseded(&pools_, same, &stats_.pools.bytes, &delta);
@@ -396,7 +396,7 @@ void ArtifactCache::PutGroupArtifacts(
 }
 
 CacheStats ArtifactCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return stats_;
 }
 
@@ -404,7 +404,7 @@ void ArtifactCache::AccountProjection(bool hit, uint64_t bytes) {
   CacheArbiter* arbiter = nullptr;
   int64_t delta = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (hit) {
       ++stats_.projections.hits;
     } else {
@@ -421,7 +421,7 @@ void ArtifactCache::Clear() {
   CacheArbiter* arbiter = nullptr;
   int64_t delta = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     delta = -static_cast<int64_t>(stats_.TotalBytes());
     nets_.clear();
     evaluators_.clear();
@@ -446,7 +446,7 @@ void CacheArbiter::Register(ArtifactCache* cache, std::string name,
                             std::function<void()> evict) {
   const uint64_t resident = cache->stats().TotalBytes();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     Entry& entry = entries_[cache];
     total_ -= entry.charged;  // Zero for a fresh registration.
     entry.name = std::move(name);
@@ -460,7 +460,7 @@ void CacheArbiter::Register(ArtifactCache* cache, std::string name,
 
 void CacheArbiter::Unregister(ArtifactCache* cache) {
   cache->SetArbiter(nullptr);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = entries_.find(cache);
   if (it == entries_.end()) return;
   total_ -= it->second.charged;
@@ -468,7 +468,7 @@ void CacheArbiter::Unregister(ArtifactCache* cache) {
 }
 
 void CacheArbiter::OnBytesChanged(ArtifactCache* cache, int64_t delta) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = entries_.find(cache);
   if (it == entries_.end()) return;
   // Clamp refunds at zero: the charged figure must never wrap, even if a
@@ -486,7 +486,7 @@ void CacheArbiter::OnBytesChanged(ArtifactCache* cache, int64_t delta) {
 }
 
 void CacheArbiter::Touch(ArtifactCache* cache) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = entries_.find(cache);
   if (it != entries_.end()) it->second.last_touch = ++touch_seq_;
 }
@@ -499,7 +499,7 @@ void CacheArbiter::Rebalance(ArtifactCache* prefer_keep) {
   for (;;) {
     std::function<void()> evict;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       if (budget_ == 0 || total_ <= budget_) return;
       ArtifactCache* victim = nullptr;
       uint64_t coldest = 0;
@@ -533,22 +533,22 @@ void CacheArbiter::Rebalance(ArtifactCache* prefer_keep) {
 }
 
 uint64_t CacheArbiter::budget_bytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return budget_;
 }
 
 uint64_t CacheArbiter::total_bytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return total_;
 }
 
 uint64_t CacheArbiter::evictions() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return evictions_;
 }
 
 std::string CacheArbiter::ToString() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::string out = StrFormat(
       "global cache: %.1f KiB charged across %zu sessions, budget %s, "
       "%llu evictions",
@@ -567,7 +567,7 @@ std::string CacheArbiter::ToString() const {
 }
 
 std::vector<CacheArbiter::LedgerEntry> CacheArbiter::Ledger() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<LedgerEntry> ledger;
   ledger.reserve(entries_.size());
   for (const auto& [addr, entry] : entries_) {

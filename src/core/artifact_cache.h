@@ -41,13 +41,13 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <tuple>
 #include <utility>
 #include <vector>
 
 #include "common/random.h"
+#include "common/thread_annotations.h"
 #include "core/net_evaluator.h"
 #include "data/dataset.h"
 #include "data/grouping.h"
@@ -93,7 +93,8 @@ class ArtifactCache {
   /// The net `UtilityNet::SampleRandom(d, m, rng)` would produce, memoized
   /// on (d, m, rng->StateKey()). On a hit `*rng` is fast-forwarded to its
   /// post-sample state, so callers that keep drawing see no difference.
-  std::shared_ptr<const UtilityNet> Net(int d, size_t m, Rng* rng);
+  std::shared_ptr<const UtilityNet> Net(int d, size_t m, Rng* rng)
+      FAIRHMS_EXCLUDES(mu_);
 
   /// A NetEvaluator over (data, net, db_rows) with `cache_rows` candidate
   /// happiness rows pre-filled (skipped when empty), memoized on the net's
@@ -102,57 +103,63 @@ class ArtifactCache {
   std::shared_ptr<const NetEvaluator> Evaluator(
       const Dataset& data, std::shared_ptr<const UtilityNet> net,
       const std::vector<int>& db_rows, const std::vector<int>& cache_rows,
-      int threads);
+      int threads) FAIRHMS_EXCLUDES(mu_);
 
   /// Global skyline of `data`'s live rows, memoized per (dataset address,
   /// dataset version).
-  const std::vector<int>& Skyline(const Dataset& data);
+  const std::vector<int>& Skyline(const Dataset& data) FAIRHMS_EXCLUDES(mu_);
 
   /// Per-group skylines over live rows, memoized per (dataset, grouping)
   /// address/version quadruple.
   const std::vector<std::vector<int>>& GroupSkylines(const Dataset& data,
-                                                     const Grouping& grouping);
+                                                     const Grouping& grouping)
+      FAIRHMS_EXCLUDES(mu_);
 
   /// Union of per-group skylines (the fair candidate pool), memoized like
   /// GroupSkylines.
   const std::vector<int>& FairPool(const Dataset& data,
-                                   const Grouping& grouping);
+                                   const Grouping& grouping)
+      FAIRHMS_EXCLUDES(mu_);
 
   /// grouping.LiveCounts(data), memoized like GroupSkylines.
   const std::vector<int>& GroupCounts(const Dataset& data,
-                                      const Grouping& grouping);
+                                      const Grouping& grouping)
+      FAIRHMS_EXCLUDES(mu_);
 
   /// grouping.MembersLive(data), memoized like GroupSkylines.
   const std::vector<std::vector<int>>& GroupMembers(const Dataset& data,
-                                                    const Grouping& grouping);
+                                                    const Grouping& grouping)
+      FAIRHMS_EXCLUDES(mu_);
 
   /// Publish hooks for incrementally maintained artifacts (SkylineIndex):
   /// store the value under the object's *current* version so the next
   /// lookup hits instead of recomputing. Counted as neither hit nor miss;
   /// superseded versions are pruned. Must not race in-flight solves.
-  void PutSkyline(const Dataset& data, std::vector<int> skyline);
+  void PutSkyline(const Dataset& data, std::vector<int> skyline)
+      FAIRHMS_EXCLUDES(mu_);
   void PutGroupArtifacts(const Dataset& data, const Grouping& grouping,
                          std::vector<std::vector<int>> group_skylines,
                          std::vector<int> fair_pool,
                          std::vector<int> live_counts,
-                         std::vector<std::vector<int>> live_members);
+                         std::vector<std::vector<int>> live_members)
+      FAIRHMS_EXCLUDES(mu_);
 
   /// Snapshot of the counters (copied under the lock).
-  CacheStats stats() const;
+  CacheStats stats() const FAIRHMS_EXCLUDES(mu_);
 
   /// Accounts a session-owned artifact lookup (the prepared 2D projection)
   /// under the cache lock; `bytes` is added on a miss.
-  void AccountProjection(bool hit, uint64_t bytes);
+  void AccountProjection(bool hit, uint64_t bytes) FAIRHMS_EXCLUDES(mu_);
 
   /// Drops every entry (stats counters keep their hit/miss history; bytes
   /// reset). Callers must ensure no solve is in flight.
-  void Clear();
+  void Clear() FAIRHMS_EXCLUDES(mu_);
 
   /// Attaches a process-wide arbiter: from now on every change to the
   /// resident byte total is charged/refunded there (after this cache's
   /// lock is released, so the arbiter can lock its own state freely).
   /// Call while no solve is in flight; CacheArbiter::Register does this.
-  void SetArbiter(CacheArbiter* arbiter);
+  void SetArbiter(CacheArbiter* arbiter) FAIRHMS_EXCLUDES(mu_);
 
  private:
   struct NetKey {
@@ -188,16 +195,23 @@ class ArtifactCache {
   using DataKey = std::pair<const void*, uint64_t>;
   using DataGroupKey = std::tuple<const void*, const void*, uint64_t, uint64_t>;
 
-  mutable std::mutex mu_;
-  CacheStats stats_;
-  CacheArbiter* arbiter_ = nullptr;  ///< Guarded by mu_; called outside it.
-  std::map<NetKey, NetEntry> nets_;
-  std::map<EvalKey, EvalEntry> evaluators_;
-  std::map<DataKey, std::vector<int>> skylines_;
-  std::map<DataGroupKey, std::vector<std::vector<int>>> group_skylines_;
-  std::map<DataGroupKey, std::vector<int>> pools_;
-  std::map<DataGroupKey, std::vector<int>> group_counts_;
-  std::map<DataGroupKey, std::vector<std::vector<int>>> group_members_;
+  // Never held while calling into the arbiter: methods copy arbiter_ under
+  // mu_, release, then settle the byte delta (lock order cache -> arbiter,
+  // see docs/concurrency.md).
+  mutable Mutex mu_;
+  CacheStats stats_ FAIRHMS_GUARDED_BY(mu_);
+  /// The pointer is guarded; the arbiter itself is called outside mu_.
+  CacheArbiter* arbiter_ FAIRHMS_GUARDED_BY(mu_) = nullptr;
+  std::map<NetKey, NetEntry> nets_ FAIRHMS_GUARDED_BY(mu_);
+  std::map<EvalKey, EvalEntry> evaluators_ FAIRHMS_GUARDED_BY(mu_);
+  std::map<DataKey, std::vector<int>> skylines_ FAIRHMS_GUARDED_BY(mu_);
+  std::map<DataGroupKey, std::vector<std::vector<int>>> group_skylines_
+      FAIRHMS_GUARDED_BY(mu_);
+  std::map<DataGroupKey, std::vector<int>> pools_ FAIRHMS_GUARDED_BY(mu_);
+  std::map<DataGroupKey, std::vector<int>> group_counts_
+      FAIRHMS_GUARDED_BY(mu_);
+  std::map<DataGroupKey, std::vector<std::vector<int>>> group_members_
+      FAIRHMS_GUARDED_BY(mu_);
 };
 
 /// Process-wide cache budget arbitration across many ArtifactCaches (one
@@ -225,35 +239,36 @@ class CacheArbiter {
   /// its current resident bytes). `evict` drops the cache's artifacts when
   /// Rebalance selects it. Re-registering an address replaces its entry.
   void Register(ArtifactCache* cache, std::string name,
-                std::function<void()> evict);
+                std::function<void()> evict) FAIRHMS_EXCLUDES(mu_);
 
   /// Stops arbitrating `cache`, refunding whatever it still has charged.
   /// No-op for an unknown address.
-  void Unregister(ArtifactCache* cache);
+  void Unregister(ArtifactCache* cache) FAIRHMS_EXCLUDES(mu_);
 
   /// Charges (delta > 0) or refunds (delta < 0) bytes for `cache`.
   /// Unknown addresses are ignored (a cache outside catalog control).
-  void OnBytesChanged(ArtifactCache* cache, int64_t delta);
+  void OnBytesChanged(ArtifactCache* cache, int64_t delta)
+      FAIRHMS_EXCLUDES(mu_);
 
   /// Marks `cache` most-recently-used; Rebalance evicts coldest-first.
-  void Touch(ArtifactCache* cache);
+  void Touch(ArtifactCache* cache) FAIRHMS_EXCLUDES(mu_);
 
   /// Evicts cold caches until the charged total fits the budget again.
   /// `prefer_keep` (the cache that just served a query) is only evicted
   /// when it alone still exceeds the budget after everything else is gone.
   /// Call between queries only — never while a solve is in flight.
-  void Rebalance(ArtifactCache* prefer_keep = nullptr);
+  void Rebalance(ArtifactCache* prefer_keep = nullptr) FAIRHMS_EXCLUDES(mu_);
 
-  uint64_t budget_bytes() const;
+  uint64_t budget_bytes() const FAIRHMS_EXCLUDES(mu_);
   /// Bytes currently charged across every registered cache.
-  uint64_t total_bytes() const;
+  uint64_t total_bytes() const FAIRHMS_EXCLUDES(mu_);
   /// Whole-cache evictions performed by Rebalance (telemetry).
-  uint64_t evictions() const;
+  uint64_t evictions() const FAIRHMS_EXCLUDES(mu_);
 
   /// Per-session charged bytes plus the global total/budget, one line per
   /// registered cache — the process-wide counterpart of
   /// CacheStats::ToString (the per-session byte figures agree).
-  std::string ToString() const;
+  std::string ToString() const FAIRHMS_EXCLUDES(mu_);
 
   /// Structured form of the ledger for the `stats` op: one entry per
   /// registered cache, sorted by name. `last_touch` is the logical
@@ -263,7 +278,7 @@ class CacheArbiter {
     uint64_t charged_bytes = 0;
     uint64_t last_touch = 0;
   };
-  std::vector<LedgerEntry> Ledger() const;
+  std::vector<LedgerEntry> Ledger() const FAIRHMS_EXCLUDES(mu_);
 
  private:
   struct Entry {
@@ -273,12 +288,15 @@ class CacheArbiter {
     uint64_t last_touch = 0;
   };
 
-  mutable std::mutex mu_;
-  uint64_t budget_;
-  uint64_t total_ = 0;
-  uint64_t touch_seq_ = 0;
-  uint64_t evictions_ = 0;
-  std::map<ArtifactCache*, Entry> entries_;
+  // Leaf lock: never held while calling into an ArtifactCache (Rebalance
+  // copies the evict callback out and runs it unlocked; Register/Unregister
+  // talk to the cache outside their locked scopes).
+  mutable Mutex mu_;
+  uint64_t budget_ FAIRHMS_GUARDED_BY(mu_);
+  uint64_t total_ FAIRHMS_GUARDED_BY(mu_) = 0;
+  uint64_t touch_seq_ FAIRHMS_GUARDED_BY(mu_) = 0;
+  uint64_t evictions_ FAIRHMS_GUARDED_BY(mu_) = 0;
+  std::map<ArtifactCache*, Entry> entries_ FAIRHMS_GUARDED_BY(mu_);
 };
 
 /// Cache-optional conveniences: with a cache they memoize, without one they

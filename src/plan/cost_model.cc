@@ -52,7 +52,7 @@ bool CostSignature::operator==(const CostSignature& o) const {
 void CostModel::Observe(const std::string& algorithm,
                         const CostSignature& sig, double solve_ms,
                         double happiness_ratio) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   Cell& cell = cells_[Key(algorithm, sig)];
   ++cell.count;
   cell.mean_ms += (solve_ms - cell.mean_ms) / static_cast<double>(cell.count);
@@ -62,7 +62,7 @@ void CostModel::Observe(const std::string& algorithm,
 
 CostModel::Estimate CostModel::Predict(const std::string& algorithm,
                                        const CostSignature& sig) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   // Tier predicates, from most to least specific. Each tier combines the
   // matching cells by sample-weighted mean; the first non-empty tier wins.
   const auto matches_tier = [&sig](const CostSignature& s, int tier) {
@@ -107,7 +107,7 @@ CostModel::Estimate CostModel::Predict(const std::string& algorithm,
 }
 
 uint64_t CostModel::observations() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   uint64_t total = 0;
   for (const auto& [key, cell] : cells_) {
     (void)key;
@@ -117,7 +117,7 @@ uint64_t CostModel::observations() const {
 }
 
 std::string CostModel::Serialize() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::string out = "fairhms-cost-model v1\n";
   char buf[256];
   for (const auto& [key, cell] : cells_) {
@@ -159,7 +159,7 @@ Status CostModel::Restore(const std::string& text) {
     sig.warm = warm != 0;
     parsed[Key(algorithm, sig)] = cell;
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   cells_ = std::move(parsed);
   return Status::OK();
 }

@@ -24,11 +24,11 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <utility>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace fairhms {
 
@@ -58,7 +58,7 @@ class CostModel {
   /// Folds one measured solve into the (algorithm, signature) cell's
   /// running means.
   void Observe(const std::string& algorithm, const CostSignature& sig,
-               double solve_ms, double happiness_ratio);
+               double solve_ms, double happiness_ratio) FAIRHMS_EXCLUDES(mu_);
 
   struct Estimate {
     double ms = 0.0;
@@ -77,18 +77,18 @@ class CostModel {
   /// Multi-cell tiers combine by sample-weighted mean. samples == 0 means
   /// the model has never seen the algorithm at all.
   Estimate Predict(const std::string& algorithm,
-                   const CostSignature& sig) const;
+                   const CostSignature& sig) const FAIRHMS_EXCLUDES(mu_);
 
   /// Total observations across every cell.
-  uint64_t observations() const;
+  uint64_t observations() const FAIRHMS_EXCLUDES(mu_);
 
   /// Stable text form: a header line followed by one sorted line per cell.
   /// Equal model states serialize to equal bytes.
-  std::string Serialize() const;
+  std::string Serialize() const FAIRHMS_EXCLUDES(mu_);
 
   /// Replaces the model's contents with a previously Serialize()d form.
   /// InvalidArgument on malformed input, leaving the model unchanged.
-  Status Restore(const std::string& text);
+  Status Restore(const std::string& text) FAIRHMS_EXCLUDES(mu_);
 
  private:
   struct Cell {
@@ -98,8 +98,8 @@ class CostModel {
   };
   using Key = std::pair<std::string, CostSignature>;
 
-  mutable std::mutex mu_;
-  std::map<Key, Cell> cells_;
+  mutable Mutex mu_;
+  std::map<Key, Cell> cells_ FAIRHMS_GUARDED_BY(mu_);
 };
 
 }  // namespace fairhms

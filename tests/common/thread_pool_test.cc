@@ -150,6 +150,47 @@ TEST(ThreadPoolTest, DefaultThreadsKnob) {
   EXPECT_EQ(DefaultThreads(), hw);
 }
 
+TEST(ThreadPoolTest, StressConcurrentCallersWithDefaultThreadsChurn) {
+  // Concurrent ParallelFor callers racing a thread churning the global
+  // SetDefaultThreads knob: every caller must still cover its range
+  // exactly, whatever thread count a round resolves to. Sized so a TSan
+  // build gets plenty of interleavings over the shared default pool, the
+  // completion condvar and the knob.
+  std::atomic<bool> stop{false};
+  std::thread churner([&] {
+    int setting = 0;
+    while (!stop.load()) {
+      SetDefaultThreads(setting % 4);  // 0 (hardware), 1, 2, 3, 0, ...
+      ++setting;
+      std::this_thread::yield();
+    }
+    SetDefaultThreads(0);  // Reset for other tests.
+  });
+
+  constexpr int kCallers = 4;
+  constexpr int kRounds = 50;
+  std::vector<std::thread> callers;
+  std::vector<long long> sums(kCallers, 0);
+  for (int t = 0; t < kCallers; ++t) {
+    callers.emplace_back([t, &sums] {
+      for (int round = 0; round < kRounds; ++round) {
+        std::atomic<long long> sum{0};
+        // threads=0 resolves through the churned knob on every call.
+        ParallelFor(0, 600, [&](size_t begin, size_t end) {
+          for (size_t i = begin; i < end; ++i) {
+            sum += static_cast<long long>(i);
+          }
+        });
+        sums[static_cast<size_t>(t)] = sum.load();
+      }
+    });
+  }
+  for (auto& caller : callers) caller.join();
+  stop.store(true);
+  churner.join();
+  for (long long s : sums) EXPECT_EQ(s, 599LL * 600 / 2);
+}
+
 TEST(ThreadPoolTest, BlockBoundariesDependOnlyOnTotalAndChunks) {
   // Two runs with identical (total, chunks) must produce identical block
   // boundaries — the determinism substrate the evaluators rely on.

@@ -139,6 +139,15 @@ class Client {
 };
 
 std::string NormalizeTimings(std::string s) {
+  // The warm_start telemetry flag is stripped like the timings: whether a
+  // solve found a warm memo hint depends on scheduling (a concurrent
+  // solve may or may not have published its memo yet), while the seq-
+  // order replay is single-threaded and always sees the memo — the
+  // advisory hint never changes the solution bytes, only this flag.
+  static const std::string kWarmStart = ", \"warm_start\": true";
+  for (size_t pos; (pos = s.find(kWarmStart)) != std::string::npos;) {
+    s.erase(pos, kWarmStart.size());
+  }
   for (const char* key : {"solve_ms", "total_ms"}) {
     const std::string needle = std::string("\"") + key + "\": ";
     size_t pos = 0;

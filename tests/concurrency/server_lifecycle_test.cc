@@ -1,0 +1,171 @@
+// Server lifecycle races: clients keep pushing lines while the server
+// drains, and servers are torn down immediately after their last reader
+// exits. Regression coverage for the detached-reader shutdown race (the
+// reader's final readers_cv_ notify must happen under conns_mu_, because
+// the Server may be destroyed the instant Drain observes
+// active_readers_ == 0) — ThreadSanitizer catches a reintroduction in the
+// clang-tsan CI leg, where this suite runs serially with the machine to
+// itself.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "api/catalog.h"
+#include "api/server.h"
+#include "api/service.h"
+#include "common/random.h"
+#include "common/string_util.h"
+#include "data/generators.h"
+#include "data/grouping.h"
+
+namespace fairhms {
+namespace {
+
+ServiceOptions ServiceOpts() {
+  ServiceOptions opts;
+  opts.default_seed = 7;
+  opts.default_threads = 1;
+  opts.envelope.version = 1;
+  opts.envelope.emit_seq = true;
+  return opts;
+}
+
+void Bootstrap(DatasetCatalog* catalog) {
+  Rng rng(21);
+  Dataset data = GenIndependent(60, 3, &rng).NormalizedMinMax();
+  Grouping grouping = GroupBySumRank(data, 2);
+  ASSERT_TRUE(
+      catalog->Register("default", std::move(data), std::move(grouping))
+          .ok());
+}
+
+/// Connects to the loopback port; -1 on failure (e.g. the listener is
+/// already gone because Drain won the race — that is a valid outcome).
+int ConnectLoopback(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+/// Clients flood cheap stats lines while the main thread drains the
+/// server mid-stream. Every line the server admitted must still be
+/// answered (drain never drops accepted work); lines that lost the race
+/// get an explicit refusal or a closed socket, never a hang. The
+/// interesting checking happens in TSan builds: reader teardown, worker
+/// drain and admission all overlap here.
+TEST(ServerLifecycleTest, DrainRacesAdmission) {
+  DatasetCatalog catalog;
+  Bootstrap(&catalog);
+  ProtocolService service(&catalog, ServiceOpts());
+  ServerOptions opts;
+  opts.tcp_port = 0;  // Ephemeral.
+  opts.workers = 2;
+  auto server = std::make_unique<Server>(&service, opts);
+  ASSERT_TRUE(server->Start().ok());
+  const int port = server->tcp_port();
+  ASSERT_GT(port, 0);
+
+  constexpr int kClients = 4;
+  std::atomic<int> responses{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      const int fd = ConnectLoopback(port);
+      if (fd < 0) return;
+      // Writer half: push lines until the server hangs up on us.
+      std::thread writer([&, fd] {
+        for (int i = 0; i < 400; ++i) {
+          const std::string line =
+              StrFormat("{\"op\": \"stats\", \"id\": \"c%d-%d\"}\n", c, i);
+          if (::send(fd, line.data(), line.size(), MSG_NOSIGNAL) <= 0) break;
+        }
+      });
+      // Reader half: count newline-terminated responses until EOF.
+      std::string buffer;
+      char chunk[4096];
+      for (;;) {
+        const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+        if (n <= 0) break;
+        buffer.append(chunk, static_cast<size_t>(n));
+        size_t pos;
+        while ((pos = buffer.find('\n')) != std::string::npos) {
+          ++responses;
+          buffer.erase(0, pos + 1);
+        }
+      }
+      writer.join();
+      ::close(fd);
+    });
+  }
+
+  // Drain mid-flood, then destroy the server the moment Drain returns —
+  // the shutdown-race window the detached readers must survive.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  server->Drain();
+  server.reset();
+
+  for (std::thread& client : clients) client.join();
+  // Liveness is the assertion: every client unblocked and the process got
+  // here. At least one response normally lands, but a maximally fast
+  // drain may refuse everything, so only sanity-check the counter.
+  EXPECT_GE(responses.load(), 0);
+}
+
+/// Tight create/serve/destroy cycles: each round a fresh server takes a
+/// few lines from one client and is destroyed immediately after Drain.
+/// Catches use-after-free of server members (condvars, mutexes, queues)
+/// by threads that outlive the round.
+TEST(ServerLifecycleTest, RapidRestartCycles) {
+  DatasetCatalog catalog;
+  Bootstrap(&catalog);
+  ProtocolService service(&catalog, ServiceOpts());
+
+  for (int round = 0; round < 10; ++round) {
+    ServerOptions opts;
+    opts.tcp_port = 0;
+    opts.workers = 1;
+    auto server = std::make_unique<Server>(&service, opts);
+    ASSERT_TRUE(server->Start().ok());
+    const int port = server->tcp_port();
+
+    std::thread client([&, port] {
+      const int fd = ConnectLoopback(port);
+      if (fd < 0) return;
+      const std::string line = "{\"op\": \"list\", \"id\": 1}\n";
+      (void)!::send(fd, line.data(), line.size(), MSG_NOSIGNAL);
+      char chunk[1024];
+      (void)::recv(fd, chunk, sizeof(chunk), 0);
+      ::close(fd);
+    });
+    // No sleep: some rounds drain before the client connects, some
+    // mid-request — both must be clean.
+    server->Drain();
+    server.reset();
+    client.join();
+  }
+}
+
+}  // namespace
+}  // namespace fairhms

@@ -1,0 +1,39 @@
+// Negative-compilation fixture: this file MUST NOT compile under
+// clang -Werror=thread-safety. It reads and writes a FAIRHMS_GUARDED_BY
+// member without holding its mutex — exactly the mistake the annotations
+// in src/ exist to reject. The CTest registered in
+// tests/negative/CMakeLists.txt runs clang -fsyntax-only over this file
+// and passes only when the compiler emits the "requires holding mutex"
+// diagnostic; if the analysis ever stops firing (macros accidentally
+// defined away under clang, a broken wrapper, a toolchain regression),
+// that test fails and CI goes red.
+//
+// This file is never added to any build target.
+
+#include "common/thread_annotations.h"
+
+namespace fairhms {
+
+class Counter {
+ public:
+  void Increment() FAIRHMS_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    ++value_;
+  }
+
+  // BUG (deliberate): touches value_ without mu_. The thread-safety
+  // analysis must reject this function.
+  int UnguardedRead() const { return value_; }
+
+ private:
+  mutable Mutex mu_;
+  int value_ FAIRHMS_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace fairhms
+
+int main() {
+  fairhms::Counter counter;
+  counter.Increment();
+  return counter.UnguardedRead();
+}

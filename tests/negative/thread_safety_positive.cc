@@ -1,0 +1,37 @@
+// Positive control for the negative-compilation check: the same shape as
+// thread_safety_negative.cc with the locking done right, so it must
+// compile cleanly under every supported compiler — including
+// clang -Werror=thread-safety. If this control ever fails, the negative
+// test's failure proves nothing (the harness, include paths or wrappers
+// are broken, not the analysis), which is why CI runs both.
+//
+// This file is never added to any build target.
+
+#include "common/thread_annotations.h"
+
+namespace fairhms {
+
+class Counter {
+ public:
+  void Increment() FAIRHMS_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    ++value_;
+  }
+
+  int GuardedRead() const FAIRHMS_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return value_;
+  }
+
+ private:
+  mutable Mutex mu_;
+  int value_ FAIRHMS_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace fairhms
+
+int main() {
+  fairhms::Counter counter;
+  counter.Increment();
+  return counter.GuardedRead();
+}

@@ -220,13 +220,26 @@ int RunClient(const cli::Flags& flags) {
 
   // Reader: one response line per request line, in server completion
   // order. Done when the input is exhausted and every sent line has been
-  // answered.
+  // answered. The recv is guarded by a short poll so the exit condition is
+  // re-checked periodically: the final response can arrive and be consumed
+  // *before* the writer thread gets scheduled to store input_done, and a
+  // bare blocking recv taken in that window would sleep forever — the
+  // server never closes the connection from its side, and the client must
+  // not half-close first (the server reads EOF as "client gone" and
+  // cancels still-queued work).
   uint64_t received = 0;
   bool any_failed = false;
   bool disconnected = false;
   std::string buffer;
   char chunk[65536];
   while (!(input_done.load() && received >= sent.load())) {
+    pollfd pfd{fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 50);
+    if (ready < 0 && errno != EINTR) {
+      disconnected = true;
+      break;
+    }
+    if (ready <= 0) continue;  // Timeout or EINTR: re-check the condition.
     const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
     if (n < 0 && errno == EINTR) continue;
     if (n <= 0) {
