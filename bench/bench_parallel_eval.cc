@@ -22,6 +22,7 @@
 
 #include "bench/bench_util.h"
 #include "common/random.h"
+#include "common/simd.h"
 #include "common/stopwatch.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
@@ -99,9 +100,11 @@ int Run(int argc, char** argv) {
 
   std::fprintf(stdout,
                "# bench=parallel_eval n=%zu dim=%d net=%zu k=%d cand=%zu "
-               "reps=%d sweep_iters=%d seed=%llu hardware_threads=%d\n",
+               "reps=%d sweep_iters=%d seed=%llu hardware_threads=%d "
+               "simd=%s\n",
                n, dim, net_size, k, cand_rows.size(), reps, sweep_iters,
-               static_cast<unsigned long long>(seed), HardwareThreads());
+               static_cast<unsigned long long>(seed), HardwareThreads(),
+               simd::DispatchLevelName(simd::ActiveLevel()));
   std::fprintf(stdout, "op,threads,ms,checksum\n");
 
   std::vector<OpResult> results;

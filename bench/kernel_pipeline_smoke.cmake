@@ -1,0 +1,29 @@
+# CTest smoke for the kernel-speedup pipeline: run bench_kernel on a tiny
+# grid, feed its CSV through bench_to_json, and require the JSON report to
+# appear. The checksum gate inside bench_to_json is a legacy-vs-scalar-vs-
+# SIMD bit-identity check; the speedup gate is left at 0.0 here (tiny sizes
+# say nothing about throughput — the CI bench-kernel job gates at full
+# size). Expects -DBENCH=..., -DEMIT=..., -DOUT_DIR=... .
+
+execute_process(
+  COMMAND ${BENCH} --n=400 --dim=3 --net=600 --k=6 --cand=100
+          --reps=1 --sweep_iters=2
+  OUTPUT_FILE ${OUT_DIR}/bench_kernel_smoke.csv
+  RESULT_VARIABLE bench_rc)
+if(NOT bench_rc EQUAL 0)
+  message(FATAL_ERROR "bench_kernel failed (rc=${bench_rc})")
+endif()
+
+execute_process(
+  COMMAND ${EMIT} --in=${OUT_DIR}/bench_kernel_smoke.csv
+          --out=${OUT_DIR}/BENCH_kernel_smoke.json
+          --min_speedup=mhr_sweep:3:0.0,cache_fill:3:0.0
+  RESULT_VARIABLE emit_rc)
+if(NOT emit_rc EQUAL 0)
+  message(FATAL_ERROR "bench_to_json failed (rc=${emit_rc}); a non-zero exit "
+          "here means the legacy/scalar/SIMD checksums diverged")
+endif()
+
+if(NOT EXISTS ${OUT_DIR}/BENCH_kernel_smoke.json)
+  message(FATAL_ERROR "bench_to_json exited 0 but wrote no JSON report")
+endif()

@@ -394,9 +394,11 @@ std::string RenderListBody(const ListResponse& r) {
 std::string RenderStatsBody(const StatsResponse& r) {
   std::string out = StrFormat(
       "\"op\": \"stats\", \"uptime_ms\": %.3f, \"served\": %llu, "
-      "\"failed\": %llu, \"qps\": %.3f, \"datasets\": [",
+      "\"failed\": %llu, \"qps\": %.3f, "
+      "\"simd_level\": \"%s\", \"simd_mode\": \"%s\", \"datasets\": [",
       r.uptime_ms, static_cast<unsigned long long>(r.served),
-      static_cast<unsigned long long>(r.failed), r.qps);
+      static_cast<unsigned long long>(r.failed), r.qps,
+      JsonEscape(r.simd_level).c_str(), JsonEscape(r.simd_mode).c_str());
   for (size_t i = 0; i < r.datasets.size(); ++i) {
     const StatsResponse::DatasetStats& d = r.datasets[i];
     out += StrFormat(

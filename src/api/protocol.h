@@ -287,6 +287,11 @@ struct StatsResponse {
   uint64_t failed = 0;
   double uptime_ms = 0.0;
   double qps = 0.0;
+  /// Active SIMD dispatch level ("scalar", "sse2", "avx2", "neon") and
+  /// requested mode ("auto", "off") of the kernel layer (common/simd.h).
+  /// Host-dependent: golden tests scrub both.
+  std::string simd_level;
+  std::string simd_mode;
   std::vector<OpStats> ops;  ///< Ops with a nonzero count only.
 };
 

@@ -4,6 +4,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/simd.h"
 #include "common/stopwatch.h"
 #include "common/string_util.h"
 #include "core/evaluate.h"
@@ -512,6 +513,8 @@ void ProtocolService::ExecuteStats(StatsResponse* out) {
   out->failed = metrics.failed;
   out->uptime_ms = metrics.uptime_ms;
   out->qps = metrics.qps;
+  out->simd_level = simd::DispatchLevelName(simd::ActiveLevel());
+  out->simd_mode = simd::SimdModeName(simd::Mode());
   for (int i = 0; i < kNumProtocolOps; ++i) {
     const OpMetrics::OpSnapshot& op = metrics.ops[static_cast<size_t>(i)];
     if (op.count == 0) continue;

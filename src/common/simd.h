@@ -1,0 +1,389 @@
+// Vectorized happiness kernels with runtime CPU dispatch.
+//
+// This is the data-parallel floor of the evaluation stack: a
+// structure-of-arrays block type (`ColumnBlock`) plus flat-range kernels
+// over it (dot/max/min reductions, truncated-gain sums, Pareto-dominance
+// tests). Every kernel has a scalar reference implementation and, where the
+// build targets support it, SSE2 / AVX2 / NEON implementations selected
+// once at startup by CPU detection (`DispatchLevel`).
+//
+// Bit-identity contract
+// ---------------------
+// All implementations of a kernel produce *bitwise identical* results on
+// the same inputs. This is what lets the determinism, warm-vs-cold and
+// serve-replay suites pass regardless of the host CPU or the
+// `FAIRHMS_SIMD` setting. It is achieved by construction, not tolerance:
+//
+//  * Per-element kernels vectorize across independent outputs (one net
+//    direction per SIMD lane); each lane evaluates the exact scalar
+//    expression chain, so lane width cannot change results.
+//  * Dot products accumulate over dimensions sequentially per lane —
+//    the same chain as `Dot()` in geom/vec.h.
+//  * min/max reductions are order-independent for the value domain
+//    (finite, non-NaN, and sums of non-negative products are never -0.0).
+//  * Sum reductions (`TruncGain*`, `TruncSum`) use one fixed reduction
+//    order on every path: four virtual accumulator lanes striped
+//    j % 4, combined as (p0 + p1) + (p2 + p3), with the tail (n % 4)
+//    added sequentially afterwards. The scalar path simulates the same
+//    four lanes.
+//  * No FMA, ever — fused multiply-add rounds differently than mul+add.
+//    The kernel translation units are compiled with -ffp-contract=off so
+//    the compiler cannot contract on its own.
+//
+// Input contract: coordinates and net directions are finite and
+// non-negative (Dataset::Validate and UtilityNet enforce this); `best`
+// denominators are >= 0. Kernels do not handle NaN.
+//
+// Threading: kernels are pure functions over their arguments. Dispatch
+// state is a single atomic pointer; `SetMode()` may be called at any time
+// (results are bit-identical either way), though the intended use is once
+// at startup. The only lock in this layer guards the scratch-buffer pool
+// (an annotated Mutex in simd.cc); everything else is lock-free.
+
+#ifndef FAIRHMS_COMMON_SIMD_H_
+#define FAIRHMS_COMMON_SIMD_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/statusor.h"
+
+namespace fairhms {
+namespace simd {
+
+// ---------------------------------------------------------------------------
+// Layout constants.
+
+/// Bump when the SoA layout or kernel reduction orders change in a way that
+/// invalidates cached evaluator artifacts.
+constexpr int kLayoutVersion = 1;
+
+/// Column padding granularity, in rows (64 bytes of doubles).
+constexpr size_t kPadRows = 8;
+
+/// Alignment of every column allocation, in bytes (one cache line).
+constexpr size_t kAlign = 64;
+
+/// Direction-tile width for L1 blocking. One tile of a d=8 net is
+/// 8 * kDirTile * 8B = 32 KiB of columns at most; the common d=6 case plus
+/// a best[] tile and an output tile stays L1-resident while candidate rows
+/// stream through. Callers partition [0, m) into kDirTile chunks; kernels
+/// accept arbitrary flat ranges.
+constexpr size_t kDirTile = 512;
+
+/// Virtual accumulator lanes of the canonical sum-reduction order. Fixed
+/// across all dispatch levels (AVX2 uses exactly 4 hardware lanes; SSE2 and
+/// NEON pair two 2-lane accumulators; scalar simulates all four).
+constexpr size_t kSumLanes = 4;
+
+// ---------------------------------------------------------------------------
+// Aligned storage.
+
+/// Minimal C++17 aligned allocator (std::allocator ignores
+/// over-aligned-on-purpose requests pre-C++17 semantics we don't want to
+/// rely on across toolchains).
+template <typename T, size_t Align = kAlign>
+struct AlignedAllocator {
+  using value_type = T;
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  explicit AlignedAllocator(const AlignedAllocator<U, Align>&) noexcept {}
+  T* allocate(size_t n) {
+    if (n == 0) return nullptr;
+    void* p = ::operator new(n * sizeof(T), std::align_val_t(Align));
+    return static_cast<T*>(p);
+  }
+  void deallocate(T* p, size_t) noexcept {
+    ::operator delete(p, std::align_val_t(Align));
+  }
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Align>;
+  };
+};
+template <typename T, typename U, size_t A>
+bool operator==(const AlignedAllocator<T, A>&, const AlignedAllocator<U, A>&) {
+  return true;
+}
+template <typename T, typename U, size_t A>
+bool operator!=(const AlignedAllocator<T, A>&, const AlignedAllocator<U, A>&) {
+  return false;
+}
+
+using AlignedVector = std::vector<double, AlignedAllocator<double>>;
+
+// ---------------------------------------------------------------------------
+// Pooled scratch storage.
+
+/// Cache-line-aligned double buffer for bulk matrices whose every cell the
+/// fill kernels overwrite (e.g. the candidate-happiness cache). Two
+/// deliberate differences from AlignedVector:
+///
+///  * ResizeUninitialized() does not zero-fill. Zeroing a 100+ MB matrix
+///    that the very next kernel pass overwrites doubles the write traffic
+///    for nothing.
+///  * Freed allocations are recycled through a small, bounded,
+///    process-wide pool (see simd.cc), so rebuilding an evaluator does not
+///    re-pay the page-fault cost of a buffer an evicted evaluator just
+///    released — first-touch faults on a fresh 160 MB allocation cost more
+///    than the fill kernels themselves.
+///
+/// Callers must write every cell they later read; reading an
+/// uninitialized cell is a bug this class makes possible, which is why it
+/// is not a general-purpose container.
+class ScratchBuffer {
+ public:
+  ScratchBuffer() = default;
+  ~ScratchBuffer() { Release(); }
+  ScratchBuffer(ScratchBuffer&& other) noexcept
+      : data_(other.data_), size_(other.size_), cap_(other.cap_) {
+    other.data_ = nullptr;
+    other.size_ = 0;
+    other.cap_ = 0;
+  }
+  ScratchBuffer& operator=(ScratchBuffer&& other) noexcept {
+    if (this != &other) {
+      Release();
+      data_ = other.data_;
+      size_ = other.size_;
+      cap_ = other.cap_;
+      other.data_ = nullptr;
+      other.size_ = 0;
+      other.cap_ = 0;
+    }
+    return *this;
+  }
+  ScratchBuffer(const ScratchBuffer&) = delete;
+  ScratchBuffer& operator=(const ScratchBuffer&) = delete;
+
+  /// Sizes the buffer to n doubles with UNINITIALIZED contents (both on
+  /// growth and on reuse of the current allocation). Reuses the current or
+  /// a pooled allocation when one is large enough.
+  void ResizeUninitialized(size_t n);
+
+  /// Returns the allocation to the pool (or frees it when the pool is
+  /// full) and empties the buffer.
+  void Release();
+
+  double* data() { return data_; }
+  const double* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  double& operator[](size_t i) { return data_[i]; }
+  const double& operator[](size_t i) const { return data_[i]; }
+
+ private:
+  double* data_ = nullptr;
+  size_t size_ = 0;  // Doubles, as sized by the caller.
+  size_t cap_ = 0;   // Doubles, as allocated (>= size_).
+};
+
+/// Bytes currently held idle in the scratch pool. Idle scratch is bounded
+/// (kScratchPoolMaxBytes in simd.cc) and sits outside the artifact-cache
+/// byte accounting, which only tracks live evaluator state.
+size_t ScratchPoolIdleBytes();
+
+/// Frees every idle pooled allocation. Memory-pressure and test hook.
+void ScratchPoolTrim();
+
+// ---------------------------------------------------------------------------
+// ColumnBlock: a dimension-major (structure-of-arrays) coordinate block.
+
+/// `dim` cache-line-aligned columns of `rows` doubles each, padded with
+/// zeros to a multiple of kPadRows. Kernels read columns via `cols()`, an
+/// array of `dim` pointers. Padding exists for allocation/alignment slack
+/// only — kernels handle tails explicitly and never read padded lanes for
+/// semantics (a zero pad row would otherwise fake a dominance witness).
+class ColumnBlock {
+ public:
+  ColumnBlock() = default;
+  explicit ColumnBlock(int dim) : dim_(dim), cols_(static_cast<size_t>(dim)) {
+    RefreshPtrs();
+  }
+
+  int dim() const { return dim_; }
+  size_t rows() const { return rows_; }
+  bool empty() const { return rows_ == 0; }
+
+  /// Logical padded extent: rows() rounded up to kPadRows; entries in
+  /// [rows(), padded_rows()) are zero.
+  size_t padded_rows() const { return RoundUp(rows_); }
+
+  void Clear() {
+    rows_ = 0;
+    for (auto& c : cols_) c.clear();
+    RefreshPtrs();
+  }
+
+  void Reserve(size_t rows) {
+    const size_t cap = RoundUp(rows);
+    for (auto& c : cols_) c.reserve(cap);
+  }
+
+  /// Appends one row (p[0..dim)). Amortized O(dim).
+  void Append(const double* p) {
+    EnsureCapacity(rows_ + 1);
+    for (int j = 0; j < dim_; ++j) cols_[static_cast<size_t>(j)][rows_] = p[j];
+    ++rows_;
+  }
+
+  /// Sizes the block to `rows` rows (zero-filled, padded); fill columns via
+  /// mutable_col(). Used by bulk gather paths.
+  void ResizeRows(size_t rows) {
+    const size_t cap = RoundUp(rows);
+    for (auto& c : cols_) c.assign(cap, 0.0);
+    rows_ = rows;
+    RefreshPtrs();
+  }
+
+  const double* col(int j) const { return cols_[static_cast<size_t>(j)].data(); }
+  double* mutable_col(int j) { return cols_[static_cast<size_t>(j)].data(); }
+
+  /// Array of dim() column pointers, stable until the next mutation.
+  const double* const* cols() const { return ptrs_.data(); }
+
+  size_t bytes() const {
+    size_t b = ptrs_.capacity() * sizeof(const double*);
+    for (const auto& c : cols_) b += c.capacity() * sizeof(double);
+    return b;
+  }
+
+ private:
+  static size_t RoundUp(size_t n) {
+    return (n + kPadRows - 1) / kPadRows * kPadRows;
+  }
+
+  void EnsureCapacity(size_t rows) {
+    const size_t need = RoundUp(rows);
+    if (!cols_.empty() && cols_[0].size() >= need) return;
+    size_t cap = cols_.empty() ? need : cols_[0].size();
+    if (cap < kPadRows) cap = kPadRows;
+    while (cap < need) cap *= 2;
+    for (auto& c : cols_) c.resize(cap, 0.0);
+    RefreshPtrs();
+  }
+
+  void RefreshPtrs() {
+    ptrs_.resize(static_cast<size_t>(dim_));
+    for (int j = 0; j < dim_; ++j) {
+      ptrs_[static_cast<size_t>(j)] = cols_[static_cast<size_t>(j)].data();
+    }
+  }
+
+  int dim_ = 0;
+  size_t rows_ = 0;
+  std::vector<AlignedVector> cols_;
+  std::vector<const double*> ptrs_;
+};
+
+// ---------------------------------------------------------------------------
+// Runtime dispatch.
+
+enum class DispatchLevel { kScalar = 0, kSse2 = 1, kAvx2 = 2, kNeon = 3 };
+enum class SimdMode { kAuto = 0, kOff = 1 };
+
+/// Parses "auto" / "off" (exact, lowercase). Any other value is refused.
+StatusOr<SimdMode> ParseSimdMode(const std::string& text);
+
+/// Validates FAIRHMS_SIMD (unset/empty counts as "auto") without changing
+/// state. Tools call this early to refuse bad environments with a clean
+/// error; if they don't, lazy initialization warns once on stderr and runs
+/// in auto mode.
+Status ValidateSimdEnv();
+
+/// Pins the dispatch mode process-wide. kOff forces the scalar reference
+/// path. Results are bit-identical in either mode.
+void SetMode(SimdMode mode);
+SimdMode Mode();
+
+/// Best level the host CPU supports (independent of Mode()).
+DispatchLevel DetectedLevel();
+
+/// Level actually used by kernel calls right now (kScalar when Mode() is
+/// kOff).
+DispatchLevel ActiveLevel();
+
+const char* DispatchLevelName(DispatchLevel level);
+const char* SimdModeName(SimdMode mode);
+
+/// Cache-key component: layout version and active dispatch level. Cached
+/// evaluator artifacts are keyed on this so a layout change or mode flip
+/// can never serve stale precomputes (results are bit-identical across
+/// levels, so this is conservative, not load-bearing).
+uint32_t LayoutKey();
+
+// ---------------------------------------------------------------------------
+// Kernels. All take flat ranges; callers tile with kDirTile where blocking
+// matters. `cols` always has `d` column pointers; direction-indexed kernels
+// read cols[dim][j], row-indexed kernels read cols[dim][row].
+
+/// best[j] = max(best[j], <u_j, p_r>) for every packed row r, j in [j0, j1).
+/// `net` columns are direction-major (net.rows() == direction count);
+/// `pts` is a dense row-major block of nrows * d coordinates.
+void NetBestRange(const double* const* net, size_t j0, size_t j1,
+                  const double* pts, size_t nrows, size_t d, double* best);
+
+/// out[j] = best[j] <= eps ? 1.0 : min(1.0, <u_j, p> / best[j]),
+/// for j in [j0, j1).
+void HappinessRange(const double* const* net, size_t j0, size_t j1,
+                    const double* p, size_t d, const double* best, double eps,
+                    double* out);
+
+/// min over j in [j0, j1) of hr(u_j, pts) where
+/// hr = best[j] <= eps ? 1.0 : min(1.0, (max_r <u_j, p_r>) / best[j]).
+/// Requires j1 - j0 <= kDirTile (callers tile). Bitwise equal to the
+/// per-row-division formulation: division by a positive constant is
+/// monotone and max selects an element, so max_r min(1, s_r / b) ==
+/// min(1, (max_r s_r) / b) exactly.
+double MhrRange(const double* const* net, size_t j0, size_t j1,
+                const double* best, double eps, const double* pts,
+                size_t nrows, size_t d);
+
+/// cur[j] = max(cur[j], happiness_j(p)) for j in [j0, j1) (uncached Add).
+void AddHappinessMax(const double* const* net, size_t j0, size_t j1,
+                     const double* p, size_t d, const double* best, double eps,
+                     double* cur);
+
+/// dst[i] = max(dst[i], src[i]) for i in [0, n).
+void MaxAccumulate(const double* src, double* dst, size_t n);
+
+/// Canonical-order sum of min(max(cur[j], hrow[j]), tau) - min(cur[j], tau).
+double TruncGainCached(const double* hrow, const double* cur, size_t n,
+                       double tau);
+
+/// Same gain, computing happiness on the fly (no scratch, canonical order).
+double TruncGainEval(const double* const* net, size_t m, const double* p,
+                     size_t d, const double* best, double eps,
+                     const double* cur, double tau);
+
+/// Canonical-order sum of min(cur[j], tau).
+double TruncSum(const double* cur, size_t n, double tau);
+
+/// Exact minimum of x[0..n); 1.0 when n == 0 (mhr convention).
+double MinReduce(const double* x, size_t n);
+
+/// out[i] = sum over dims of cols[dim][i], accumulated in dimension order
+/// per row — the exact SumCoords() chain.
+void RowSums(const double* const* cols, size_t nrows, size_t d, double* out);
+
+/// True iff some row r of the block strictly Pareto-dominates p:
+/// cols[*][r] >= p[*] everywhere and > somewhere.
+bool AnyDominates(const double* const* cols, size_t nrows, size_t d,
+                  const double* p);
+
+/// True iff some row r weakly dominates p: cols[*][r] >= p[*] everywhere.
+bool AnyWeaklyDominates(const double* const* cols, size_t nrows, size_t d,
+                        const double* p);
+
+/// Min and max of x[0..n). No-op (outputs untouched) when n == 0.
+void ColMinMax(const double* x, size_t n, double* mn, double* mx);
+
+}  // namespace simd
+}  // namespace fairhms
+
+#endif  // FAIRHMS_COMMON_SIMD_H_

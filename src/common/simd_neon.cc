@@ -1,0 +1,312 @@
+// NEON (aarch64) kernel table. float64x2_t is baseline on aarch64, so no
+// special compile flags are needed; on other targets this TU collapses to
+// a nullptr stub. Two hardware lanes pair into the canonical four-virtual-
+// lane sum order exactly like the SSE2 table (see simd.cc). Compiled with
+// -ffp-contract=off; vfmaq is never used.
+
+#include "common/simd_kernels.h"
+
+#if defined(__aarch64__)
+
+#include <arm_neon.h>
+
+namespace fairhms {
+namespace simd {
+namespace internal {
+namespace {
+
+inline float64x2_t DotPair(const double* const* net, size_t j,
+                           const double* p, size_t d) {
+  float64x2_t acc = vdupq_n_f64(0.0);
+  for (size_t k = 0; k < d; ++k) {
+    acc = vaddq_f64(acc, vmulq_f64(vdupq_n_f64(p[k]), vld1q_f64(net[k] + j)));
+  }
+  return acc;
+}
+
+inline float64x2_t Select(uint64x2_t mask, float64x2_t a, float64x2_t b) {
+  return vbslq_f64(mask, a, b);
+}
+
+inline float64x2_t HappinessPair(float64x2_t s, float64x2_t b,
+                                 float64x2_t epsv, float64x2_t one) {
+  const uint64x2_t active = vcgtq_f64(b, epsv);
+  const float64x2_t safe = Select(active, b, one);
+  const float64x2_t q = vminq_f64(vdivq_f64(s, safe), one);
+  return Select(active, q, one);
+}
+
+inline bool AnyLane(uint64x2_t m) { return vmaxvq_u32(vreinterpretq_u32_u64(m)) != 0; }
+inline bool NoLane(uint64x2_t m) { return vmaxvq_u32(vreinterpretq_u32_u64(m)) == 0; }
+
+void NetBestNeon(const double* const* net, size_t j0, size_t j1,
+                 const double* pts, size_t nrows, size_t d, double* best) {
+  for (size_t r = 0; r < nrows; ++r) {
+    const double* p = pts + r * d;
+    size_t j = j0;
+    for (; j + 2 <= j1; j += 2) {
+      const float64x2_t s = DotPair(net, j, p, d);
+      const float64x2_t b = vld1q_f64(best + j);
+      vst1q_f64(best + j, vmaxq_f64(b, s));
+    }
+    for (; j < j1; ++j) {
+      const double s = DotDir(net, j, p, d);
+      if (s > best[j]) best[j] = s;
+    }
+  }
+}
+
+void HappinessRangeNeon(const double* const* net, size_t j0, size_t j1,
+                        const double* p, size_t d, const double* best,
+                        double eps, double* out) {
+  const float64x2_t one = vdupq_n_f64(1.0);
+  const float64x2_t epsv = vdupq_n_f64(eps);
+  size_t j = j0;
+  for (; j + 2 <= j1; j += 2) {
+    const float64x2_t s = DotPair(net, j, p, d);
+    const float64x2_t b = vld1q_f64(best + j);
+    vst1q_f64(out + j, HappinessPair(s, b, epsv, one));
+  }
+  for (; j < j1; ++j) {
+    out[j] = HappinessOf(DotDir(net, j, p, d), best[j], eps);
+  }
+}
+
+double MhrRangeNeon(const double* const* net, size_t j0, size_t j1,
+                    const double* best, double eps, const double* pts,
+                    size_t nrows, size_t d) {
+  alignas(kAlign) double smax[kDirTile];
+  const size_t len = j1 - j0;
+  for (size_t jj = 0; jj < len; ++jj) smax[jj] = 0.0;
+  for (size_t r = 0; r < nrows; ++r) {
+    const double* p = pts + r * d;
+    size_t jj = 0;
+    for (; jj + 2 <= len; jj += 2) {
+      const float64x2_t s = DotPair(net, j0 + jj, p, d);
+      const float64x2_t m = vld1q_f64(smax + jj);
+      vst1q_f64(smax + jj, vmaxq_f64(m, s));
+    }
+    for (; jj < len; ++jj) {
+      const double s = DotDir(net, j0 + jj, p, d);
+      if (s > smax[jj]) smax[jj] = s;
+    }
+  }
+  const float64x2_t one = vdupq_n_f64(1.0);
+  const float64x2_t epsv = vdupq_n_f64(eps);
+  float64x2_t mnv = one;
+  size_t jj = 0;
+  for (; jj + 2 <= len; jj += 2) {
+    const float64x2_t h =
+        HappinessPair(vld1q_f64(smax + jj), vld1q_f64(best + j0 + jj), epsv,
+                      one);
+    mnv = vminq_f64(mnv, h);
+  }
+  double mn = std::min(vgetq_lane_f64(mnv, 0), vgetq_lane_f64(mnv, 1));
+  for (; jj < len; ++jj) {
+    mn = std::min(mn, HappinessOf(smax[jj], best[j0 + jj], eps));
+  }
+  return mn;
+}
+
+void AddHappinessMaxNeon(const double* const* net, size_t j0, size_t j1,
+                         const double* p, size_t d, const double* best,
+                         double eps, double* cur) {
+  const float64x2_t one = vdupq_n_f64(1.0);
+  const float64x2_t epsv = vdupq_n_f64(eps);
+  size_t j = j0;
+  for (; j + 2 <= j1; j += 2) {
+    const float64x2_t h =
+        HappinessPair(DotPair(net, j, p, d), vld1q_f64(best + j), epsv, one);
+    const float64x2_t c = vld1q_f64(cur + j);
+    vst1q_f64(cur + j, vmaxq_f64(c, h));
+  }
+  for (; j < j1; ++j) {
+    const double h = HappinessOf(DotDir(net, j, p, d), best[j], eps);
+    if (h > cur[j]) cur[j] = h;
+  }
+}
+
+void MaxAccumulateNeon(const double* src, double* dst, size_t n) {
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    vst1q_f64(dst + i, vmaxq_f64(vld1q_f64(dst + i), vld1q_f64(src + i)));
+  }
+  for (; i < n; ++i) {
+    if (src[i] > dst[i]) dst[i] = src[i];
+  }
+}
+
+inline float64x2_t TruncGainPairCached(const double* hrow, const double* cur,
+                                       size_t j, float64x2_t tauv) {
+  const float64x2_t c = vld1q_f64(cur + j);
+  const float64x2_t h = vld1q_f64(hrow + j);
+  const float64x2_t before = vminq_f64(c, tauv);
+  const float64x2_t after = vminq_f64(vmaxq_f64(c, h), tauv);
+  return vsubq_f64(after, before);
+}
+
+double TruncGainCachedNeon(const double* hrow, const double* cur, size_t n,
+                           double tau) {
+  const float64x2_t tauv = vdupq_n_f64(tau);
+  float64x2_t acc01 = vdupq_n_f64(0.0);
+  float64x2_t acc23 = vdupq_n_f64(0.0);
+  const size_t n4 = n & ~static_cast<size_t>(3);
+  for (size_t j = 0; j < n4; j += 4) {
+    acc01 = vaddq_f64(acc01, TruncGainPairCached(hrow, cur, j, tauv));
+    acc23 = vaddq_f64(acc23, TruncGainPairCached(hrow, cur, j + 2, tauv));
+  }
+  double total = (vgetq_lane_f64(acc01, 0) + vgetq_lane_f64(acc01, 1)) +
+                 (vgetq_lane_f64(acc23, 0) + vgetq_lane_f64(acc23, 1));
+  for (size_t j = n4; j < n; ++j) {
+    total += TruncGainTermCached(hrow, cur, j, tau);
+  }
+  return total;
+}
+
+inline float64x2_t TruncGainPairEval(const double* const* net,
+                                     const double* p, size_t d,
+                                     const double* best, float64x2_t epsv,
+                                     float64x2_t one, const double* cur,
+                                     size_t j, float64x2_t tauv) {
+  const float64x2_t c = vld1q_f64(cur + j);
+  const float64x2_t h =
+      HappinessPair(DotPair(net, j, p, d), vld1q_f64(best + j), epsv, one);
+  const float64x2_t before = vminq_f64(c, tauv);
+  const float64x2_t after = vminq_f64(vmaxq_f64(c, h), tauv);
+  return vsubq_f64(after, before);
+}
+
+double TruncGainEvalNeon(const double* const* net, size_t m, const double* p,
+                         size_t d, const double* best, double eps,
+                         const double* cur, double tau) {
+  const float64x2_t tauv = vdupq_n_f64(tau);
+  const float64x2_t one = vdupq_n_f64(1.0);
+  const float64x2_t epsv = vdupq_n_f64(eps);
+  float64x2_t acc01 = vdupq_n_f64(0.0);
+  float64x2_t acc23 = vdupq_n_f64(0.0);
+  const size_t m4 = m & ~static_cast<size_t>(3);
+  for (size_t j = 0; j < m4; j += 4) {
+    acc01 = vaddq_f64(acc01,
+                      TruncGainPairEval(net, p, d, best, epsv, one, cur, j,
+                                        tauv));
+    acc23 = vaddq_f64(acc23,
+                      TruncGainPairEval(net, p, d, best, epsv, one, cur,
+                                        j + 2, tauv));
+  }
+  double total = (vgetq_lane_f64(acc01, 0) + vgetq_lane_f64(acc01, 1)) +
+                 (vgetq_lane_f64(acc23, 0) + vgetq_lane_f64(acc23, 1));
+  for (size_t j = m4; j < m; ++j) {
+    total += TruncGainTermEval(net, p, d, best, eps, cur, j, tau);
+  }
+  return total;
+}
+
+double TruncSumNeon(const double* cur, size_t n, double tau) {
+  const float64x2_t tauv = vdupq_n_f64(tau);
+  float64x2_t acc01 = vdupq_n_f64(0.0);
+  float64x2_t acc23 = vdupq_n_f64(0.0);
+  const size_t n4 = n & ~static_cast<size_t>(3);
+  for (size_t j = 0; j < n4; j += 4) {
+    acc01 = vaddq_f64(acc01, vminq_f64(vld1q_f64(cur + j), tauv));
+    acc23 = vaddq_f64(acc23, vminq_f64(vld1q_f64(cur + j + 2), tauv));
+  }
+  double total = (vgetq_lane_f64(acc01, 0) + vgetq_lane_f64(acc01, 1)) +
+                 (vgetq_lane_f64(acc23, 0) + vgetq_lane_f64(acc23, 1));
+  for (size_t j = n4; j < n; ++j) total += std::min(cur[j], tau);
+  return total;
+}
+
+double MinReduceNeon(const double* x, size_t n) {
+  float64x2_t mnv = vdupq_n_f64(1.0);
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) mnv = vminq_f64(mnv, vld1q_f64(x + i));
+  double mn = std::min(vgetq_lane_f64(mnv, 0), vgetq_lane_f64(mnv, 1));
+  for (; i < n; ++i) mn = std::min(mn, x[i]);
+  return mn;
+}
+
+void RowSumsNeon(const double* const* cols, size_t nrows, size_t d,
+                 double* out) {
+  size_t i = 0;
+  for (; i + 2 <= nrows; i += 2) {
+    float64x2_t acc = vdupq_n_f64(0.0);
+    for (size_t k = 0; k < d; ++k) {
+      acc = vaddq_f64(acc, vld1q_f64(cols[k] + i));
+    }
+    vst1q_f64(out + i, acc);
+  }
+  for (; i < nrows; ++i) {
+    double s = 0.0;
+    for (size_t k = 0; k < d; ++k) s += cols[k][i];
+    out[i] = s;
+  }
+}
+
+bool AnyDominatesNeon(const double* const* cols, size_t nrows, size_t d,
+                      const double* p) {
+  size_t r = 0;
+  for (; r + 2 <= nrows; r += 2) {
+    uint64x2_t ge = vdupq_n_u64(~0ULL);
+    uint64x2_t gt = vdupq_n_u64(0);
+    for (size_t k = 0; k < d; ++k) {
+      const float64x2_t v = vld1q_f64(cols[k] + r);
+      const float64x2_t pk = vdupq_n_f64(p[k]);
+      ge = vandq_u64(ge, vcgeq_f64(v, pk));
+      gt = vorrq_u64(gt, vcgtq_f64(v, pk));
+      if (NoLane(ge)) break;
+    }
+    if (AnyLane(vandq_u64(ge, gt))) return true;
+  }
+  for (; r < nrows; ++r) {
+    if (DominatesRow(cols, r, d, p)) return true;
+  }
+  return false;
+}
+
+bool AnyWeakDominatesNeon(const double* const* cols, size_t nrows, size_t d,
+                          const double* p) {
+  size_t r = 0;
+  for (; r + 2 <= nrows; r += 2) {
+    uint64x2_t ge = vdupq_n_u64(~0ULL);
+    for (size_t k = 0; k < d; ++k) {
+      ge = vandq_u64(ge, vcgeq_f64(vld1q_f64(cols[k] + r),
+                                   vdupq_n_f64(p[k])));
+      if (NoLane(ge)) break;
+    }
+    if (AnyLane(ge)) return true;
+  }
+  for (; r < nrows; ++r) {
+    if (WeaklyDominatesRow(cols, r, d, p)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+const KernelTable* NeonKernels() {
+  static const KernelTable table = {
+      DispatchLevel::kNeon, NetBestNeon,        HappinessRangeNeon,
+      MhrRangeNeon,         AddHappinessMaxNeon, MaxAccumulateNeon,
+      TruncGainCachedNeon,  TruncGainEvalNeon,   TruncSumNeon,
+      MinReduceNeon,        RowSumsNeon,         AnyDominatesNeon,
+      AnyWeakDominatesNeon,
+      ColMinMaxScalar,  // ±0.0 tie order; see simd.cc.
+  };
+  return &table;
+}
+
+}  // namespace internal
+}  // namespace simd
+}  // namespace fairhms
+
+#else  // !defined(__aarch64__)
+
+namespace fairhms {
+namespace simd {
+namespace internal {
+const KernelTable* NeonKernels() { return nullptr; }
+}  // namespace internal
+}  // namespace simd
+}  // namespace fairhms
+
+#endif

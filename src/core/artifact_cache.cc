@@ -5,6 +5,7 @@
 #include <tuple>
 #include <utility>
 
+#include "common/simd.h"
 #include "common/string_util.h"
 #include "skyline/skyline.h"
 
@@ -69,8 +70,9 @@ bool ArtifactCache::NetKey::operator<(const NetKey& o) const {
 }
 
 bool ArtifactCache::EvalKey::operator<(const EvalKey& o) const {
-  return std::tie(data, net, threads, db_rows, cache_rows) <
-         std::tie(o.data, o.net, o.threads, o.db_rows, o.cache_rows);
+  return std::tie(data, net, threads, layout, db_rows, cache_rows) <
+         std::tie(o.data, o.net, o.threads, o.layout, o.db_rows,
+                  o.cache_rows);
 }
 
 void ArtifactCache::SetArbiter(CacheArbiter* arbiter) {
@@ -110,7 +112,8 @@ std::shared_ptr<const NetEvaluator> ArtifactCache::Evaluator(
     const Dataset& data, std::shared_ptr<const UtilityNet> net,
     const std::vector<int>& db_rows, const std::vector<int>& cache_rows,
     int threads) {
-  EvalKey key{&data, net.get(), db_rows, cache_rows, threads};
+  EvalKey key{&data,      net.get(), db_rows,
+              cache_rows, threads,   simd::LayoutKey()};
   std::shared_ptr<const NetEvaluator> result;
   CacheArbiter* arbiter = nullptr;
   int64_t delta = 0;
@@ -145,10 +148,10 @@ std::shared_ptr<const NetEvaluator> ArtifactCache::Evaluator(
     auto eval = std::make_shared<NetEvaluator>(&data, net.get(), db_rows,
                                                threads);
     if (!cache_rows.empty()) eval->CacheCandidates(cache_rows);
-    // CandidateCacheBytes reports what CacheCandidates actually allocated
+    // ResidentBytes covers the denominators, the dimension-major net block,
+    // the packed db rows, and whatever CacheCandidates actually allocated
     // (it declines oversized pools), so the stats never overstate memory.
-    const uint64_t entry_bytes =
-        net->size() * sizeof(double) + eval->CandidateCacheBytes();
+    const uint64_t entry_bytes = eval->ResidentBytes();
     stats_.evaluators.bytes += entry_bytes;
     delta += static_cast<int64_t>(entry_bytes);
     std::shared_ptr<const NetEvaluator> stored = std::move(eval);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "common/simd.h"
 #include "common/thread_pool.h"
 #include "geom/dominance.h"
 #include "geom/vec.h"
@@ -21,22 +22,22 @@ struct WitnessLpResult {
 
 /// Solves the witness LP for `w` against S, or returns a non-optimal result
 /// when the witness is skippable (member of S, weakly dominated, or
-/// non-positive). Pure function of its arguments — safe to run per-witness
-/// in parallel.
+/// non-positive). `sol_block` is S packed dimension-major (the weak-
+/// dominance skip runs on the SIMD kernel layer; a member of S weakly
+/// dominates itself, so the membership check is subsumed). Pure function of
+/// its arguments — safe to run per-witness in parallel.
 WitnessLpResult SolveWitnessLp(const Dataset& data, int w,
                                const std::vector<int>& solution,
+                               const simd::ColumnBlock& sol_block,
                                bool want_utility) {
   WitnessLpResult out;
   const int d = data.dim();
   const double* pw = data.point(static_cast<size_t>(w));
   // Cheap skips: members of S and points weakly dominated by S have
   // regret 0 and can never be the (positive) maximum.
-  for (int s : solution) {
-    if (s == w ||
-        WeaklyDominates(data.point(static_cast<size_t>(s)), pw,
-                        static_cast<size_t>(d))) {
-      return out;
-    }
+  if (simd::AnyWeaklyDominates(sol_block.cols(), solution.size(),
+                               static_cast<size_t>(d), pw)) {
+    return out;
   }
   if (SumCoords(pw, static_cast<size_t>(d)) <= 0.0) return out;
 
@@ -107,10 +108,11 @@ RegretWitness MaxRegretWitnessLp(const Dataset& data,
   // witness order picks the same winner the all-serial loop does, and one
   // targeted re-solve recovers its utility (the LP is deterministic, so
   // the re-solve reproduces the identical optimum).
+  const simd::ColumnBlock sol_block = data.PackColumns(solution);
   std::vector<WitnessLpResult> results(db_rows.size());
   ParallelFor(threads, db_rows.size(), [&](size_t begin, size_t end) {
     for (size_t i = begin; i < end; ++i) {
-      results[i] = SolveWitnessLp(data, db_rows[i], solution,
+      results[i] = SolveWitnessLp(data, db_rows[i], solution, sol_block,
                                   /*want_utility=*/false);
     }
   });
@@ -121,9 +123,9 @@ RegretWitness MaxRegretWitnessLp(const Dataset& data,
     }
   }
   if (best.row >= 0) {
-    best.utility =
-        SolveWitnessLp(data, best.row, solution, /*want_utility=*/true)
-            .utility;
+    best.utility = SolveWitnessLp(data, best.row, solution, sol_block,
+                                  /*want_utility=*/true)
+                       .utility;
   }
   best.regret = std::clamp(best.regret, 0.0, 1.0);
   return best;
@@ -144,10 +146,11 @@ std::vector<double> AllWitnessRegretsLp(const Dataset& data,
     std::fill(regrets.begin(), regrets.end(), 1.0);
     return regrets;
   }
+  const simd::ColumnBlock sol_block = data.PackColumns(solution);
   ParallelFor(threads, witnesses.size(), [&](size_t begin, size_t end) {
     for (size_t i = begin; i < end; ++i) {
       const WitnessLpResult res = SolveWitnessLp(
-          data, witnesses[i], solution, /*want_utility=*/false);
+          data, witnesses[i], solution, sol_block, /*want_utility=*/false);
       if (res.optimal) regrets[i] = std::clamp(res.objective, 0.0, 1.0);
     }
   });

@@ -10,7 +10,11 @@
 namespace fairhms {
 
 namespace {
-constexpr double kDegenerate = 1e-12;
+
+constexpr size_t kTile = simd::kDirTile;
+
+size_t TileCount(size_t m) { return (m + kTile - 1) / kTile; }
+
 }  // namespace
 
 NetEvaluator::NetEvaluator(const Dataset* data, const UtilityNet* net,
@@ -18,20 +22,29 @@ NetEvaluator::NetEvaluator(const Dataset* data, const UtilityNet* net,
     : data_(data),
       net_(net),
       threads_(ResolveThreads(threads)),
-      db_rows_(std::move(db_rows)) {
+      db_rows_(std::move(db_rows)),
+      net_cols_(data->dim()) {
   assert(data_->dim() == net_->dim());
   const size_t m = net_->size();
   const size_t d = static_cast<size_t>(data_->dim());
+  // Dimension-major net block: column k holds attribute k of every
+  // direction, so a direction tile (d * kDirTile doubles) stays L1-resident
+  // while candidate rows stream past it.
+  net_cols_.Reserve(m);
+  for (size_t j = 0; j < m; ++j) net_cols_.Append(net_->vec(j));
+  db_pts_ = data_->PackRows(db_rows_);
   best_.assign(m, 0.0);
-  // Lanes own disjoint direction blocks; max over rows is exact and
-  // order-independent, so the fill is bit-identical for any lane count.
-  ParallelFor(threads_, m, [&](size_t j_begin, size_t j_end) {
-    for (int row : db_rows_) {
-      const double* p = data_->point(static_cast<size_t>(row));
-      for (size_t j = j_begin; j < j_end; ++j) {
-        const double s = Dot(net_->vec(j), p, d);
-        if (s > best_[j]) best_[j] = s;
-      }
+  // Lanes own disjoint direction tiles (tile boundaries are cache-line
+  // aligned in best_, so lanes never share a written line); within a tile
+  // every db row streams through the L1-resident columns. max over rows is
+  // exact and order-independent, so the fill is bit-identical for any lane
+  // count and any dispatch level.
+  ParallelFor(threads_, TileCount(m), [&](size_t t0, size_t t1) {
+    for (size_t t = t0; t < t1; ++t) {
+      const size_t j0 = t * kTile;
+      const size_t j1 = std::min(m, j0 + kTile);
+      simd::NetBestRange(net_cols_.cols(), j0, j1, db_pts_.data(),
+                         db_rows_.size(), d, best_.data());
     }
   });
 }
@@ -51,7 +64,10 @@ void NetEvaluator::PointHappinessRow(int row, double* out) const {
     std::copy(cached, cached + m, out);
     return;
   }
-  for (size_t j = 0; j < m; ++j) out[j] = PointHappiness(j, row);
+  simd::HappinessRange(net_cols_.cols(), 0, m,
+                       data_->point(static_cast<size_t>(row)),
+                       static_cast<size_t>(data_->dim()), best_.data(),
+                       kDegenerate, out);
 }
 
 double NetEvaluator::Hr(size_t j, const std::vector<int>& rows) const {
@@ -63,23 +79,37 @@ double NetEvaluator::Hr(size_t j, const std::vector<int>& rows) const {
 double NetEvaluator::Mhr(const std::vector<int>& rows) const {
   if (rows.empty()) return 0.0;
   const size_t m = net_->size();
+  const size_t d = static_cast<size_t>(data_->dim());
+  const simd::AlignedVector pts = data_->PackRows(rows);
+  // Per tile, MhrRange max-accumulates the raw scores of every row, then
+  // divides once per direction: division by a positive denominator is
+  // monotone and max selects an element, so this matches the per-row
+  // division formulation bit for bit. The early break only skips work — an
+  // mhr of 0 cannot rise.
   if (threads_ <= 1) {
     double mhr = 1.0;
-    for (size_t j = 0; j < m; ++j) {
-      mhr = std::min(mhr, Hr(j, rows));
+    for (size_t t = 0; t < TileCount(m); ++t) {
+      const size_t j0 = t * kTile;
+      const size_t j1 = std::min(m, j0 + kTile);
+      mhr = std::min(mhr, simd::MhrRange(net_cols_.cols(), j0, j1,
+                                         best_.data(), kDegenerate,
+                                         pts.data(), rows.size(), d));
       if (mhr <= 0.0) break;
     }
     return mhr;
   }
-  // Block-local minima merged with exact min, which is order-independent,
-  // so the result is identical to the serial sweep (whose early break only
-  // skips work, never changes the minimum).
+  // Tile-local minima merged with exact min, which is order-independent,
+  // so the result is identical to the serial sweep.
   std::mutex mu;
   double mhr = 1.0;
-  ParallelFor(threads_, m, [&](size_t j_begin, size_t j_end) {
+  ParallelFor(threads_, TileCount(m), [&](size_t t0, size_t t1) {
     double local = 1.0;
-    for (size_t j = j_begin; j < j_end; ++j) {
-      local = std::min(local, Hr(j, rows));
+    for (size_t t = t0; t < t1; ++t) {
+      const size_t j0 = t * kTile;
+      const size_t j1 = std::min(m, j0 + kTile);
+      local = std::min(local, simd::MhrRange(net_cols_.cols(), j0, j1,
+                                             best_.data(), kDegenerate,
+                                             pts.data(), rows.size(), d));
       if (local <= 0.0) break;
     }
     std::lock_guard<std::mutex> lock(mu);
@@ -92,46 +122,48 @@ void NetEvaluator::CacheCandidates(const std::vector<int>& rows,
                                    size_t max_entries) {
   const size_t m = net_->size();
   if (rows.size() * m > max_entries) return;
+  const size_t d = static_cast<size_t>(data_->dim());
   cache_offset_.assign(data_->size(), -1);
-  cache_.resize(rows.size() * m);
+  // Uninitialized on purpose: the tile loop below writes every cell
+  // (tiles cover [0, m), the row loop covers every i).
+  cache_.ResizeUninitialized(rows.size() * m);
   for (size_t i = 0; i < rows.size(); ++i) {
     cache_offset_[static_cast<size_t>(rows[i])] =
         static_cast<int64_t>(i * m);
   }
-  // Each row owns one disjoint slice of the matrix.
-  ParallelFor(threads_, rows.size(), [&](size_t i_begin, size_t i_end) {
-    for (size_t i = i_begin; i < i_end; ++i) {
-      double* out = &cache_[i * m];
-      for (size_t j = 0; j < m; ++j) out[j] = PointHappiness(j, rows[i]);
+  const simd::AlignedVector pts = data_->PackRows(rows);
+  // Direction tiles on the outside so one L1-resident net tile serves every
+  // candidate row before the next tile is touched; lanes own disjoint tile
+  // ranges, i.e. disjoint column stripes of the matrix.
+  ParallelFor(threads_, TileCount(m), [&](size_t t0, size_t t1) {
+    for (size_t t = t0; t < t1; ++t) {
+      const size_t j0 = t * kTile;
+      const size_t j1 = std::min(m, j0 + kTile);
+      for (size_t i = 0; i < rows.size(); ++i) {
+        simd::HappinessRange(net_cols_.cols(), j0, j1, &pts[i * d], d,
+                             best_.data(), kDegenerate, &cache_[i * m]);
+      }
     }
   });
 }
 
 TruncatedMhrState::TruncatedMhrState(const NetEvaluator* eval)
-    : eval_(eval),
-      cur_(eval->net_size(), 0.0),
-      scratch_(eval->net_size(), 0.0) {}
+    : eval_(eval), cur_(eval->net_size(), 0.0) {}
 
 void TruncatedMhrState::Reset() { std::fill(cur_.begin(), cur_.end(), 0.0); }
 
 double TruncatedMhrState::MarginalGain(int row, double tau) const {
   const size_t m = cur_.size();
   const double* hrow = eval_->cached_row(row);
-  double gain = 0.0;
+  double gain;
   if (hrow != nullptr) {
-    for (size_t j = 0; j < m; ++j) {
-      const double before = std::min(cur_[j], tau);
-      const double after = std::min(std::max(cur_[j], hrow[j]), tau);
-      gain += after - before;
-    }
+    gain = simd::TruncGainCached(hrow, cur_.data(), m, tau);
   } else {
-    for (size_t j = 0; j < m; ++j) {
-      const double before = std::min(cur_[j], tau);
-      if (before >= tau) continue;  // Already capped; no possible gain.
-      const double h = eval_->PointHappiness(j, row);
-      const double after = std::min(std::max(cur_[j], h), tau);
-      gain += after - before;
-    }
+    gain = simd::TruncGainEval(
+        eval_->net_columns().cols(), m,
+        eval_->data().point(static_cast<size_t>(row)),
+        static_cast<size_t>(eval_->data().dim()), eval_->best_data(),
+        NetEvaluator::kDegenerate, cur_.data(), tau);
   }
   return gain / static_cast<double>(m);
 }
@@ -140,24 +172,23 @@ void TruncatedMhrState::Add(int row) {
   const size_t m = cur_.size();
   const double* hrow = eval_->cached_row(row);
   if (hrow != nullptr) {
-    for (size_t j = 0; j < m; ++j) cur_[j] = std::max(cur_[j], hrow[j]);
+    simd::MaxAccumulate(hrow, cur_.data(), m);
   } else {
-    for (size_t j = 0; j < m; ++j) {
-      cur_[j] = std::max(cur_[j], eval_->PointHappiness(j, row));
-    }
+    simd::AddHappinessMax(eval_->net_columns().cols(), 0, m,
+                          eval_->data().point(static_cast<size_t>(row)),
+                          static_cast<size_t>(eval_->data().dim()),
+                          eval_->best_data(), NetEvaluator::kDegenerate,
+                          cur_.data());
   }
 }
 
 double TruncatedMhrState::TruncatedValue(double tau) const {
-  double sum = 0.0;
-  for (double c : cur_) sum += std::min(c, tau);
-  return sum / static_cast<double>(cur_.size());
+  return simd::TruncSum(cur_.data(), cur_.size(), tau) /
+         static_cast<double>(cur_.size());
 }
 
 double TruncatedMhrState::NetMhr() const {
-  double mhr = 1.0;
-  for (double c : cur_) mhr = std::min(mhr, c);
-  return mhr;
+  return simd::MinReduce(cur_.data(), cur_.size());
 }
 
 }  // namespace fairhms

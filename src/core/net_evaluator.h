@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/simd.h"
 #include "data/dataset.h"
 #include "utility/utility_net.h"
 
@@ -18,12 +19,19 @@ namespace fairhms {
 /// `db_rows` defines the denominator population — pass the global skyline
 /// (scores of dominated points never attain the max, so this is exact).
 ///
-/// The denominator precompute, candidate-cache fill and mhr sweep fan out
-/// over `threads` lanes (0 = DefaultThreads()); every result is
-/// bit-identical across thread counts, and threads = 1 takes the exact
-/// serial path.
+/// Storage is structure-of-arrays: net directions live in a dimension-major
+/// ColumnBlock and candidate coordinates in dense row-major packs, so the
+/// hot loops (denominator fill, candidate-cache fill, mhr sweep) run on the
+/// common/simd.h kernel layer in L1-sized direction tiles (simd::kDirTile).
+/// Every result is bit-identical across thread counts AND across SIMD
+/// dispatch levels (see the bit-identity contract in common/simd.h);
+/// threads = 1 takes the exact serial path.
 class NetEvaluator {
  public:
+  /// Degenerate-denominator cutoff: directions whose best database score is
+  /// at or below this evaluate to happiness 1.0.
+  static constexpr double kDegenerate = 1e-12;
+
   NetEvaluator(const Dataset* data, const UtilityNet* net,
                std::vector<int> db_rows, int threads = 0);
 
@@ -34,6 +42,11 @@ class NetEvaluator {
 
   /// Best database score for direction j (denominator).
   double best(size_t j) const { return best_[j]; }
+  /// Dense denominator array (net_size() doubles).
+  const double* best_data() const { return best_.data(); }
+  /// Dimension-major net directions (column j of the block holds attribute
+  /// j of every direction).
+  const simd::ColumnBlock& net_columns() const { return net_cols_; }
 
   /// Happiness of a single point under direction j:
   /// <u_j, p> / best(j), clamped to [0, 1]; 1 on degenerate directions.
@@ -68,19 +81,37 @@ class NetEvaluator {
            cache_offset_.size() * sizeof(int64_t);
   }
 
+  /// Total resident bytes: denominators, the dimension-major net block, the
+  /// packed db rows, and the candidate cache. ArtifactCache charges this.
+  size_t ResidentBytes() const {
+    return best_.capacity() * sizeof(double) + net_cols_.bytes() +
+           db_pts_.capacity() * sizeof(double) +
+           db_rows_.capacity() * sizeof(int) + CandidateCacheBytes();
+  }
+
  private:
   const Dataset* data_;
   const UtilityNet* net_;
   int threads_;  ///< Effective lane count (already resolved, >= 1).
   std::vector<int> db_rows_;
-  std::vector<double> best_;
+  simd::ColumnBlock net_cols_;  ///< Dimension-major net directions.
+  simd::AlignedVector db_pts_;  ///< db_rows_ coords, dense row-major.
+  simd::AlignedVector best_;
   std::vector<int64_t> cache_offset_;  // Per dataset row; -1 = not cached.
-  std::vector<double> cache_;          // Concatenated happiness rows.
+  /// Concatenated happiness rows. A pooled ScratchBuffer, not a vector:
+  /// the fill in CacheCandidates writes every cell, so zero-initialization
+  /// would only double the memory traffic, and recycling the allocation
+  /// across evaluator rebuilds skips the first-touch page faults that
+  /// otherwise dominate the fill (see simd.h).
+  simd::ScratchBuffer cache_;
 };
 
 /// Incremental state for greedy maximization of the truncated MHR
 ///   mhr_tau(S | N) = (1/m) * sum_j min(hr(u_j, S), tau)
 /// (monotone submodular for any cap tau; paper Lemma 4.3).
+///
+/// Gain and value sums run through the kernel layer's canonical reduction
+/// order (common/simd.h), so they are bit-identical across dispatch levels.
 class TruncatedMhrState {
  public:
   explicit TruncatedMhrState(const NetEvaluator* eval);
@@ -102,8 +133,7 @@ class TruncatedMhrState {
 
  private:
   const NetEvaluator* eval_;
-  std::vector<double> cur_;  // Best happiness per direction over current S.
-  mutable std::vector<double> scratch_;
+  simd::AlignedVector cur_;  // Best happiness per direction over current S.
 };
 
 }  // namespace fairhms

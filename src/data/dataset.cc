@@ -9,7 +9,7 @@
 
 namespace fairhms {
 
-Dataset::Dataset(int dim) : dim_(dim) {
+Dataset::Dataset(int dim) : dim_(dim), soa_(dim) {
   assert(dim >= 1);
   attr_names_.reserve(static_cast<size_t>(dim));
   for (int j = 0; j < dim; ++j) {
@@ -19,18 +19,21 @@ Dataset::Dataset(int dim) : dim_(dim) {
 
 Dataset::Dataset(std::vector<std::string> attr_names)
     : dim_(static_cast<int>(attr_names.size())),
+      soa_(static_cast<int>(attr_names.size())),
       attr_names_(std::move(attr_names)) {
   assert(dim_ >= 1);
 }
 
 void Dataset::Reserve(size_t n) {
   values_.reserve(n * static_cast<size_t>(dim_));
+  soa_.Reserve(n);
   for (auto& c : cats_) c.codes.reserve(n);
 }
 
 void Dataset::AddPoint(const std::vector<double>& coords) {
   assert(static_cast<int>(coords.size()) == dim_);
   values_.insert(values_.end(), coords.begin(), coords.end());
+  soa_.Append(coords.data());
   for (auto& c : cats_) c.codes.push_back(0);
   if (!dead_.empty()) dead_.push_back(0);
   ++n_;
@@ -43,6 +46,7 @@ void Dataset::AddRow(const std::vector<double>& coords,
   assert(static_cast<int>(coords.size()) == dim_);
   assert(codes.size() == cats_.size());
   values_.insert(values_.end(), coords.begin(), coords.end());
+  soa_.Append(coords.data());
   for (size_t c = 0; c < cats_.size(); ++c) cats_[c].codes.push_back(codes[c]);
   if (!dead_.empty()) dead_.push_back(0);
   ++n_;
@@ -117,6 +121,7 @@ StatusOr<int> Dataset::AppendRows(
   const int first = static_cast<int>(n_);
   for (size_t r = 0; r < coords.size(); ++r) {
     values_.insert(values_.end(), coords[r].begin(), coords[r].end());
+    soa_.Append(coords[r].data());
     for (size_t c = 0; c < cats_.size(); ++c) {
       cats_[c].codes.push_back(codes[r][c]);
     }
@@ -207,19 +212,28 @@ Dataset Dataset::NormalizedMinMax() const {
   for (int j = 0; j < dim_; ++j) {
     // Column stats come from live rows only so erased outliers cannot skew
     // the scaling; erased rows are rescaled with everything else (their
-    // values are never read, but stay finite).
+    // values are never read, but stay finite). Stats stream the contiguous
+    // column view; without tombstones the whole column goes through the
+    // kernel layer.
+    const double* col = column(j);
     double lo = std::numeric_limits<double>::infinity();
     double hi = -std::numeric_limits<double>::infinity();
-    for (size_t i = 0; i < n_; ++i) {
-      if (!live(i)) continue;
-      lo = std::min(lo, at(i, j));
-      hi = std::max(hi, at(i, j));
+    if (!has_tombstones()) {
+      simd::ColMinMax(col, n_, &lo, &hi);
+    } else {
+      for (size_t i = 0; i < n_; ++i) {
+        if (!live(i)) continue;
+        lo = std::min(lo, col[i]);
+        hi = std::max(hi, col[i]);
+      }
     }
     if (live_count_ == 0) lo = hi = 0.0;
     const double span = hi - lo;
+    double* out_col = out.soa_.mutable_col(j);
     for (size_t i = 0; i < n_; ++i) {
       double& v = out.values_[i * static_cast<size_t>(dim_) + static_cast<size_t>(j)];
       v = span > 0 ? (v - lo) / span : 1.0;
+      out_col[i] = v;
     }
   }
   return out;
@@ -228,16 +242,49 @@ Dataset Dataset::NormalizedMinMax() const {
 Dataset Dataset::ScaledByMax() const {
   Dataset out = *this;
   for (int j = 0; j < dim_; ++j) {
+    const double* col = column(j);
     double hi = 0.0;
-    for (size_t i = 0; i < n_; ++i) {
-      if (live(i)) hi = std::max(hi, at(i, j));
+    if (!has_tombstones()) {
+      double lo = 0.0;
+      double mx = 0.0;
+      simd::ColMinMax(col, n_, &lo, &mx);
+      hi = std::max(hi, mx);
+    } else {
+      for (size_t i = 0; i < n_; ++i) {
+        if (live(i)) hi = std::max(hi, col[i]);
+      }
     }
+    double* out_col = out.soa_.mutable_col(j);
     for (size_t i = 0; i < n_; ++i) {
       double& v = out.values_[i * static_cast<size_t>(dim_) + static_cast<size_t>(j)];
       v = hi > 0 ? v / hi : 0.0;
+      out_col[i] = v;
     }
   }
   return out;
+}
+
+simd::ColumnBlock Dataset::PackColumns(const std::vector<int>& rows) const {
+  simd::ColumnBlock block(dim_);
+  block.ResizeRows(rows.size());
+  for (int j = 0; j < dim_; ++j) {
+    const double* src = column(j);
+    double* dst = block.mutable_col(j);
+    for (size_t i = 0; i < rows.size(); ++i) {
+      dst[i] = src[rows[i]];
+    }
+  }
+  return block;
+}
+
+simd::AlignedVector Dataset::PackRows(const std::vector<int>& rows) const {
+  const size_t d = static_cast<size_t>(dim_);
+  simd::AlignedVector pts(rows.size() * d);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const double* p = point(static_cast<size_t>(rows[i]));
+    std::copy(p, p + d, pts.begin() + static_cast<int64_t>(i * d));
+  }
+  return pts;
 }
 
 Dataset Dataset::Subset(const std::vector<int>& rows) const {

@@ -1,5 +1,10 @@
-// Dataset: flat row-major storage of n points with d nonnegative numeric
-// attributes plus any number of categorical (demographic) columns.
+// Dataset: n points with d nonnegative numeric attributes plus any number
+// of categorical (demographic) columns, stored twice: flat row-major
+// (`point(i)` — the gather-friendly view a single row reads in one cache
+// line) and dimension-major structure-of-arrays (`column(j)` — padded,
+// cache-line-aligned columns the SIMD kernel layer in common/simd.h streams
+// through). Both views are maintained on every mutation; tombstones give
+// live views via LiveRows() + PackColumns()/PackRows().
 //
 // Numeric attributes drive scoring; categorical columns define the fairness
 // groups (see data/grouping.h). Algorithms reference points by row index so
@@ -19,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "common/simd.h"
 #include "common/status.h"
 #include "common/statusor.h"
 
@@ -103,6 +109,22 @@ class Dataset {
   const double* point(size_t i) const { return &values_[i * static_cast<size_t>(dim_)]; }
   double at(size_t i, int j) const { return values_[i * static_cast<size_t>(dim_) + static_cast<size_t>(j)]; }
 
+  /// Dimension-major view: attribute j of every row (size() doubles,
+  /// cache-line aligned, zero-padded to a multiple of simd::kPadRows).
+  /// Includes tombstoned rows — combine with LiveRows()/PackColumns() for a
+  /// live view.
+  const double* column(int j) const { return soa_.col(j); }
+  const simd::ColumnBlock& columns() const { return soa_; }
+
+  /// Gathers the given rows into a fresh dimension-major block (padded,
+  /// aligned) for the SIMD dominance/sum kernels. Row order is preserved:
+  /// block row i is dataset row rows[i].
+  simd::ColumnBlock PackColumns(const std::vector<int>& rows) const;
+
+  /// Gathers the given rows into a dense row-major block (rows.size() * dim
+  /// doubles) for kernels that stream points against net columns.
+  simd::AlignedVector PackRows(const std::vector<int>& rows) const;
+
   const std::vector<std::string>& attr_names() const { return attr_names_; }
 
   int num_categorical() const { return static_cast<int>(cats_.size()); }
@@ -134,6 +156,7 @@ class Dataset {
   size_t live_count_ = 0;
   uint64_t version_ = 0;
   std::vector<double> values_;
+  simd::ColumnBlock soa_;      ///< Dimension-major mirror of values_.
   std::vector<uint8_t> dead_;  ///< Tombstones; empty until the first erase.
   std::vector<std::string> attr_names_;
   std::vector<CategoricalColumn> cats_;

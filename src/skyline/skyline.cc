@@ -6,6 +6,7 @@
 #include <numeric>
 
 #include "common/random.h"
+#include "common/simd.h"
 #include "geom/dominance.h"
 #include "geom/vec.h"
 
@@ -53,28 +54,33 @@ std::vector<int> Skyline2D(const Dataset& data, std::vector<int> rows) {
   return sky;
 }
 
-/// Sum-sorted block-nested-loop over `rows`; exact for any d.
+/// Sum-sorted block-nested-loop over `rows`; exact for any d. Sums come
+/// from the SIMD row-sum kernel over a dimension-major pack (same
+/// accumulation chain as SumCoords, so the sort order is unchanged), and
+/// incremental dominance checks run against a dimension-major block of the
+/// growing skyline.
 std::vector<int> SkylineBnl(const Dataset& data, std::vector<int> rows) {
   const size_t d = static_cast<size_t>(data.dim());
-  std::sort(rows.begin(), rows.end(), [&](int a, int b) {
-    const double sa = SumCoords(data.point(static_cast<size_t>(a)), d);
-    const double sb = SumCoords(data.point(static_cast<size_t>(b)), d);
-    if (sa != sb) return sa > sb;
-    return a < b;
+  const simd::ColumnBlock block = data.PackColumns(rows);
+  simd::AlignedVector sums(block.padded_rows(), 0.0);
+  simd::RowSums(block.cols(), rows.size(), d, sums.data());
+  std::vector<size_t> order(rows.size());
+  std::iota(order.begin(), order.end(), static_cast<size_t>(0));
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (sums[a] != sums[b]) return sums[a] > sums[b];
+    return rows[a] < rows[b];
   });
   // A dominator always has a strictly larger coordinate sum, so points can
   // only be dominated by earlier entries of the sorted order.
   std::vector<int> sky;
-  for (int r : rows) {
+  simd::ColumnBlock sky_block(data.dim());
+  for (size_t i : order) {
+    const int r = rows[i];
     const double* p = data.point(static_cast<size_t>(r));
-    bool dominated = false;
-    for (int s : sky) {
-      if (Dominates(data.point(static_cast<size_t>(s)), p, d)) {
-        dominated = true;
-        break;
-      }
+    if (!simd::AnyDominates(sky_block.cols(), sky.size(), d, p)) {
+      sky.push_back(r);
+      sky_block.Append(p);
     }
-    if (!dominated) sky.push_back(r);
   }
   std::sort(sky.begin(), sky.end());
   return sky;
@@ -91,18 +97,14 @@ std::vector<int> PrefilterByElite(const Dataset& data, std::vector<int> rows,
   sample.resize(opts.prefilter_sample);
   const std::vector<int> elite = SkylineBnl(data, std::move(sample));
   const size_t d = static_cast<size_t>(data.dim());
+  const simd::ColumnBlock elite_block = data.PackColumns(elite);
   std::vector<int> survivors;
   survivors.reserve(rows.size());
   for (int r : rows) {
     const double* p = data.point(static_cast<size_t>(r));
-    bool dominated = false;
-    for (int e : elite) {
-      if (Dominates(data.point(static_cast<size_t>(e)), p, d)) {
-        dominated = true;
-        break;
-      }
+    if (!simd::AnyDominates(elite_block.cols(), elite.size(), d, p)) {
+      survivors.push_back(r);
     }
-    if (!dominated) survivors.push_back(r);
   }
   return survivors;
 }

@@ -76,6 +76,20 @@ std::string Normalize(std::string s) {
       pos = start + 1;
     }
   }
+  // String-valued fields that vary with the host CPU / environment rather
+  // than the build: the kernel layer's dispatch level and mode.
+  static const char* const kStringKeys[] = {"simd_level", "simd_mode"};
+  for (const char* key : kStringKeys) {
+    const std::string needle = std::string("\"") + key + "\": \"";
+    size_t pos = 0;
+    while ((pos = s.find(needle, pos)) != std::string::npos) {
+      const size_t start = pos + needle.size();
+      const size_t end = s.find('"', start);
+      if (end == std::string::npos) break;
+      s.replace(start, end - start, "T");
+      pos = start + 1;
+    }
+  }
   return s;
 }
 

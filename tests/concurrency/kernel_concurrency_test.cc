@@ -1,0 +1,97 @@
+// Races the SIMD kernel layer's dispatch switch against live evaluation.
+//
+// The dispatch state is one atomic table pointer; SetMode may be called at
+// any time, and because every dispatch level is bitwise identical, a query
+// that straddles a mode flip must still produce exactly the reference
+// answer. Workers hammer the tiled kernels through a shared NetEvaluator
+// (including its internal thread-pool fan-out) while a flipper thread
+// toggles off/auto as fast as it can; any torn dispatch read, missed
+// fence, or cross-level numeric divergence shows up as a bit mismatch.
+
+#include <atomic>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "common/simd.h"
+#include "core/net_evaluator.h"
+#include "data/dataset.h"
+#include "data/generators.h"
+#include "utility/utility_net.h"
+
+namespace fairhms {
+namespace {
+
+bool BitEq(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+TEST(KernelConcurrencyTest, ModeFlipsNeverChangeResults) {
+  Rng rng(19);
+  const Dataset data = GenIndependent(200, 6, &rng).NormalizedMinMax();
+  const UtilityNet net = UtilityNet::SampleRandom(6, 700, &rng);
+  std::vector<int> all(200);
+  for (int i = 0; i < 200; ++i) all[i] = i;
+  // threads=3: evaluator queries fan out over the pool while modes flip,
+  // so tile workers themselves can observe different dispatch tables
+  // within one logical query.
+  const NetEvaluator eval(&data, &net, all, /*threads=*/3);
+  const std::vector<int> probe = {4, 31, 77, 102, 155, 199};
+
+  simd::SetMode(simd::SimdMode::kOff);
+  const double ref_mhr = eval.Mhr(probe);
+  std::vector<double> ref_row(net.size());
+  eval.PointHappinessRow(probe[0], ref_row.data());
+  TruncatedMhrState ref_state(&eval);
+  ref_state.Add(probe[0]);
+  const double ref_gain = ref_state.MarginalGain(probe[1], 0.9);
+  simd::SetMode(simd::SimdMode::kAuto);
+
+  std::atomic<int> mismatches{0};
+  std::atomic<bool> stop{false};
+  std::thread flipper([&] {
+    bool off = false;
+    while (!stop.load(std::memory_order_relaxed)) {
+      simd::SetMode(off ? simd::SimdMode::kOff : simd::SimdMode::kAuto);
+      off = !off;
+      std::this_thread::yield();
+    }
+    simd::SetMode(simd::SimdMode::kAuto);
+  });
+
+  std::vector<std::thread> workers;
+  for (int w = 0; w < 4; ++w) {
+    workers.emplace_back([&, w] {
+      std::vector<double> row(net.size());
+      TruncatedMhrState state(&eval);
+      state.Add(probe[0]);
+      for (int iter = 0; iter < 40; ++iter) {
+        if (!BitEq(eval.Mhr(probe), ref_mhr)) ++mismatches;
+        eval.PointHappinessRow(probe[static_cast<size_t>(w) % probe.size()],
+                               row.data());
+        if (w % static_cast<int>(probe.size()) == 0) {
+          for (size_t j = 0; j < net.size(); ++j) {
+            if (!BitEq(row[j], ref_row[j])) {
+              ++mismatches;
+              break;
+            }
+          }
+        }
+        if (!BitEq(state.MarginalGain(probe[1], 0.9), ref_gain)) {
+          ++mismatches;
+        }
+      }
+    });
+  }
+  for (auto& t : workers) t.join();
+  stop.store(true);
+  flipper.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(simd::Mode(), simd::SimdMode::kAuto);
+}
+
+}  // namespace
+}  // namespace fairhms

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/json.h"
+#include "common/simd.h"
 #include "common/string_util.h"
 #include "data/csv.h"
 #include "data/generators.h"
@@ -257,6 +258,20 @@ StatusOr<uint64_t> ResolveCacheBudgetBytes(const Flags& flags,
     return Status::InvalidArgument("--global_cache_budget_mb must be >= 0");
   }
   return static_cast<uint64_t>(mb) * 1024 * 1024;
+}
+
+Status ApplySimdFlags(const Flags& flags) {
+  if (Status st = simd::ValidateSimdEnv(); !st.ok()) return st;
+  if (flags.Has("simd")) {
+    auto mode = simd::ParseSimdMode(flags.GetString("simd", "auto"));
+    if (!mode.ok()) {
+      return Status::InvalidArgument(
+          StrFormat("--simd must be \"auto\" or \"off\", got \"%s\"",
+                    flags.GetString("simd", "").c_str()));
+    }
+    simd::SetMode(*mode);
+  }
+  return Status::OK();
 }
 
 }  // namespace cli

@@ -107,6 +107,12 @@ StatusOr<Grouping> MakeGroupingFromFlags(const Flags& flags,
 StatusOr<uint64_t> ResolveCacheBudgetBytes(const Flags& flags,
                                            const char* prog);
 
+/// Applies the SIMD dispatch controls, shared by fairhms_cli and
+/// fairhms_serve: refuses an unknown FAIRHMS_SIMD value up front (the
+/// library's lazy init only warns), then lets --simd=auto|off override the
+/// environment. An unknown --simd value is an error.
+Status ApplySimdFlags(const Flags& flags);
+
 }  // namespace cli
 }  // namespace fairhms
 

@@ -63,6 +63,10 @@ Execution (valid with every dataset source and algorithm):
   --threads=N              evaluation-engine lanes; 0 (default) = all
                            hardware threads, 1 = serial. Results are
                            bit-identical across thread counts
+  --simd=auto|off          kernel dispatch: auto (default; best level the
+                           CPU supports) or off (forced scalar). Overrides
+                           the FAIRHMS_SIMD environment variable; results
+                           are bit-identical either way
 
 Grouping (pick one):
   --groups=C               C groups by attribute-sum rank (default 1)
@@ -295,7 +299,8 @@ void WarnUnusedFlags(const cli::Flags& flags) {
                      "dim", "seed", "normalize", "groups", "group_by", "k",
                      "bounds", "alpha", "lower", "upper", "algo", "format",
                      "latency_budget_ms", "quality_target",
-                     "threads", "list_algos", "queries", "cache_budget_mb",
+                     "threads", "simd", "list_algos", "queries",
+                     "cache_budget_mb",
                      "global_cache_budget_mb", "snapshot_save",
                      "snapshot_load", "snapshot_info", "help"});
   for (const auto& key : flags.Unknown()) {
@@ -498,6 +503,7 @@ int Run(int argc, char** argv) {
   }
   SetDefaultThreads(static_cast<int>(threads_raw));
   const int threads = DefaultThreads();
+  if (Status st = cli::ApplySimdFlags(flags); !st.ok()) return Fail(st);
 
   if (flags.Has("queries")) {
     return RunBatch(flags, static_cast<uint64_t>(seed_raw),

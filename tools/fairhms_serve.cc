@@ -66,6 +66,10 @@ Dataset bootstrap (registers as "default"; same flags as fairhms_cli):
   --groups=C | --group_by=col[,col2]             grouping
   --seed=S --threads=N     defaults for queries without their own
   --global_cache_budget_mb=N   process-wide cache budget (default 1024)
+  --simd=auto|off          kernel dispatch: auto (default; best level the
+                           CPU supports) or off (forced scalar). Overrides
+                           the FAIRHMS_SIMD environment variable; results
+                           are bit-identical either way
 
 Serving:
   --workers=N              worker threads (default 4)
@@ -105,7 +109,8 @@ void WarnUnusedFlags(const cli::Flags& flags) {
   static const std::set<std::string> documented = {
       "unix", "port", "host", "csv", "numeric", "categorical", "synthetic",
       "n", "dim", "snapshot_load", "normalize", "groups", "group_by", "seed",
-      "threads", "global_cache_budget_mb", "cache_budget_mb", "workers",
+      "threads", "global_cache_budget_mb", "cache_budget_mb", "simd",
+      "workers",
       "max_queue", "rate_limit", "rate_burst", "queue_deadline_ms",
       "max_line_bytes", "protocol", "reload_dir", "client", "help"};
   for (const auto& key : flags.Unknown()) {
@@ -289,6 +294,7 @@ int RunDaemon(const cli::Flags& flags) {
         "--threads must be in [0, 4096] (0 = all hardware threads)"));
   }
   SetDefaultThreads(static_cast<int>(threads_raw));
+  if (Status st = cli::ApplySimdFlags(flags); !st.ok()) return Fail(st);
 
   auto budget_bytes = cli::ResolveCacheBudgetBytes(flags, "fairhms_serve");
   if (!budget_bytes.ok()) return Fail(budget_bytes.status());
